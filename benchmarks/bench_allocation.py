@@ -1,0 +1,80 @@
+"""Experiments A2/T43 and P54/T55 — the allocation algorithms.
+
+Algorithm 2 ({RC, SI, SSI}, always succeeds) and the Theorem 5.5 variant
+({RC, SI}, may report non-existence) are timed over workload size, and the
+resulting allocation mixes are reported (visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.core.allocation import optimal_allocation
+from repro.core.isolation import ORACLE_LEVELS, POSTGRES_LEVELS
+from repro.workloads.generator import random_workload
+
+
+@pytest.mark.parametrize("transactions", [5, 10, 20, 40])
+def test_algorithm2_scaling(benchmark, transactions):
+    """Runtime series of Algorithm 2 over |T| (Theorem 4.3 shape)."""
+    wl = random_workload(
+        transactions=transactions,
+        objects=transactions * 2,
+        min_ops=2,
+        max_ops=4,
+        seed=13,
+    )
+    optimum = benchmark(lambda: optimal_allocation(wl))
+    assert optimum is not None
+    benchmark.extra_info["transactions"] = transactions
+    benchmark.extra_info["mix"] = {
+        level.name: len(optimum.tids_at(level)) for level in POSTGRES_LEVELS
+    }
+
+
+@pytest.mark.parametrize("levels_name", ["postgres", "oracle"])
+def test_level_class_comparison(benchmark, levels_name):
+    """{RC, SI, SSI} vs {RC, SI} (Theorem 5.5): cost and existence."""
+    levels = POSTGRES_LEVELS if levels_name == "postgres" else ORACLE_LEVELS
+    wl = random_workload(transactions=14, objects=20, seed=29)
+    optimum = benchmark(lambda: optimal_allocation(wl, levels))
+    benchmark.extra_info["exists"] = optimum is not None
+
+
+def test_allocation_mix_report(benchmark, capsys):
+    """Report table: optimal mixes for representative workloads."""
+    cases = [
+        ("sparse", random_workload(transactions=12, objects=60, seed=1)),
+        ("medium", random_workload(transactions=12, objects=12, seed=1)),
+        (
+            "hotspot",
+            random_workload(
+                transactions=12, objects=12, hot_objects=2, hot_probability=0.7, seed=1
+            ),
+        ),
+    ]
+
+    def compute():
+        rows = []
+        for name, wl in cases:
+            optimum = optimal_allocation(wl)
+            oracle = optimal_allocation(wl, ORACLE_LEVELS)
+            rows.append(
+                (
+                    name,
+                    len(optimum.tids_at("RC")),
+                    len(optimum.tids_at("SI")),
+                    len(optimum.tids_at("SSI")),
+                    "yes" if oracle is not None else "no",
+                )
+            )
+        return rows
+
+    rows = benchmark(compute)
+    with capsys.disabled():
+        print_table(
+            "A2: optimal allocation mixes",
+            ["workload", "RC", "SI", "SSI", "{RC,SI} exists"],
+            rows,
+        )

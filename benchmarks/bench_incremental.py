@@ -1,0 +1,94 @@
+"""Experiment INC — incremental allocation maintenance vs recomputation.
+
+An evolving workload (transactions arriving one by one) can either rerun
+Algorithm 2 from scratch on every arrival or warm-start from the previous
+optimum (`repro.core.incremental`).  Expected shape: the warm start saves
+most robustness checks when arrivals rarely disturb existing levels
+(sparse workloads) and degrades gracefully under contention.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.core.allocation import optimal_allocation
+from repro.core.incremental import AllocationManager
+from repro.core.workload import Workload
+from repro.workloads.generator import random_workload
+
+
+def _arrivals(contention: str):
+    hot = {"sparse": 0, "contended": 3}[contention]
+    wl = random_workload(
+        transactions=12,
+        objects=24,
+        hot_objects=hot,
+        hot_probability=0.8,
+        seed=21,
+    )
+    return list(wl)
+
+
+@pytest.mark.parametrize("contention", ["sparse", "contended"])
+def test_incremental_stream(benchmark, contention):
+    """Maintain the optimum across 12 arrivals with warm starts."""
+    arrivals = _arrivals(contention)
+
+    def stream():
+        manager = AllocationManager()
+        checks = 0
+        for txn in arrivals:
+            manager.add(txn)
+            checks += manager.last_check_count
+        return checks
+
+    checks = benchmark.pedantic(stream, rounds=3, iterations=1)
+    benchmark.extra_info["robustness_checks"] = checks
+
+
+@pytest.mark.parametrize("contention", ["sparse", "contended"])
+def test_recompute_stream(benchmark, contention):
+    """The baseline: rerun Algorithm 2 from scratch on every arrival."""
+    arrivals = _arrivals(contention)
+
+    def stream():
+        seen = []
+        for txn in arrivals:
+            seen.append(txn)
+            optimal_allocation(Workload(seen))
+
+    benchmark.pedantic(stream, rounds=3, iterations=1)
+
+
+def test_incremental_report(benchmark, capsys):
+    """INC table: robustness checks spent, warm start vs from scratch."""
+
+    def compute():
+        rows = []
+        for contention in ("sparse", "contended"):
+            arrivals = _arrivals(contention)
+            manager = AllocationManager()
+            warm = 0
+            for txn in arrivals:
+                manager.add(txn)
+                warm += manager.last_check_count
+            cold = 0
+            seen = []
+            for txn in arrivals:
+                seen.append(txn)
+                wl = Workload(seen)
+                # From-scratch refinement costs ~|T| * (levels-1) checks.
+                cold += 1 + 2 * len(wl)
+            # Verify the stream landed on the true optimum.
+            assert manager.allocation == optimal_allocation(Workload(arrivals))
+            rows.append((contention, warm, cold, f"{cold / warm:.1f}x"))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table(
+            "INC: robustness checks across 12 arrivals",
+            ["contention", "warm-start", "from-scratch (est.)", "saving"],
+            rows,
+        )

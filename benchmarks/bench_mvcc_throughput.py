@@ -1,0 +1,101 @@
+"""Experiment FN1 — footnote 1: under contention RC outperforms SI.
+
+The paper motivates preferring lower levels with the observation (from
+Vandevoort et al. [25]) that RC beats SI on throughput when contention
+rises — SI pays first-committer-wins aborts and retries on every
+write-write collision, RC merely waits.  The MVCC simulator reproduces
+the shape: commits-per-tick and abort counts for RC vs SI vs SSI at low
+and high contention, plus the payoff of running Algorithm 2's optimal
+allocation instead of uniform SSI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.core.allocation import optimal_allocation
+from repro.core.isolation import Allocation
+from repro.mvcc import run_workload
+from repro.workloads.generator import GeneratorConfig, random_workload
+
+LOW = GeneratorConfig(
+    transactions=12,
+    objects=60,
+    write_probability=0.5,
+    read_before_write_probability=1.0,
+)
+HIGH = GeneratorConfig(
+    transactions=12,
+    objects=60,
+    write_probability=0.5,
+    read_before_write_probability=1.0,
+    hot_objects=2,
+    hot_probability=0.9,
+)
+SEEDS = range(8)
+
+
+def _run_level(config, level):
+    commits = aborts = ticks = 0
+    for seed in SEEDS:
+        wl = random_workload(config, seed=seed)
+        alloc = (
+            optimal_allocation(wl)
+            if level == "optimal"
+            else Allocation.uniform(wl, level)
+        )
+        _, stats = run_workload(wl, alloc, seed=seed)
+        commits += stats.commits
+        aborts += stats.total_aborts
+        ticks += stats.ticks
+    return {"commits": commits, "aborts": aborts, "ticks": ticks}
+
+
+@pytest.mark.parametrize("level", ["RC", "SI", "SSI"])
+@pytest.mark.parametrize("contention", ["low", "high"])
+def test_throughput_by_level(benchmark, level, contention):
+    config = LOW if contention == "low" else HIGH
+    totals = benchmark.pedantic(
+        lambda: _run_level(config, level), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(totals)
+    benchmark.extra_info["commits_per_tick"] = round(
+        totals["commits"] / totals["ticks"], 4
+    )
+
+
+def test_footnote1_report(benchmark, capsys):
+    """The FN1 table and its shape assertions."""
+
+    def sweep():
+        rows = []
+        for contention, config in (("low", LOW), ("high", HIGH)):
+            for level in ("RC", "SI", "SSI", "optimal"):
+                totals = _run_level(config, level)
+                rows.append(
+                    (
+                        contention,
+                        level,
+                        totals["commits"],
+                        totals["aborts"],
+                        totals["ticks"],
+                        f"{totals['commits'] / totals['ticks']:.3f}",
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table(
+            "FN1: MVCC throughput, RC vs SI vs SSI vs optimal allocation",
+            ["contention", "level", "commits", "aborts", "ticks", "commits/tick"],
+            rows,
+        )
+    by_key = {(r[0], r[1]): r for r in rows}
+    # Shape (footnote 1): under high contention RC aborts less than SI and
+    # sustains at least SI's throughput proxy.
+    assert by_key[("high", "RC")][3] <= by_key[("high", "SI")][3]
+    assert float(by_key[("high", "RC")][5]) >= float(by_key[("high", "SI")][5])
+    # SSI never commits more per tick than SI (it only adds aborts).
+    assert by_key[("high", "SSI")][3] >= by_key[("high", "SI")][3]

@@ -1,0 +1,79 @@
+"""Experiment T33 — Algorithm 1 is polynomial (Theorem 3.3).
+
+The paper proves ``O(|T|^3 * max{|T|^3, k^2 l^2, l^6})``; there is no
+testbed to match, so the reproduction target is the *shape*: runtime grows
+polynomially in the number of transactions and Algorithm 1 handles
+workload sizes the brute-force baseline (bench_bruteforce.py) cannot
+touch.  Also ablates the cached-components reachability against the
+verbatim per-triple transitive closure of the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.isolation import Allocation, IsolationLevel
+from repro.core.robustness import is_robust
+from repro.workloads.generator import random_workload
+
+
+def _mixed_allocation(workload, seed: int = 0) -> Allocation:
+    import random
+
+    rng = random.Random(seed)
+    return Allocation(
+        {tid: rng.choice(list(IsolationLevel)) for tid in workload.tids}
+    )
+
+
+@pytest.mark.parametrize("transactions", [5, 10, 20, 40, 80])
+def test_algorithm1_scaling_mixed(benchmark, transactions):
+    """Runtime series over |T| with a random mixed allocation."""
+    wl = random_workload(
+        transactions=transactions,
+        objects=transactions * 2,
+        min_ops=2,
+        max_ops=4,
+        seed=7,
+    )
+    alloc = _mixed_allocation(wl)
+    result = benchmark(lambda: is_robust(wl, alloc))
+    benchmark.extra_info["transactions"] = transactions
+    benchmark.extra_info["robust"] = result
+
+
+@pytest.mark.parametrize("level", ["RC", "SI", "SSI"])
+def test_algorithm1_uniform_levels(benchmark, level):
+    """Uniform allocations: SSI tends to short-circuit via condition (6)."""
+    wl = random_workload(transactions=20, objects=30, seed=11)
+    alloc = Allocation.uniform(wl, level)
+    result = benchmark(lambda: is_robust(wl, alloc))
+    benchmark.extra_info["robust"] = result
+
+
+@pytest.mark.parametrize("method", ["components", "paper"])
+def test_algorithm1_method_ablation(benchmark, method):
+    """Ablation: cached components vs the verbatim Algorithm 1 loops."""
+    wl = random_workload(transactions=16, objects=20, seed=3)
+    alloc = Allocation.si(wl)
+    expected = is_robust(wl, alloc)
+    result = benchmark(lambda: is_robust(wl, alloc, method=method))
+    assert result == expected
+    benchmark.extra_info["method"] = method
+
+
+@pytest.mark.parametrize("contention", ["low", "high"])
+def test_algorithm1_contention_sensitivity(benchmark, contention):
+    """Dense conflict graphs stress the operation-level inner loops."""
+    hot = {"low": 0, "high": 3}[contention]
+    wl = random_workload(
+        transactions=24,
+        objects=40,
+        hot_objects=hot,
+        hot_probability=0.8,
+        seed=5,
+    )
+    alloc = Allocation.si(wl)
+    result = benchmark(lambda: is_robust(wl, alloc))
+    benchmark.extra_info["contention"] = contention
+    benchmark.extra_info["robust"] = result

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the experiment tables (paper-shape summaries) each bench
+prints alongside the pytest-benchmark timing table.  Every module maps to
+an experiment id in DESIGN.md / EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title, headers, rows):
+    """Print an aligned experiment table (visible with ``pytest -s``)."""
+    widths = [
+        max(len(str(h)), *(len(str(row[i])) for row in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

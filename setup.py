@@ -1,0 +1,22 @@
+"""Legacy setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` works in offline environments without the
+``wheel`` package (legacy editable installs).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Mixed isolation-level robustness and allocation for multiversion "
+        "concurrency control (PODS 2023 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["networkx>=3.0"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

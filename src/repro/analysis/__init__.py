@@ -1,0 +1,52 @@
+"""Analysis: rendering, reports, anomaly naming, statistics, exports."""
+
+from .anomalies import (
+    AnomalyReport,
+    classify_counterexample,
+    classify_cycle,
+    classify_schedule,
+)
+from .blame import (
+    BlameEntry,
+    BlameReport,
+    blame_report,
+    minimal_promotion_sets,
+)
+from .export import (
+    allocation_to_csv,
+    conflict_graph_dot,
+    rows_to_csv,
+    serialization_graph_dot,
+)
+from .render import render_schedule, render_serialization_graph, render_workload
+from .report import (
+    allocation_report,
+    allocation_summary,
+    explain_counterexample,
+    robustness_report,
+)
+from .statistics import WorkloadStats, workload_stats
+
+__all__ = [
+    "AnomalyReport",
+    "BlameEntry",
+    "BlameReport",
+    "WorkloadStats",
+    "allocation_report",
+    "blame_report",
+    "minimal_promotion_sets",
+    "allocation_summary",
+    "allocation_to_csv",
+    "classify_counterexample",
+    "classify_cycle",
+    "classify_schedule",
+    "conflict_graph_dot",
+    "explain_counterexample",
+    "render_schedule",
+    "render_serialization_graph",
+    "render_workload",
+    "robustness_report",
+    "rows_to_csv",
+    "serialization_graph_dot",
+    "workload_stats",
+]

@@ -1,0 +1,107 @@
+"""Classifying non-serializable schedules into named anomalies.
+
+Robustness counterexamples are easier to act on when named: a DBA told
+"write skew between T3 and T7 on objects x, y" knows what to do.  The
+classifier inspects the serialization-graph cycle of a counterexample and
+matches it against the classic anomaly taxonomy (Berenson et al., Fekete
+et al.):
+
+* **dirty/lost update** — a two-transaction cycle with a ww edge;
+* **write skew** — a two-transaction cycle of two rw-antidependencies
+  with disjoint write sets;
+* **non-repeatable read pattern** — a two-transaction rw/wr cycle;
+* **read-only anomaly** — a cycle in which some transaction only reads
+  (Fekete/O'Neil/O'Neil's read-only snapshot anomaly shape);
+* **long fork / serialization cycle** — anything longer.
+
+The names describe the *cycle shape*; they do not change the verdict
+(any cycle means non-serializable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.conflicts import ConflictQuadruple
+from ..core.robustness import Counterexample
+from ..core.schedules import MVSchedule
+from ..core.serialization import SerializationGraph
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """A named anomaly found in a schedule.
+
+    Attributes:
+        name: taxonomy name (e.g. ``"write skew"``).
+        cycle: the witnessing serialization-graph cycle.
+        transactions: the transactions on the cycle, in cycle order.
+        objects: the objects involved in the cycle's conflicts.
+    """
+
+    name: str
+    cycle: Tuple[ConflictQuadruple, ...]
+    transactions: Tuple[int, ...]
+    objects: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        path = " -> ".join(f"T{tid}" for tid in self.transactions)
+        objs = ", ".join(self.objects)
+        return f"{self.name}: {path} -> T{self.transactions[0]} on {objs}"
+
+
+def _classify_two_cycle(
+    schedule: MVSchedule, cycle: Sequence[ConflictQuadruple]
+) -> str:
+    kinds = sorted(q.kind for q in cycle)
+    tids = [q.tid_i for q in cycle]
+    t1, t2 = (schedule.workload[tid] for tid in tids)
+    if kinds == ["rw", "rw"]:
+        same_object = cycle[0].b.obj == cycle[1].b.obj
+        if same_object and t1.write_set & t2.write_set:
+            return "lost update"
+        if not (t1.write_set & t2.write_set):
+            return "write skew"
+        return "read-write cycle"
+    if "ww" in kinds:
+        return "lost update"
+    return "read-write cycle"
+
+
+def classify_cycle(
+    schedule: MVSchedule, cycle: Sequence[ConflictQuadruple]
+) -> AnomalyReport:
+    """Name the anomaly realized by a serialization-graph cycle."""
+    tids = tuple(q.tid_i for q in cycle)
+    objects = tuple(sorted({q.b.obj for q in cycle if q.b.obj is not None}))
+    if len(cycle) == 2:
+        name = _classify_two_cycle(schedule, cycle)
+    else:
+        read_only = [
+            tid
+            for tid in tids
+            if not schedule.workload[tid].write_set
+        ]
+        if read_only:
+            name = "read-only anomaly"
+        elif all(q.kind == "rw" for q in cycle):
+            name = "long fork"
+        else:
+            name = "serialization cycle"
+    return AnomalyReport(name, tuple(cycle), tids, objects)
+
+
+def classify_schedule(schedule: MVSchedule) -> Optional[AnomalyReport]:
+    """Name the anomaly of a non-serializable schedule (None if serializable)."""
+    cycle = SerializationGraph(schedule).find_cycle()
+    if cycle is None:
+        return None
+    return classify_cycle(schedule, cycle)
+
+
+def classify_counterexample(counterexample: Counterexample) -> AnomalyReport:
+    """Name the anomaly a robustness counterexample realizes."""
+    report = classify_schedule(counterexample.schedule)
+    assert report is not None  # counterexamples are never serializable
+    return report

@@ -1,0 +1,130 @@
+"""Blame analysis: which transactions make an allocation unsafe.
+
+Algorithm 1 answers "is this allocation robust?"; a DBA's next question is
+"who is at fault, and what is the cheapest fix?".  This module aggregates
+the full counterexample survey of
+:func:`repro.core.robustness.enumerate_counterexamples`:
+
+* per transaction, in how many problematic triples it appears and in which
+  role (split transaction ``T_1``, first committer ``T_2``, closer
+  ``T_m``);
+* the *minimal promotion sets*: the inclusion-minimal sets of transactions
+  whose promotion to the class's top level makes the allocation robust
+  (computed exactly for small problem counts by covering the triples).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..core.isolation import Allocation, IsolationLevel
+from ..core.robustness import enumerate_counterexamples, is_robust
+from ..core.workload import Workload
+
+
+@dataclass(frozen=True)
+class BlameEntry:
+    """Involvement of one transaction in problematic triples.
+
+    Attributes:
+        tid: the transaction.
+        as_split: appearances as the split transaction ``T_1``.
+        as_first_committer: appearances as ``T_2``.
+        as_closer: appearances as ``T_m``.
+    """
+
+    tid: int
+    as_split: int
+    as_first_committer: int
+    as_closer: int
+
+    @property
+    def total(self) -> int:
+        """Total triple appearances."""
+        return self.as_split + self.as_first_committer + self.as_closer
+
+
+@dataclass
+class BlameReport:
+    """Aggregated blame information for a (workload, allocation) pair."""
+
+    allocation: Allocation
+    triples: List[Tuple[int, int, int]]
+    entries: List[BlameEntry] = field(default_factory=list)
+
+    @property
+    def robust(self) -> bool:
+        """Whether the allocation is robust (no triples at all)."""
+        return not self.triples
+
+    def ranked(self) -> List[BlameEntry]:
+        """Entries with at least one appearance, most-involved first."""
+        involved = [e for e in self.entries if e.total]
+        return sorted(involved, key=lambda e: (-e.total, e.tid))
+
+    def __str__(self) -> str:
+        if self.robust:
+            return "robust: no transaction to blame"
+        lines = [f"{len(self.triples)} problematic triples"]
+        for entry in self.ranked():
+            lines.append(
+                f"  T{entry.tid}: {entry.total} "
+                f"(split {entry.as_split}, first-committer "
+                f"{entry.as_first_committer}, closer {entry.as_closer})"
+            )
+        return "\n".join(lines)
+
+
+def blame_report(workload: Workload, allocation: Allocation) -> BlameReport:
+    """Survey all problematic triples and rank transactions by involvement."""
+    triples: List[Tuple[int, int, int]] = []
+    counts: Dict[int, List[int]] = {tid: [0, 0, 0] for tid in workload.tids}
+    for counterexample in enumerate_counterexamples(
+        workload, allocation, materialize_schedules=False
+    ):
+        chain = counterexample.spec.chain
+        t1 = chain[0].tid_i
+        t2 = chain[0].tid_j
+        tm = chain[-1].tid_i
+        triples.append((t1, t2, tm))
+        counts[t1][0] += 1
+        counts[t2][1] += 1
+        counts[tm][2] += 1
+    entries = [
+        BlameEntry(tid, *counts[tid]) for tid in workload.tids
+    ]
+    return BlameReport(allocation, triples, entries)
+
+
+def minimal_promotion_sets(
+    workload: Workload,
+    allocation: Allocation,
+    level: IsolationLevel = IsolationLevel.SSI,
+    max_size: int = 3,
+) -> List[FrozenSet[int]]:
+    """Inclusion-minimal transaction sets whose promotion restores robustness.
+
+    Tries all subsets of blamed transactions up to ``max_size`` (checking
+    robustness exactly for each candidate), mirroring Fekete's classic
+    question "which transactions must run serializably?" in the
+    {RC, SI, SSI} setting.  Returns an empty list when no set within the
+    size bound suffices.
+    """
+    report = blame_report(workload, allocation)
+    if report.robust:
+        return [frozenset()]
+    blamed = [entry.tid for entry in report.ranked()]
+    found: List[FrozenSet[int]] = []
+    for size in range(1, min(max_size, len(blamed)) + 1):
+        for combo in itertools.combinations(blamed, size):
+            candidate_set = frozenset(combo)
+            if any(previous <= candidate_set for previous in found):
+                continue  # not minimal
+            candidate = allocation
+            for tid in candidate_set:
+                candidate = candidate.with_level(tid, level)
+            if is_robust(workload, candidate):
+                found.append(candidate_set)
+    return found

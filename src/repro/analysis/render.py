@@ -1,0 +1,110 @@
+"""ASCII rendering of schedules and serialization graphs.
+
+:func:`render_schedule` draws the timeline layout of the paper's Figure 2
+(one row per transaction, time flowing left to right, read annotations
+showing the observed version), and :func:`render_serialization_graph`
+lists the labelled edges of Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.operations import Operation
+from ..core.schedules import MVSchedule
+from ..core.serialization import SerializationGraph
+from ..core.workload import Workload
+
+
+def _cell(schedule: MVSchedule, op: Operation) -> str:
+    if op.is_read:
+        observed = schedule.version_of(op)
+        source = "0" if observed.is_initial else f"{observed.transaction_id}"
+        return f"{op}<-{source}"
+    return str(op)
+
+
+def render_schedule(schedule: MVSchedule, annotate_reads: bool = True) -> str:
+    """Render a schedule as a per-transaction timeline (Figure 2 style).
+
+    Each transaction gets a row; columns are schedule positions.  Reads
+    are annotated with the transaction whose version they observe
+    (``<-0`` is the initial version) when ``annotate_reads`` is set.
+
+    Example output::
+
+        T1 .     .     R1[t]<-0 ...
+        T2 W2[t] .     .        ...
+    """
+    rows: Dict[int, List[str]] = {tid: [] for tid in schedule.workload.tids}
+    cells = [
+        _cell(schedule, op) if annotate_reads else str(op) for op in schedule.order
+    ]
+    width = max((len(c) for c in cells), default=1)
+    for op, cell in zip(schedule.order, cells):
+        for tid in rows:
+            rows[tid].append(cell.ljust(width) if tid == op.transaction_id else "." .ljust(width))
+    label_width = max(len(f"T{tid}") for tid in rows)
+    lines = [
+        f"T{tid}".ljust(label_width) + "  " + " ".join(row).rstrip()
+        for tid, row in rows.items()
+    ]
+    return "\n".join(lines)
+
+
+def render_serialization_graph(graph: SerializationGraph) -> str:
+    """Render ``SeG(s)`` as labelled edges (Figure 3 style).
+
+    Example output::
+
+        T1 -> T2: R1[t] -> W2[t] (rw)
+        T2 -> T4: W2[t] -> W4[t] (ww)
+    """
+    lines: List[str] = []
+    for tid_i, tid_j in sorted(graph.edges()):
+        for quad in graph.label(tid_i, tid_j):
+            lines.append(f"T{tid_i} -> T{tid_j}: {quad.b} -> {quad.a} ({quad.kind})")
+    if not lines:
+        return "(no dependencies)"
+    return "\n".join(lines)
+
+
+def render_workload(workload: Workload) -> str:
+    """Render a workload one transaction per line."""
+    return "\n".join(f"T{txn.tid}: {txn}" for txn in workload)
+
+
+def render_split_schedule(spec, workload: Workload) -> str:
+    """Render a split-schedule spec in the shape of the paper's Figure 1.
+
+    Shows the split transaction's prefix, the serial middle transactions,
+    the postfix, and the trailing transactions::
+
+        prefix(T1) | T2 ... Tm | postfix(T1) | T3 T4 ...
+        R1[x]      | R2[y] W2[x] C2 | W1[y] C1 | ...
+    """
+    t1 = workload[spec.split_tid]
+    prefix = " ".join(str(op) for op in t1.prefix(spec.b1))
+    middles = []
+    for tid in spec.middle_tids:
+        middles.append(" ".join(str(op) for op in workload[tid].operations))
+    postfix = " ".join(str(op) for op in t1.postfix(spec.b1))
+    mentioned = {spec.split_tid, *spec.middle_tids}
+    rest = [
+        " ".join(str(op) for op in txn.operations)
+        for txn in workload
+        if txn.tid not in mentioned
+    ]
+    header_cells = [f"prefix(T{spec.split_tid})"]
+    header_cells += [f"T{tid}" for tid in spec.middle_tids]
+    header_cells.append(f"postfix(T{spec.split_tid})")
+    body_cells = [prefix, *middles, postfix]
+    if rest:
+        header_cells.append("rest")
+        body_cells.append("  ".join(rest))
+    widths = [
+        max(len(h), len(b)) for h, b in zip(header_cells, body_cells)
+    ]
+    header = " | ".join(h.ljust(w) for h, w in zip(header_cells, widths))
+    body = " | ".join(b.ljust(w) for b, w in zip(body_cells, widths))
+    return f"{header}\n{body}"

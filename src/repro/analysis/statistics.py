@@ -1,0 +1,91 @@
+"""Workload statistics: the contention metrics that drive robustness.
+
+Robustness outcomes correlate with structural properties of the conflict
+graph — density, write share, hot objects.  These metrics feed reports and
+the allocation-quality benchmarks, and give users a quick feel for *why*
+a workload needs higher levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.conflicts import transactions_conflict
+from ..core.workload import Workload
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Structural statistics of a workload.
+
+    Attributes:
+        transactions: number of transactions.
+        operations: total operations (commits included).
+        objects: number of distinct objects.
+        reads: total read operations.
+        writes: total write operations.
+        conflict_pairs: transaction pairs with at least one conflict.
+        conflict_density: ``conflict_pairs / (n choose 2)``.
+        max_conflict_degree: most conflict partners of any transaction.
+        hottest_objects: objects by accessing-transaction count (top 5).
+    """
+
+    transactions: int
+    operations: int
+    objects: int
+    reads: int
+    writes: int
+    conflict_pairs: int
+    conflict_density: float
+    max_conflict_degree: int
+    hottest_objects: Tuple[Tuple[str, int], ...]
+
+    @property
+    def write_fraction(self) -> float:
+        """Writes as a share of all read/write operations."""
+        accesses = self.reads + self.writes
+        return self.writes / accesses if accesses else 0.0
+
+    def __str__(self) -> str:
+        hot = ", ".join(f"{obj}({count})" for obj, count in self.hottest_objects)
+        return (
+            f"{self.transactions} txns, {self.operations} ops over "
+            f"{self.objects} objects; {self.reads}R/{self.writes}W; "
+            f"conflict density {self.conflict_density:.2f} "
+            f"(max degree {self.max_conflict_degree}); hottest: {hot}"
+        )
+
+
+def workload_stats(workload: Workload) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for a workload."""
+    txns = workload.transactions
+    reads = sum(1 for t in txns for op in t.body if op.is_read)
+    writes = sum(1 for t in txns for op in t.body if op.is_write)
+    degree: Dict[int, int] = {t.tid: 0 for t in txns}
+    conflict_pairs = 0
+    for i, ti in enumerate(txns):
+        for tj in txns[i + 1 :]:
+            if transactions_conflict(ti, tj):
+                conflict_pairs += 1
+                degree[ti.tid] += 1
+                degree[tj.tid] += 1
+    possible = len(txns) * (len(txns) - 1) // 2
+    access_counts: Dict[str, int] = {}
+    for t in txns:
+        for obj in t.read_set | t.write_set:
+            access_counts[obj] = access_counts.get(obj, 0) + 1
+    hottest = tuple(
+        sorted(access_counts.items(), key=lambda item: (-item[1], item[0]))[:5]
+    )
+    return WorkloadStats(
+        transactions=len(txns),
+        operations=workload.operation_count(),
+        objects=len(workload.objects()),
+        reads=reads,
+        writes=writes,
+        conflict_pairs=conflict_pairs,
+        conflict_density=conflict_pairs / possible if possible else 0.0,
+        max_conflict_degree=max(degree.values(), default=0),
+        hottest_objects=hottest,
+    )

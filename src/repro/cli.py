@@ -1,0 +1,307 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands:
+
+* ``check <workload-file> [--allocation T1=RC,T2=SSI | --uniform SI]`` —
+  decide robustness against an allocation (Algorithm 1) and, on
+  non-robustness, print the counterexample split schedule.
+* ``allocate <workload-file> [--levels RC,SI | RC,SI,SSI]`` — compute the
+  optimal robust allocation (Algorithm 2 / Theorem 5.5).
+* ``simulate <workload-file> [--uniform SI] [--seed N] [--runs N]`` — run
+  the workload on the MVCC engine and report commits/aborts and whether
+  the executions were serializable.
+* ``stats <workload-file>`` — structural contention statistics.
+* ``templates check|allocate <template-file>`` — template-level robustness
+  (bounded exact check + static sufficient condition) and optimal
+  per-program allocation.
+
+Workload files use the text format of
+:func:`repro.core.workload.parse_workload`::
+
+    # comments allowed
+    T1: R[x] W[y]
+    T2: R[y] W[x]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis.report import allocation_report, robustness_report
+from .core.allocation import optimal_allocation
+from .core.isolation import Allocation, IsolationLevel
+from .core.robustness import check_robustness
+from .core.serialization import is_conflict_serializable
+from .core.workload import Workload, parse_workload
+
+
+def _load_workload(path: str) -> Workload:
+    text = Path(path).read_text(encoding="utf-8")
+    return parse_workload(text)
+
+
+def _parse_allocation(
+    workload: Workload, spec: Optional[str], uniform: Optional[str]
+) -> Allocation:
+    if spec and uniform:
+        raise SystemExit("use either --allocation or --uniform, not both")
+    if spec:
+        levels = {}
+        for part in spec.split(","):
+            key, _, value = part.partition("=")
+            key = key.strip().lstrip("Tt")
+            if not key.isdigit():
+                raise SystemExit(f"bad allocation entry {part!r}; use T<i>=LEVEL")
+            levels[int(key)] = IsolationLevel.parse(value)
+        missing = set(workload.tids) - set(levels)
+        if missing:
+            raise SystemExit(
+                f"allocation misses transactions {sorted(missing)}"
+            )
+        return Allocation(levels)
+    return Allocation.uniform(workload, IsolationLevel.parse(uniform or "SI"))
+
+
+def _parse_levels(spec: str) -> List[IsolationLevel]:
+    return [IsolationLevel.parse(part) for part in spec.split(",")]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    workload = _load_workload(args.workload)
+    allocation = _parse_allocation(workload, args.allocation, args.uniform)
+    result = check_robustness(workload, allocation)
+    print(robustness_report(workload, allocation, result))
+    if not result.robust:
+        from .analysis.anomalies import classify_counterexample
+
+        anomaly = classify_counterexample(result.counterexample)
+        print(f"\nAnomaly: {anomaly}")
+        if args.dot:
+            from .analysis.export import serialization_graph_dot
+            from .core.serialization import serialization_graph
+
+            graph = serialization_graph(result.counterexample.schedule)
+            Path(args.dot).write_text(
+                serialization_graph_dot(graph), encoding="utf-8"
+            )
+            print(f"Serialization graph written to {args.dot}")
+    return 0 if result.robust else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .analysis.statistics import workload_stats
+
+    workload = _load_workload(args.workload)
+    print(workload_stats(workload))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import full_report
+
+    workload = _load_workload(args.workload)
+    print(full_report(workload))
+    return 0
+
+
+def _cmd_blame(args: argparse.Namespace) -> int:
+    from .analysis.blame import blame_report, minimal_promotion_sets
+
+    workload = _load_workload(args.workload)
+    allocation = _parse_allocation(workload, args.allocation, args.uniform)
+    report = blame_report(workload, allocation)
+    print(f"Allocation: {allocation}")
+    print(report)
+    if not report.robust:
+        sets = minimal_promotion_sets(workload, allocation, max_size=args.max_size)
+        if sets:
+            print("\nMinimal promotion sets (to SSI):")
+            for promo in sets:
+                print("  {" + ", ".join(f"T{tid}" for tid in sorted(promo)) + "}")
+        else:
+            print(f"\nNo promotion set of size <= {args.max_size} suffices.")
+    return 0 if report.robust else 1
+
+
+def _cmd_rate(args: argparse.Namespace) -> int:
+    from .enumeration.sampling import estimate_anomaly_rate
+
+    workload = _load_workload(args.workload)
+    allocation = _parse_allocation(workload, args.allocation, args.uniform)
+    estimate = estimate_anomaly_rate(
+        workload, allocation, samples=args.samples, seed=args.seed
+    )
+    print(f"Allocation: {allocation}")
+    print(estimate)
+    return 0 if estimate.anomalous == 0 else 1
+
+
+def _cmd_templates(args: argparse.Namespace) -> int:
+    from .static_analysis import static_mixed_check
+    from .templates import (
+        check_template_robustness,
+        optimal_template_allocation,
+        parse_templates,
+    )
+
+    templates = parse_templates(Path(args.templates).read_text(encoding="utf-8"))
+    if args.action == "allocate":
+        levels = _parse_levels(args.levels)
+        optimum = optimal_template_allocation(
+            templates, levels, domain_size=args.domain, copies=args.copies
+        )
+        if optimum is None:
+            class_name = ",".join(level.name for level in sorted(set(levels)))
+            print(f"No robust per-template allocation over {{{class_name}}} exists.")
+            return 1
+        for name, level in optimum.items():
+            print(f"{name}: {level.name}")
+        return 0
+    # action == "check"
+    if args.uniform:
+        allocation = {t.name: IsolationLevel.parse(args.uniform) for t in templates}
+    else:
+        allocation = {}
+        for part in (args.allocation or "").split(","):
+            name, _, level = part.partition("=")
+            if not name:
+                raise SystemExit("provide --allocation Name=LEVEL,... or --uniform")
+            allocation[name.strip()] = IsolationLevel.parse(level)
+    static = static_mixed_check(templates, allocation)
+    print(f"Static sufficient check: {static}")
+    result = check_template_robustness(
+        templates, allocation, domain_size=args.domain, copies=args.copies
+    )
+    verdict = "ROBUST" if result.robust else "NOT ROBUST"
+    print(
+        f"Bounded exact check (domain={result.domain_size},"
+        f" copies={result.copies}): {verdict}"
+    )
+    if not result.robust:
+        origin = result.counterexample_templates()
+        print(f"Counterexample uses templates: {origin}")
+    return 0 if result.robust else 1
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    workload = _load_workload(args.workload)
+    levels = _parse_levels(args.levels)
+    print(allocation_report(workload, levels))
+    return 0 if optimal_allocation(workload, levels) is not None else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .mvcc import run_workload, trace_to_schedule
+
+    workload = _load_workload(args.workload)
+    allocation = _parse_allocation(workload, args.allocation, args.uniform)
+    serializable_runs = 0
+    commits = aborts = 0
+    for run in range(args.runs):
+        trace, stats = run_workload(workload, allocation, seed=args.seed + run)
+        schedule = trace_to_schedule(trace, workload)
+        serializable = is_conflict_serializable(schedule)
+        serializable_runs += serializable
+        commits += stats.commits
+        aborts += stats.total_aborts
+        print(
+            f"run {run}: commits={stats.commits} aborts={stats.total_aborts}"
+            f" serializable={serializable}"
+        )
+    print(
+        f"\n{serializable_runs}/{args.runs} executions serializable;"
+        f" {commits} commits, {aborts} aborts in total"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Mixed isolation-level robustness and allocation for MVCC"
+            " (PODS 2023 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="decide robustness against an allocation")
+    check.add_argument("workload", help="workload file (T<i>: R[x] W[y] per line)")
+    check.add_argument("--allocation", help="per-transaction levels, e.g. T1=RC,T2=SSI")
+    check.add_argument("--uniform", help="one level for all transactions (default SI)")
+    check.add_argument("--dot", help="write the counterexample's SeG(s) as DOT here")
+    check.set_defaults(func=_cmd_check)
+
+    stats = sub.add_parser("stats", help="structural contention statistics")
+    stats.add_argument("workload", help="workload file")
+    stats.set_defaults(func=_cmd_stats)
+
+    report = sub.add_parser("report", help="the one-page everything report")
+    report.add_argument("workload", help="workload file")
+    report.set_defaults(func=_cmd_report)
+
+    blame = sub.add_parser(
+        "blame", help="rank transactions by involvement in counterexamples"
+    )
+    blame.add_argument("workload", help="workload file")
+    blame.add_argument("--allocation", help="per-transaction levels")
+    blame.add_argument("--uniform", help="one level for all transactions")
+    blame.add_argument(
+        "--max-size", type=int, default=3, help="promotion set size bound"
+    )
+    blame.set_defaults(func=_cmd_blame)
+
+    rate = sub.add_parser(
+        "rate", help="Monte-Carlo anomaly rate of an allocation"
+    )
+    rate.add_argument("workload", help="workload file")
+    rate.add_argument("--allocation", help="per-transaction levels")
+    rate.add_argument("--uniform", help="one level for all transactions")
+    rate.add_argument("--samples", type=int, default=300, help="interleavings drawn")
+    rate.add_argument("--seed", type=int, default=0, help="RNG seed")
+    rate.set_defaults(func=_cmd_rate)
+
+    templates = sub.add_parser(
+        "templates", help="template-level robustness and allocation"
+    )
+    templates.add_argument("action", choices=("check", "allocate"))
+    templates.add_argument("templates", help="template file (Name(P): R[rel:P] ...)")
+    templates.add_argument("--allocation", help="per-template levels, Name=LEVEL,...")
+    templates.add_argument("--uniform", help="one level for all templates")
+    templates.add_argument("--levels", default="RC,SI,SSI", help="class for allocate")
+    templates.add_argument("--domain", type=int, default=2, help="domain bound")
+    templates.add_argument("--copies", type=int, default=2, help="copies per binding")
+    templates.set_defaults(func=_cmd_templates)
+
+    allocate = sub.add_parser("allocate", help="compute the optimal robust allocation")
+    allocate.add_argument("workload", help="workload file")
+    allocate.add_argument(
+        "--levels",
+        default="RC,SI,SSI",
+        help="class of levels, e.g. RC,SI (Oracle) or RC,SI,SSI (Postgres)",
+    )
+    allocate.set_defaults(func=_cmd_allocate)
+
+    simulate = sub.add_parser("simulate", help="run the workload on the MVCC engine")
+    simulate.add_argument("workload", help="workload file")
+    simulate.add_argument("--allocation", help="per-transaction levels")
+    simulate.add_argument("--uniform", help="one level for all transactions")
+    simulate.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    simulate.add_argument("--runs", type=int, default=5, help="number of executions")
+    simulate.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""The allocation problem (Sections 4 and 5).
+
+Algorithm 2 computes the unique optimal robust allocation over
+{RC, SI, SSI}: starting from ``A_SSI`` (trivially robust, since SSI alone
+admits only serializable schedules), each transaction is refined to the
+lowest level that keeps the allocation robust.  Correctness rests on
+Proposition 4.1 (robustness propagates upward, and lower levels proven
+robust elsewhere can be adopted transaction-wise) and Proposition 4.2
+(uniqueness of the optimum).
+
+For the Oracle class {RC, SI} (Section 5) no serializable level exists, so
+a robust allocation may not exist.  Proposition 5.4 reduces existence to
+robustness against ``A_SI``; when it holds, the optimal {RC, SI} allocation
+is computed by the same refinement starting from ``A_SI`` (Theorem 5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from .isolation import (
+    Allocation,
+    IsolationLevel,
+    ORACLE_LEVELS,
+    POSTGRES_LEVELS,
+)
+from .robustness import is_robust
+from .workload import Workload
+
+
+def _normalized_levels(
+    levels: Iterable[IsolationLevel],
+) -> Tuple[IsolationLevel, ...]:
+    """The class of levels sorted by preference, validated non-empty."""
+    unique = sorted(set(levels))
+    if not unique:
+        raise ValueError("the class of isolation levels must not be empty")
+    return tuple(unique)
+
+
+def refine_allocation(
+    workload: Workload,
+    start: Allocation,
+    levels: Sequence[IsolationLevel],
+    method: str = "components",
+) -> Allocation:
+    """Refine a robust allocation to the optimum below it (Algorithm 2 core).
+
+    For each transaction in turn, the lowest level of ``levels`` keeping
+    the allocation robust is adopted.  By Proposition 4.1(2) the result is
+    independent of the iteration order and equals the unique optimal robust
+    allocation below ``start`` (the test suite checks order invariance).
+
+    Args:
+        workload: the set of transactions.
+        start: a *robust* allocation to refine (not re-verified here).
+        levels: the class of levels, in any order.
+        method: robustness engine, forwarded to
+            :func:`repro.core.robustness.check_robustness`.
+    """
+    ordered = _normalized_levels(levels)
+    current = start
+    for tid in workload.tids:
+        for level in ordered:
+            if level >= current[tid]:
+                break
+            candidate = current.with_level(tid, level)
+            if is_robust(workload, candidate, method=method):
+                current = candidate
+                break
+    return current
+
+
+def optimal_allocation(
+    workload: Workload,
+    levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
+    method: str = "components",
+) -> Optional[Allocation]:
+    """The unique optimal robust allocation over ``levels``, if one exists.
+
+    For {RC, SI, SSI} (the default) an optimal robust allocation always
+    exists and this is Algorithm 2 (Theorem 4.3).  For {RC, SI} the result
+    is ``None`` when the workload is not robustly allocatable
+    (Proposition 5.4 / Theorem 5.5).
+
+    Examples:
+        >>> from repro.core.workload import workload
+        >>> w = workload("R1[x] W1[y]", "R2[y] W2[x]")  # write skew
+        >>> str(optimal_allocation(w))
+        'T1:SSI, T2:SSI'
+        >>> str(optimal_allocation(workload("R1[a] W1[b]", "R2[c] W2[d]")))
+        'T1:RC, T2:RC'
+    """
+    ordered = _normalized_levels(levels)
+    top = ordered[-1]
+    start = Allocation.uniform(workload, top)
+    if top is not IsolationLevel.SSI and not is_robust(workload, start, method=method):
+        return None
+    return refine_allocation(workload, start, ordered, method=method)
+
+
+def is_robustly_allocatable(
+    workload: Workload,
+    levels: Sequence[IsolationLevel] = ORACLE_LEVELS,
+    method: str = "components",
+) -> bool:
+    """Whether some allocation over ``levels`` is robust (Definition 5.3).
+
+    For any class whose top level is SSI this is trivially true; for
+    {RC, SI} it reduces to robustness against ``A_SI`` (Proposition 5.4).
+    """
+    ordered = _normalized_levels(levels)
+    top = ordered[-1]
+    if top is IsolationLevel.SSI:
+        return True
+    return is_robust(workload, Allocation.uniform(workload, top), method=method)
+
+
+def upgrade_to_robust(
+    workload: Workload,
+    allocation: Allocation,
+    levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
+    method: str = "components",
+) -> Optional[Allocation]:
+    """The least robust allocation pointwise above ``allocation``, if any.
+
+    Practical companion to Algorithm 2: given a desired (possibly
+    non-robust) allocation, raise levels as little as possible until the
+    workload is robust.  Returns ``None`` when even the top level of
+    ``levels`` everywhere-above ``allocation`` is not robust.
+
+    The result is the pointwise maximum of ``allocation`` and the optimal
+    robust allocation; minimality among robust allocations above
+    ``allocation`` follows from Proposition 4.1(2).
+    """
+    optimum = optimal_allocation(workload, levels, method=method)
+    if optimum is None:
+        return None
+    lifted = {
+        tid: max(allocation[tid], optimum[tid]) for tid in workload.tids
+    }
+    candidate = Allocation(lifted)
+    if not is_robust(workload, candidate, method=method):
+        return None
+    return candidate

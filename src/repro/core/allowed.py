@@ -1,0 +1,313 @@
+"""Allowed-under semantics for RC, SI, SSI and mixed allocations.
+
+Implements Definition 2.3 (a transaction allowed under RC / SI in a
+schedule), the dangerous-structure condition of SSI (Cahill et al., with
+the commit-order refinement the paper adopts) and Definition 2.4 (a
+schedule allowed under a mixed allocation).  Every check can report the
+precise witnesses of a violation, which the CLI and tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from .conflicts import rw_antidependencies
+from .isolation import Allocation, IsolationLevel
+from .operations import Operation
+from .schedules import MVSchedule
+from .transactions import Transaction
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One reason a schedule is not allowed under an allocation.
+
+    Attributes:
+        rule: short identifier of the violated condition (e.g.
+            ``"read-last-committed"``, ``"dirty-write"``).
+        tid: the offending transaction (``None`` for global conditions).
+        operations: the operations witnessing the violation.
+        detail: human-readable explanation.
+    """
+
+    rule: str
+    tid: Optional[int]
+    operations: Tuple[Operation, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        scope = f"T{self.tid}" if self.tid is not None else "schedule"
+        return f"[{self.rule}] {scope}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class DangerousStructure:
+    """A dangerous structure ``T_1 -> T_2 -> T_3`` (Section 2.3).
+
+    ``T_1`` and ``T_3`` need not be different.  Both edges are
+    rw-antidependencies between concurrent transactions, and ``T_3``
+    commits first: ``C_3 <=_s C_1`` and ``C_3 <_s C_2``.
+    """
+
+    tid_1: int
+    tid_2: int
+    tid_3: int
+    edge_12: Tuple[Operation, Operation]
+    edge_23: Tuple[Operation, Operation]
+
+    def __str__(self) -> str:
+        return f"T{self.tid_1} -> T{self.tid_2} -> T{self.tid_3}"
+
+
+def respects_commit_order(schedule: MVSchedule, write_op: Operation) -> bool:
+    """Whether ``write_op`` respects the commit order of the schedule.
+
+    The version it installs must sit between the versions of transactions
+    committing before and after its own commit: ``W_j[t] << W_i[t]`` iff
+    ``C_j <_s C_i`` for every other write on the same object.
+    """
+    tid = write_op.transaction_id
+    my_commit = schedule.commit_position(tid)
+    for other in schedule.version_order.get(write_op.obj, ()):
+        if other == write_op:
+            continue
+        other_commit = schedule.commit_position(other.transaction_id)
+        if schedule.installs_before(write_op, other) != (my_commit < other_commit):
+            return False
+    return True
+
+
+def is_read_last_committed(
+    schedule: MVSchedule, read_op: Operation, relative_to: Operation
+) -> bool:
+    """Whether ``read_op`` is read-last-committed relative to ``relative_to``.
+
+    Two conditions (Section 2.3): the observed version is the initial one
+    or was committed before ``relative_to``; and no other version committed
+    before ``relative_to`` is installed after the observed one.
+    """
+    observed = schedule.version_of(read_op)
+    anchor_pos = schedule.position(relative_to)
+    if not observed.is_initial:
+        writer_commit = schedule.commit_position(observed.transaction_id)
+        if writer_commit >= anchor_pos:
+            return False
+    for other in schedule.version_order.get(read_op.obj, ()):
+        other_commit = schedule.commit_position(other.transaction_id)
+        if other_commit < anchor_pos and schedule.installs_before(observed, other):
+            return False
+    return True
+
+
+def concurrent_write_witness(
+    schedule: MVSchedule, txn: Transaction
+) -> Optional[Tuple[Operation, Operation]]:
+    """A pair witnessing that ``txn`` exhibits a concurrent write, if any.
+
+    ``T_j`` exhibits a concurrent write if another transaction wrote the
+    same object earlier while being concurrent: ``b_i <_s a_j`` and
+    ``first(T_j) <_s C_i``.
+    """
+    first_pos = schedule.position(txn.first)
+    for a in txn.body:
+        if not a.is_write:
+            continue
+        a_pos = schedule.position(a)
+        for b in schedule.version_order.get(a.obj, ()):
+            if b.transaction_id == txn.tid:
+                continue
+            if (
+                schedule.position(b) < a_pos
+                and first_pos < schedule.commit_position(b.transaction_id)
+            ):
+                return (b, a)
+    return None
+
+
+def dirty_write_witness(
+    schedule: MVSchedule, txn: Transaction
+) -> Optional[Tuple[Operation, Operation]]:
+    """A pair witnessing that ``txn`` exhibits a dirty write, if any.
+
+    ``T_j`` exhibits a dirty write if it writes an object previously
+    written by a transaction that has not yet committed:
+    ``b_i <_s a_j <_s C_i``.
+    """
+    for a in txn.body:
+        if not a.is_write:
+            continue
+        a_pos = schedule.position(a)
+        for b in schedule.version_order.get(a.obj, ()):
+            if b.transaction_id == txn.tid:
+                continue
+            if (
+                schedule.position(b) < a_pos
+                and a_pos < schedule.commit_position(b.transaction_id)
+            ):
+                return (b, a)
+    return None
+
+
+def transaction_violations(
+    schedule: MVSchedule, txn: Transaction, level: IsolationLevel
+) -> List[Violation]:
+    """All violations of Definition 2.3 by ``txn`` at the given level.
+
+    For SSI the per-transaction conditions are those of SI; the global
+    dangerous-structure condition is checked separately (Definition 2.4).
+    """
+    violations: List[Violation] = []
+    for op in txn.body:
+        if op.is_write and not respects_commit_order(schedule, op):
+            violations.append(
+                Violation(
+                    "commit-order",
+                    txn.tid,
+                    (op,),
+                    f"{op} does not respect the commit order",
+                )
+            )
+    if level is IsolationLevel.RC:
+        for op in txn.body:
+            if op.is_read and not is_read_last_committed(schedule, op, op):
+                violations.append(
+                    Violation(
+                        "read-last-committed",
+                        txn.tid,
+                        (op,),
+                        f"{op} is not read-last-committed relative to itself",
+                    )
+                )
+        witness = dirty_write_witness(schedule, txn)
+        if witness is not None:
+            violations.append(
+                Violation(
+                    "dirty-write",
+                    txn.tid,
+                    witness,
+                    f"{witness[1]} overwrites uncommitted {witness[0]}",
+                )
+            )
+    else:
+        for op in txn.body:
+            if op.is_read and not is_read_last_committed(schedule, op, txn.first):
+                violations.append(
+                    Violation(
+                        "read-last-committed",
+                        txn.tid,
+                        (op,),
+                        f"{op} is not read-last-committed relative to first(T{txn.tid})",
+                    )
+                )
+        witness = concurrent_write_witness(schedule, txn)
+        if witness is not None:
+            violations.append(
+                Violation(
+                    "concurrent-write",
+                    txn.tid,
+                    witness,
+                    f"{witness[1]} overwrites {witness[0]} of a concurrent transaction",
+                )
+            )
+    return violations
+
+
+def transaction_allowed(
+    schedule: MVSchedule, tid: int, level: IsolationLevel
+) -> bool:
+    """Whether transaction ``tid`` is allowed under ``level`` in the schedule."""
+    txn = schedule.workload[tid]
+    return not transaction_violations(schedule, txn, level)
+
+
+def dangerous_structures(
+    schedule: MVSchedule, among: Optional[Iterable[int]] = None
+) -> Iterator[DangerousStructure]:
+    """All dangerous structures among the given transactions (default: all).
+
+    ``T_1 -> T_2 -> T_3`` with rw-antidependencies ``T_1 -> T_2`` and
+    ``T_2 -> T_3``, pairwise concurrency, and ``C_3 <=_s C_1``,
+    ``C_3 <_s C_2``.  ``T_1`` and ``T_3`` may coincide.
+    """
+    tids = tuple(among) if among is not None else schedule.workload.tids
+    candidates = set(tids)
+    for tid_2 in candidates:
+        for tid_1 in candidates:
+            if tid_1 == tid_2 or not schedule.concurrent(tid_1, tid_2):
+                continue
+            in_edges = rw_antidependencies(schedule, tid_1, tid_2)
+            if not in_edges:
+                continue
+            for tid_3 in candidates:
+                if tid_3 == tid_2 or not schedule.concurrent(tid_2, tid_3):
+                    continue
+                c1 = schedule.commit_position(tid_1)
+                c2 = schedule.commit_position(tid_2)
+                c3 = schedule.commit_position(tid_3)
+                if not (c3 <= c1 and c3 < c2):
+                    continue
+                out_edges = rw_antidependencies(schedule, tid_2, tid_3)
+                for in_edge in in_edges:
+                    for out_edge in out_edges:
+                        yield DangerousStructure(
+                            tid_1,
+                            tid_2,
+                            tid_3,
+                            (in_edge.b, in_edge.a),
+                            (out_edge.b, out_edge.a),
+                        )
+
+
+def has_dangerous_structure(
+    schedule: MVSchedule, among: Optional[Iterable[int]] = None
+) -> bool:
+    """Whether any dangerous structure exists among the given transactions."""
+    return next(dangerous_structures(schedule, among), None) is not None
+
+
+@dataclass
+class AllowedReport:
+    """The outcome of checking Definition 2.4 on a schedule."""
+
+    allowed: bool
+    violations: List[Violation] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+    def __str__(self) -> str:
+        if self.allowed:
+            return "allowed"
+        return "not allowed:\n" + "\n".join(f"  {v}" for v in self.violations)
+
+
+def allowed_under(schedule: MVSchedule, allocation: Allocation) -> AllowedReport:
+    """Definition 2.4: whether the schedule is allowed under the allocation.
+
+    RC transactions must be allowed under RC; SI and SSI transactions must
+    be allowed under SI; and no dangerous structure may be formed by three
+    (not necessarily different) SSI transactions.
+    """
+    violations: List[Violation] = []
+    for txn in schedule.workload:
+        level = allocation[txn.tid]
+        effective = IsolationLevel.RC if level is IsolationLevel.RC else IsolationLevel.SI
+        violations.extend(transaction_violations(schedule, txn, effective))
+    ssi_tids = allocation.tids_at(IsolationLevel.SSI)
+    structure = next(dangerous_structures(schedule, ssi_tids), None)
+    if structure is not None:
+        violations.append(
+            Violation(
+                "dangerous-structure",
+                None,
+                structure.edge_12 + structure.edge_23,
+                f"dangerous structure {structure} among SSI transactions",
+            )
+        )
+    return AllowedReport(not violations, violations)
+
+
+def is_allowed(schedule: MVSchedule, allocation: Allocation) -> bool:
+    """Boolean shorthand for :func:`allowed_under`."""
+    return allowed_under(schedule, allocation).allowed

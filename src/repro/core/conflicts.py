@@ -1,0 +1,197 @@
+"""Conflicts between operations and dependencies in a schedule (Section 2.2).
+
+Two operations on the same object from *different* transactions conflict
+when at least one of them is a write:
+
+* ``ww``: both are writes;
+* ``wr``: the first is a write, the second a read;
+* ``rw``: the first is a read, the second a write.
+
+In a schedule ``s``, conflicting operations induce *dependencies*
+``b_i ->_s a_j``:
+
+* ww-dependency: ``b_i << a_j`` (version installed earlier);
+* wr-dependency: ``b_i = v_s(a_j)`` or ``b_i << v_s(a_j)``;
+* rw-antidependency: ``v_s(b_i) << a_j``.
+
+Commit operations and ``op_0`` never conflict with anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .operations import Operation
+from .schedules import MVSchedule
+from .transactions import Transaction
+
+
+def ww_conflicting(b: Operation, a: Operation) -> bool:
+    """Whether ``b`` is ww-conflicting with ``a`` (both write the same object)."""
+    return (
+        b.is_write
+        and a.is_write
+        and b.obj == a.obj
+        and b.transaction_id != a.transaction_id
+    )
+
+
+def wr_conflicting(b: Operation, a: Operation) -> bool:
+    """Whether ``b`` is wr-conflicting with ``a`` (``b`` writes what ``a`` reads)."""
+    return (
+        b.is_write
+        and a.is_read
+        and b.obj == a.obj
+        and b.transaction_id != a.transaction_id
+    )
+
+
+def rw_conflicting(b: Operation, a: Operation) -> bool:
+    """Whether ``b`` is rw-conflicting with ``a`` (``b`` reads what ``a`` writes)."""
+    return (
+        b.is_read
+        and a.is_write
+        and b.obj == a.obj
+        and b.transaction_id != a.transaction_id
+    )
+
+
+def conflicting(b: Operation, a: Operation) -> bool:
+    """Whether ``b`` is conflicting with ``a`` (any of ww, wr, rw)."""
+    if b.obj is None or a.obj is None or b.obj != a.obj:
+        return False
+    if b.transaction_id == a.transaction_id:
+        return False
+    return b.is_write or a.is_write
+
+
+def conflict_kind(b: Operation, a: Operation) -> Optional[str]:
+    """``"ww"``, ``"wr"`` or ``"rw"`` when ``b`` conflicts with ``a``, else ``None``."""
+    if ww_conflicting(b, a):
+        return "ww"
+    if wr_conflicting(b, a):
+        return "wr"
+    if rw_conflicting(b, a):
+        return "rw"
+    return None
+
+
+def transactions_conflict(ti: Transaction, tj: Transaction) -> bool:
+    """Whether some operation of ``ti`` conflicts with some operation of ``tj``.
+
+    Conflict existence is symmetric at the transaction level: any shared
+    object touched by a write on at least one side yields conflicts both
+    ways.
+    """
+    if ti.tid == tj.tid:
+        return False
+    if ti.write_set & (tj.read_set | tj.write_set):
+        return True
+    return bool(tj.write_set & ti.read_set)
+
+
+def conflicting_pairs(
+    ti: Transaction, tj: Transaction
+) -> Iterator[Tuple[Operation, Operation]]:
+    """All pairs ``(b, a)`` with ``b`` in ``ti`` conflicting with ``a`` in ``tj``."""
+    if ti.tid == tj.tid:
+        return
+    for b in ti.body:
+        for a in tj.body:
+            if conflicting(b, a):
+                yield (b, a)
+
+
+@dataclass(frozen=True)
+class ConflictQuadruple:
+    """A conflicting quadruple ``(T_i, b_i, a_j, T_j)`` (Section 3).
+
+    ``b_i`` in transaction ``tid_i`` conflicts with ``a_j`` in ``tid_j``.
+    Conflicting quadruples are defined on the workload alone, not relative
+    to a schedule.
+    """
+
+    tid_i: int
+    b: Operation
+    a: Operation
+    tid_j: int
+
+    def __post_init__(self) -> None:
+        if self.b.transaction_id != self.tid_i or self.a.transaction_id != self.tid_j:
+            raise ValueError("quadruple operations do not match their transactions")
+        if not conflicting(self.b, self.a):
+            raise ValueError(f"{self.b} does not conflict with {self.a}")
+
+    @property
+    def kind(self) -> str:
+        """The conflict kind: ``"ww"``, ``"wr"`` or ``"rw"``."""
+        kind = conflict_kind(self.b, self.a)
+        assert kind is not None
+        return kind
+
+    def __str__(self) -> str:
+        return f"(T{self.tid_i}, {self.b}, {self.a}, T{self.tid_j})"
+
+
+def depends(schedule: MVSchedule, b: Operation, a: Operation) -> bool:
+    """Whether ``a`` depends on ``b`` in the schedule (``b ->_s a``)."""
+    return dependency_kind(schedule, b, a) is not None
+
+
+def dependency_kind(
+    schedule: MVSchedule, b: Operation, a: Operation
+) -> Optional[str]:
+    """The kind of dependency ``b ->_s a``, or ``None`` if there is none."""
+    if ww_conflicting(b, a):
+        if schedule.installs_before(b, a):
+            return "ww"
+        return None
+    if wr_conflicting(b, a):
+        observed = schedule.version_of(a)
+        if b == observed:
+            return "wr"
+        if not observed.is_initial and schedule.installs_before(b, observed):
+            return "wr"
+        return None
+    if rw_conflicting(b, a):
+        observed = schedule.version_of(b)
+        if schedule.installs_before(observed, a):
+            return "rw"
+        return None
+    return None
+
+
+def dependencies(schedule: MVSchedule) -> Iterator[Tuple[str, ConflictQuadruple]]:
+    """All dependencies ``b_i ->_s a_j`` of the schedule, with their kinds."""
+    transactions = schedule.workload.transactions
+    for ti in transactions:
+        for tj in transactions:
+            if ti.tid == tj.tid:
+                continue
+            for b, a in conflicting_pairs(ti, tj):
+                kind = dependency_kind(schedule, b, a)
+                if kind is not None:
+                    yield kind, ConflictQuadruple(ti.tid, b, a, tj.tid)
+
+
+def rw_antidependencies(
+    schedule: MVSchedule, tid_i: int, tid_j: int
+) -> List[ConflictQuadruple]:
+    """All rw-antidependencies from transaction ``tid_i`` to ``tid_j``."""
+    ti = schedule.workload[tid_i]
+    tj = schedule.workload[tid_j]
+    found = []
+    for b, a in conflicting_pairs(ti, tj):
+        if rw_conflicting(b, a) and dependency_kind(schedule, b, a) == "rw":
+            found.append(ConflictQuadruple(tid_i, b, a, tid_j))
+    return found
+
+
+def conflict_equivalent(s1: MVSchedule, s2: MVSchedule) -> bool:
+    """Whether two schedules over the same workload have identical dependencies."""
+    if s1.workload != s2.workload:
+        return False
+    deps1 = {(q.b, q.a) for _, q in dependencies(s1)}
+    deps2 = {(q.b, q.a) for _, q in dependencies(s2)}
+    return deps1 == deps2

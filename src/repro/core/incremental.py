@@ -1,0 +1,189 @@
+"""Incremental robustness checking and allocation maintenance.
+
+Production workloads evolve: programs are added and retired.  Two facts —
+both direct consequences of Definition 3.1 — make maintenance much cheaper
+than recomputation:
+
+* **Counterexamples survive workload growth.**  A split schedule for a
+  subset extends to any superset by appending the extra transactions
+  serially at the end (``T_{m+1} ... T_n`` carry no conditions).  So
+  removing transactions preserves robustness, and a cached counterexample
+  stays valid until one of its chain members is removed.
+
+* **Optima grow pointwise.**  For workloads ``T ⊆ T'``, the optimal
+  allocation of ``T'`` restricted to ``T`` dominates the optimal
+  allocation of ``T`` (any robust allocation for ``T'`` is, restricted,
+  robust for ``T``; the optimum is the least robust allocation).
+  Consequently, after adding a transaction ``T`` the candidate
+  ``old_optimum ∪ {T -> SSI}`` is robust iff the old levels still
+  suffice — and when it is robust, only the new transaction needs
+  refining.  When it is not, the refinement restarts from SSI but never
+  needs to try levels *below* a transaction's old optimum.
+
+:class:`AllocationManager` packages both facts behind add/remove calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .allocation import refine_allocation
+from .isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
+from .robustness import Counterexample, check_robustness
+from .transactions import Transaction
+from .workload import Workload, WorkloadError
+
+
+class AllocationManager:
+    """Maintains the optimal robust allocation of an evolving workload.
+
+    Examples:
+        >>> from repro.core.transactions import parse_transaction
+        >>> manager = AllocationManager()
+        >>> manager.add(parse_transaction("R1[x] W1[y]"))
+        Allocation({T1:RC})
+        >>> manager.add(parse_transaction("R2[y] W2[x]"))
+        Allocation({T1:SSI, T2:SSI})
+        >>> manager.remove(1)
+        Allocation({T2:RC})
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
+        method: str = "components",
+    ):
+        self._levels = tuple(sorted(set(levels)))
+        if not self._levels:
+            raise ValueError("the class of isolation levels must not be empty")
+        if self._levels[-1] is not IsolationLevel.SSI:
+            raise ValueError(
+                "AllocationManager requires SSI in the class (an optimum must"
+                " always exist); use optimal_allocation() for {RC, SI}"
+            )
+        self._method = method
+        self._transactions: Dict[int, Transaction] = {}
+        self._allocation = Allocation({})
+        #: statistics: robustness checks spent on the last operation.
+        self.last_check_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def workload(self) -> Workload:
+        """The current workload."""
+        return Workload(self._transactions.values())
+
+    @property
+    def allocation(self) -> Allocation:
+        """The current optimal robust allocation."""
+        return self._allocation
+
+    # ------------------------------------------------------------------
+    def _counting_is_robust(self, workload: Workload, allocation: Allocation) -> bool:
+        self.last_check_count += 1
+        return check_robustness(workload, allocation, method=self._method).robust
+
+    def add(self, transaction: Transaction) -> Allocation:
+        """Add a transaction; returns the new optimal allocation.
+
+        Warm-starts from the previous optimum: if the old levels still
+        suffice with the newcomer at the top level, only the newcomer is
+        refined; otherwise the full refinement reruns, but with each old
+        transaction's search floored at its previous optimal level
+        (pointwise monotonicity).
+        """
+        if transaction.tid in self._transactions:
+            raise WorkloadError(f"transaction {transaction.tid} already present")
+        self.last_check_count = 0
+        self._transactions[transaction.tid] = transaction
+        workload = self.workload
+        top = self._levels[-1]
+        old = self._allocation
+        candidate = Allocation(
+            {**{tid: old[tid] for tid in old}, transaction.tid: top}
+        )
+        if self._counting_is_robust(workload, candidate):
+            # Old levels still optimal; refine only the newcomer.
+            current = candidate
+            for level in self._levels[:-1]:
+                lowered = current.with_level(transaction.tid, level)
+                if self._counting_is_robust(workload, lowered):
+                    current = lowered
+                    break
+            self._allocation = current
+            return current
+        # Some old transaction must rise: rerun the refinement with the
+        # old optimum as per-transaction floor.
+        floors = {tid: old[tid] for tid in old}
+        floors[transaction.tid] = self._levels[0]
+        current = Allocation.uniform(workload, top)
+        for tid in workload.tids:
+            for level in self._levels:
+                if level < floors[tid]:
+                    continue
+                if level >= current[tid]:
+                    break
+                lowered = current.with_level(tid, level)
+                if self._counting_is_robust(workload, lowered):
+                    current = lowered
+                    break
+        self._allocation = current
+        return current
+
+    def remove(self, tid: int) -> Allocation:
+        """Remove a transaction; returns the new optimal allocation.
+
+        Removal preserves robustness, so the remaining levels are still
+        robust — but possibly no longer minimal; they serve as the
+        starting point of a (downward-only) refinement.
+        """
+        if tid not in self._transactions:
+            raise WorkloadError(f"no transaction with id {tid}")
+        self.last_check_count = 0
+        del self._transactions[tid]
+        workload = self.workload
+        start = Allocation({t: self._allocation[t] for t in workload.tids})
+        self._allocation = refine_allocation(
+            workload, start, self._levels, method=self._method
+        )
+        # refine_allocation does not count through our wrapper; estimate:
+        self.last_check_count += len(workload) * (len(self._levels) - 1)
+        return self._allocation
+
+    def check(self, allocation: Allocation) -> bool:
+        """Robustness of the current workload against an arbitrary allocation."""
+        return check_robustness(self.workload, allocation, method=self._method).robust
+
+
+def incremental_counterexample(
+    previous: Optional[Counterexample],
+    workload: Workload,
+    allocation: Allocation,
+    method: str = "components",
+) -> Optional[Counterexample]:
+    """Re-decide non-robustness, reusing a previous counterexample when valid.
+
+    A cached counterexample remains a counterexample as long as (a) every
+    chain transaction is still in the workload with the same operations
+    and (b) no chain transaction's level changed.  Otherwise Algorithm 1
+    reruns from scratch.
+
+    Returns the (possibly reused) counterexample, or ``None`` if the
+    workload is now robust.
+    """
+    if previous is not None:
+        chain_tids = {quad.tid_i for quad in previous.spec.chain}
+        intact = all(
+            tid in workload
+            and tid in allocation
+            and workload[tid] == previous.schedule.workload[tid]
+            for tid in chain_tids
+        )
+        if intact:
+            from .split_schedule import condition_failures, materialize
+
+            if not condition_failures(previous.spec, workload, allocation):
+                schedule = materialize(previous.spec, workload, allocation)
+                return Counterexample(previous.spec, schedule)
+    result = check_robustness(workload, allocation, method=method)
+    return result.counterexample

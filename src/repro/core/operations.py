@@ -1,0 +1,109 @@
+"""Operations of the formal transaction model.
+
+The paper (Section 2.1) fixes an infinite set of objects ``Obj`` and, for an
+object ``t``, considers read operations ``R[t]``, write operations ``W[t]``
+and a per-transaction commit operation ``C``.  A special operation ``op_0``
+conceptually writes the initial versions of all objects and precedes every
+schedule.
+
+Objects are modelled as plain strings.  Operations are immutable value
+objects: within one transaction there is at most one read and at most one
+write per object (the paper's standing assumption), so the triple
+``(kind, transaction_id, obj)`` identifies an operation uniquely and makes
+operations safely hashable across schedules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class OperationKind(enum.Enum):
+    """The kind of an operation in the formal model."""
+
+    READ = "R"
+    WRITE = "W"
+    COMMIT = "C"
+    #: The special operation ``op_0`` writing all initial versions.
+    INITIAL = "op0"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OperationKind.{self.name}"
+
+
+@dataclass(frozen=True, order=False)
+class Operation:
+    """A single read, write or commit operation of a transaction.
+
+    Attributes:
+        kind: read, write, commit or the special initial operation.
+        transaction_id: id of the owning transaction (``0`` for ``op_0``;
+            real transactions use positive ids).
+        obj: the object read or written; ``None`` for commits and ``op_0``.
+    """
+
+    kind: OperationKind
+    transaction_id: int
+    obj: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (OperationKind.READ, OperationKind.WRITE):
+            if not self.obj:
+                raise ValueError(f"{self.kind.name} operation requires an object")
+        elif self.obj is not None:
+            raise ValueError(f"{self.kind.name} operation must not name an object")
+        if self.kind is OperationKind.INITIAL and self.transaction_id != 0:
+            raise ValueError("op_0 must use transaction id 0")
+        if self.kind is not OperationKind.INITIAL and self.transaction_id <= 0:
+            raise ValueError("transactions must use positive integer ids")
+
+    @property
+    def is_read(self) -> bool:
+        """Whether this is a read operation ``R[t]``."""
+        return self.kind is OperationKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this is a write operation ``W[t]`` (``op_0`` excluded)."""
+        return self.kind is OperationKind.WRITE
+
+    @property
+    def is_commit(self) -> bool:
+        """Whether this is a commit operation ``C``."""
+        return self.kind is OperationKind.COMMIT
+
+    @property
+    def is_initial(self) -> bool:
+        """Whether this is the special initial operation ``op_0``."""
+        return self.kind is OperationKind.INITIAL
+
+    def __str__(self) -> str:
+        if self.is_initial:
+            return "op0"
+        if self.is_commit:
+            return f"C{self.transaction_id}"
+        return f"{self.kind.value}{self.transaction_id}[{self.obj}]"
+
+    def __repr__(self) -> str:
+        return f"Operation({self})"
+
+
+#: The unique initial operation ``op_0`` of every schedule.
+OP0 = Operation(OperationKind.INITIAL, 0)
+
+
+def read(transaction_id: int, obj: str) -> Operation:
+    """Build the read operation ``R_i[t]``."""
+    return Operation(OperationKind.READ, transaction_id, obj)
+
+
+def write(transaction_id: int, obj: str) -> Operation:
+    """Build the write operation ``W_i[t]``."""
+    return Operation(OperationKind.WRITE, transaction_id, obj)
+
+
+def commit(transaction_id: int) -> Operation:
+    """Build the commit operation ``C_i``."""
+    return Operation(OperationKind.COMMIT, transaction_id)

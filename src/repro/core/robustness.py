@@ -1,0 +1,411 @@
+"""Deciding robustness against an allocation (Algorithm 1, Theorem 3.3).
+
+A workload ``T`` is robust against an allocation ``A`` iff no multiversion
+split schedule for ``T`` and ``A`` exists (Theorem 3.2).  Algorithm 1
+searches for one without enumerating quadruple sequences: it iterates over
+candidate triples ``(T_1, T_2, T_m)``, checks reachability from ``T_2`` to
+``T_m`` through transactions that do not conflict with ``T_1`` (the
+*mixed-iso-graph*), and then scans the operation choices
+``b_1, a_1, a_2, b_m`` against the side conditions of Definition 3.1.
+
+Two interchangeable engines are provided:
+
+* ``method="components"`` (default) — computes the mixed-iso-graph of each
+  ``T_1`` once and answers reachability questions via connected components.
+  Sound because ``T_2`` and ``T_m`` must conflict with ``T_1`` for the
+  inner conditions to ever hold, hence are never nodes of the graph.
+* ``method="paper"`` — the verbatim Algorithm 1 loop structure (transitive
+  closure recomputed per triple), kept as the reference implementation and
+  for the ablation benchmark.
+
+Both return the same decisions (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from .conflicts import (
+    ConflictQuadruple,
+    conflicting_pairs,
+    rw_conflicting,
+    transactions_conflict,
+)
+from .isolation import Allocation, IsolationLevel
+from .operations import Operation
+from .schedules import MVSchedule, canonical_schedule
+from .split_schedule import SplitScheduleSpec, materialize, operation_order
+from .transactions import Transaction
+from .workload import Workload, WorkloadError
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A witness of non-robustness.
+
+    Attributes:
+        spec: the quadruple chain ``C`` of the multiversion split schedule.
+        schedule: the materialized schedule — allowed under the allocation
+            and not conflict serializable.
+    """
+
+    spec: SplitScheduleSpec
+    schedule: MVSchedule
+
+    def __str__(self) -> str:
+        return f"split schedule based on {self.spec}"
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """The outcome of a robustness check."""
+
+    robust: bool
+    counterexample: Optional[Counterexample] = None
+
+    def __bool__(self) -> bool:
+        return self.robust
+
+
+def mixed_iso_graph(t1: Transaction, others: Iterable[Transaction]) -> nx.Graph:
+    """The mixed-iso-graph of ``T_1`` over ``others`` (Section 3).
+
+    Nodes are the transactions of ``others`` having no operation conflicting
+    with an operation of ``t1``; transactions with conflicting operations
+    are connected by an edge.  Conflict existence is symmetric, so an
+    undirected graph captures the paper's reachability exactly.
+    """
+    nodes = [t for t in others if not transactions_conflict(t1, t)]
+    graph = nx.Graph()
+    graph.add_nodes_from(t.tid for t in nodes)
+    for i, ti in enumerate(nodes):
+        for tj in nodes[i + 1 :]:
+            if transactions_conflict(ti, tj):
+                graph.add_edge(ti.tid, tj.tid)
+    return graph
+
+
+class _ConflictIndex:
+    """Precomputed transaction-level conflict structure for a workload."""
+
+    def __init__(self, workload: Workload):
+        self.workload = workload
+        self.transactions = workload.transactions
+        self._conflicts: Dict[int, Set[int]] = {t.tid: set() for t in self.transactions}
+        txns = self.transactions
+        for i, ti in enumerate(txns):
+            for tj in txns[i + 1 :]:
+                if transactions_conflict(ti, tj):
+                    self._conflicts[ti.tid].add(tj.tid)
+                    self._conflicts[tj.tid].add(ti.tid)
+
+    def conflict_neighbours(self, tid: int) -> Set[int]:
+        """Transactions having an operation conflicting with one of ``tid``."""
+        return self._conflicts[tid]
+
+    def conflict(self, tid_i: int, tid_j: int) -> bool:
+        """Whether the two transactions have conflicting operations."""
+        return tid_j in self._conflicts[tid_i]
+
+
+class _ReachabilityOracle:
+    """Reachability through the mixed-iso-graph of a fixed ``T_1``.
+
+    Precomputes the connected components of ``mixed-iso-graph(T_1, ...)``
+    and, for every candidate ``T_2``/``T_m`` (which conflict with ``T_1``
+    and are therefore not graph nodes), the components they are attached
+    to.  ``reachable(T_2, T_m)`` then reduces to equality, a direct
+    conflict, or a shared attached component.
+    """
+
+    def __init__(self, index: _ConflictIndex, t1: Transaction):
+        self.index = index
+        self.t1 = t1
+        others = [t for t in index.transactions if t.tid != t1.tid]
+        self.graph = mixed_iso_graph(t1, others)
+        self._component_of: Dict[int, int] = {}
+        self._components: List[Set[int]] = []
+        for comp_id, nodes in enumerate(nx.connected_components(self.graph)):
+            self._components.append(set(nodes))
+            for tid in nodes:
+                self._component_of[tid] = comp_id
+
+    def attached_components(self, tid: int) -> FrozenSet[int]:
+        """Components containing a transaction conflicting with ``tid``."""
+        attached = {
+            self._component_of[other]
+            for other in self.index.conflict_neighbours(tid)
+            if other in self._component_of
+        }
+        return frozenset(attached)
+
+    def reachable(self, tid_2: int, tid_m: int) -> bool:
+        """The ``reachable(T_2, T_m, T_1)`` predicate of Algorithm 1."""
+        if tid_2 == tid_m:
+            return True
+        if self.index.conflict(tid_2, tid_m):
+            return True
+        return bool(self.attached_components(tid_2) & self.attached_components(tid_m))
+
+    def connecting_path(self, tid_2: int, tid_m: int) -> Optional[List[int]]:
+        """Intermediate transactions ``T_3 ... T_{m-1}`` linking the pair.
+
+        Returns an empty list for a direct conflict (or ``tid_2 == tid_m``)
+        and ``None`` when the pair is not reachable.
+        """
+        if tid_2 == tid_m or self.index.conflict(tid_2, tid_m):
+            return []
+        shared = self.attached_components(tid_2) & self.attached_components(tid_m)
+        if not shared:
+            return None
+        comp_id = min(shared)
+        component = self._components[comp_id]
+        starts = [
+            t for t in self.index.conflict_neighbours(tid_2) if t in component
+        ]
+        ends = {
+            t for t in self.index.conflict_neighbours(tid_m) if t in component
+        }
+        # Multi-source BFS inside the component from T_2's neighbours to
+        # any of T_m's neighbours.
+        parents: Dict[int, Optional[int]] = {s: None for s in starts}
+        frontier = list(starts)
+        goal: Optional[int] = next((s for s in starts if s in ends), None)
+        while frontier and goal is None:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbour in self.graph.neighbors(node):
+                    if neighbour in parents:
+                        continue
+                    parents[neighbour] = node
+                    if neighbour in ends:
+                        goal = neighbour
+                        break
+                    next_frontier.append(neighbour)
+                if goal is not None:
+                    break
+            frontier = next_frontier
+        if goal is None:  # pragma: no cover - shared component guarantees a path
+            return None
+        path = [goal]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+
+def _ww_conflict_free(
+    b1: Operation,
+    t1: Transaction,
+    t2: Transaction,
+    tm: Transaction,
+    level1: IsolationLevel,
+) -> bool:
+    """Conditions (2)/(3) of Definition 3.1 for a candidate split point."""
+    split_pos = t1.position(b1)
+    blocked = t2.write_set | tm.write_set
+    for c1 in t1.body:
+        if not c1.is_write:
+            continue
+        if t1.position(c1) > split_pos and level1 is IsolationLevel.RC:
+            continue
+        if c1.obj in blocked:
+            return False
+    return True
+
+
+def _triple_passes_ssi_conditions(
+    allocation: Allocation, t1: Transaction, t2: Transaction, tm: Transaction
+) -> bool:
+    """Conditions (6)-(8) of Definition 3.1 on the triple ``(T_1, T_2, T_m)``."""
+    ssi = IsolationLevel.SSI
+    level1, level2, levelm = allocation[t1.tid], allocation[t2.tid], allocation[tm.tid]
+    if level1 is ssi and level2 is ssi and levelm is ssi:
+        return False
+    if level1 is ssi and level2 is ssi and (t1.write_set & t2.read_set):
+        return False
+    if level1 is ssi and levelm is ssi and (t1.read_set & tm.write_set):
+        return False
+    return True
+
+
+def _search_operations(
+    allocation: Allocation, t1: Transaction, t2: Transaction, tm: Transaction
+) -> Optional[Tuple[Operation, Operation, Operation, Operation]]:
+    """The inner loop of Algorithm 1: find ``(b_1, a_2, b_m, a_1)`` if any."""
+    level1 = allocation[t1.tid]
+    rc_split = level1 is IsolationLevel.RC
+    for b1 in t1.body:
+        if not b1.is_read or b1.obj not in t2.write_set:
+            continue  # condition (4): b_1 rw-conflicting with some a_2
+        if not _ww_conflict_free(b1, t1, t2, tm, level1):
+            continue
+        a2 = t2.write_op(b1.obj)
+        assert a2 is not None
+        for bm, a1 in conflicting_pairs(tm, t1):
+            if rw_conflicting(bm, a1) or (rc_split and t1.before(b1, a1)):
+                return (b1, a2, bm, a1)
+    return None
+
+
+def _build_chain(
+    index: _ConflictIndex,
+    oracle: _ReachabilityOracle,
+    t1: Transaction,
+    t2: Transaction,
+    tm: Transaction,
+    ops: Tuple[Operation, Operation, Operation, Operation],
+) -> SplitScheduleSpec:
+    """Assemble the quadruple chain ``C`` for a discovered counterexample."""
+    b1, a2, bm, a1 = ops
+    workload = index.workload
+    chain: List[ConflictQuadruple] = [ConflictQuadruple(t1.tid, b1, a2, t2.tid)]
+    if t2.tid != tm.tid:
+        path = oracle.connecting_path(t2.tid, tm.tid)
+        assert path is not None
+        hops = [t2.tid, *path, tm.tid]
+        for left, right in zip(hops, hops[1:]):
+            b, a = next(conflicting_pairs(workload[left], workload[right]))
+            chain.append(ConflictQuadruple(left, b, a, right))
+    chain.append(ConflictQuadruple(tm.tid, bm, a1, t1.tid))
+    return SplitScheduleSpec(tuple(chain))
+
+
+def check_robustness(
+    workload: Workload,
+    allocation: Allocation,
+    method: str = "components",
+) -> RobustnessResult:
+    """Decide robustness of ``workload`` against ``allocation`` (Algorithm 1).
+
+    Returns a :class:`RobustnessResult`; when not robust, the result carries
+    a :class:`Counterexample` whose materialized schedule is allowed under
+    the allocation and not conflict serializable (Theorem 3.2).
+
+    Args:
+        workload: the set of transactions.
+        allocation: an isolation level for every transaction.
+        method: ``"components"`` (default, cached reachability) or
+            ``"paper"`` (verbatim Algorithm 1 loop structure).
+    """
+    if not allocation.covers(workload):
+        raise WorkloadError("allocation does not cover the workload")
+    if method not in ("components", "paper"):
+        raise ValueError(f"unknown method {method!r}")
+    index = _ConflictIndex(workload)
+    for t1 in workload:
+        candidates = _candidate_partners(index, t1, method)
+        oracle = _ReachabilityOracle(index, t1)
+        for t2 in candidates:
+            for tm in candidates:
+                if method == "paper":
+                    reachable = _paper_reachable(index, t1, t2, tm)
+                else:
+                    reachable = oracle.reachable(t2.tid, tm.tid)
+                if not reachable:
+                    continue
+                if not _triple_passes_ssi_conditions(allocation, t1, t2, tm):
+                    continue
+                ops = _search_operations(allocation, t1, t2, tm)
+                if ops is None:
+                    continue
+                spec = _build_chain(index, oracle, t1, t2, tm, ops)
+                schedule = materialize(spec, workload, allocation)
+                return RobustnessResult(False, Counterexample(spec, schedule))
+    return RobustnessResult(True)
+
+
+def _candidate_partners(
+    index: _ConflictIndex, t1: Transaction, method: str
+) -> List[Transaction]:
+    """Candidate ``T_2``/``T_m`` transactions for a given ``T_1``.
+
+    The paper iterates over all of ``T \\ {T_1}``; the optimized engine
+    restricts to transactions conflicting with ``T_1``, which is sound
+    because ``b_1``/``a_2`` and ``b_m``/``a_1`` require such conflicts.
+    """
+    if method == "paper":
+        return [t for t in index.transactions if t.tid != t1.tid]
+    return [index.workload[tid] for tid in sorted(index.conflict_neighbours(t1.tid))]
+
+
+def _paper_reachable(
+    index: _ConflictIndex, t1: Transaction, t2: Transaction, tm: Transaction
+) -> bool:
+    """The verbatim ``reachable(T_2, T_m, T_1)`` of Algorithm 1."""
+    if t2.tid == tm.tid:
+        return True
+    if index.conflict(t2.tid, tm.tid):
+        return True
+    others = [
+        t
+        for t in index.transactions
+        if t.tid not in (t1.tid, t2.tid, tm.tid)
+    ]
+    graph = mixed_iso_graph(t1, others)
+    closure: Dict[int, Set[int]] = {
+        node: nx.node_connected_component(graph, node) for node in graph.nodes
+    }
+    for t3 in graph.nodes:
+        if not index.conflict(t2.tid, t3):
+            continue
+        for tm_minus_1 in closure[t3]:
+            if index.conflict(tm_minus_1, tm.tid):
+                return True
+    return False
+
+
+def is_robust(
+    workload: Workload, allocation: Allocation, method: str = "components"
+) -> bool:
+    """Boolean shorthand for :func:`check_robustness`."""
+    return check_robustness(workload, allocation, method=method).robust
+
+
+def enumerate_counterexamples(
+    workload: Workload,
+    allocation: Allocation,
+    materialize_schedules: bool = True,
+) -> Iterable[Counterexample]:
+    """Yield one counterexample per problematic triple ``(T_1, T_2, T_m)``.
+
+    Where :func:`check_robustness` stops at the first witness, this
+    generator surveys the whole space of Algorithm 1's outer loop — one
+    witness per distinct triple — which is what blame analysis
+    (:func:`repro.analysis.blame.blame_report`) aggregates.  The number of
+    yielded counterexamples is at most ``|T|^3``.
+
+    Args:
+        workload: the set of transactions.
+        allocation: an isolation level for every transaction.
+        materialize_schedules: build (and re-verify) the concrete schedule
+            for each witness; disable for cheap surveys of large spaces.
+    """
+    if not allocation.covers(workload):
+        raise WorkloadError("allocation does not cover the workload")
+    index = _ConflictIndex(workload)
+    for t1 in workload:
+        candidates = _candidate_partners(index, t1, "components")
+        oracle = _ReachabilityOracle(index, t1)
+        for t2 in candidates:
+            for tm in candidates:
+                if not oracle.reachable(t2.tid, tm.tid):
+                    continue
+                if not _triple_passes_ssi_conditions(allocation, t1, t2, tm):
+                    continue
+                ops = _search_operations(allocation, t1, t2, tm)
+                if ops is None:
+                    continue
+                spec = _build_chain(index, oracle, t1, t2, tm, ops)
+                if materialize_schedules:
+                    schedule = materialize(spec, workload, allocation)
+                else:
+                    schedule = canonical_schedule(
+                        workload,
+                        operation_order(spec, workload),
+                        allocation,
+                    )
+                yield Counterexample(spec, schedule)

@@ -1,0 +1,452 @@
+"""Multiversion schedules (Section 2.1 of the paper).
+
+A (multiversion) schedule over a set of transactions ``T`` is a tuple
+``(O_s, <=_s, <<_s, v_s)``:
+
+* ``O_s`` — all operations of ``T`` plus the special ``op_0`` writing the
+  initial versions of all objects;
+* ``<=_s`` — the order of the operations;
+* ``<<_s`` — a *version order*: per object, a total order over all write
+  operations on it (``op_0`` first);
+* ``v_s`` — a *version function* mapping each read to the write whose
+  version it observes (``op_0`` for the initial version).
+
+The version order need not coincide with the operation order: under RC and
+SI versions are installed in *commit* order.  :func:`commit_order_version_order`
+and :func:`canonical_schedule` construct exactly those components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .isolation import Allocation, IsolationLevel
+from .operations import OP0, Operation
+from .workload import Workload, WorkloadError
+
+
+class ScheduleError(ValueError):
+    """Raised when the components of a schedule are inconsistent."""
+
+
+class MVSchedule:
+    """An immutable multiversion schedule.
+
+    Args:
+        workload: the set of transactions the schedule is over.
+        order: every operation of every transaction, exactly once, in
+            schedule order (``op_0`` is implicit and precedes everything).
+        version_order: per object, the writes on it in installation order
+            (``op_0`` implicit first).  Objects written by no transaction
+            may be omitted.
+        version_function: for every read operation, the write operation
+            (or ``OP0``) whose version it observes.
+
+    Raises:
+        ScheduleError: if the components violate the requirements of
+            Section 2.1 (missing operations, program order broken, a read
+            observing a later or foreign version, ...).
+    """
+
+    __slots__ = (
+        "_workload",
+        "_order",
+        "_positions",
+        "_version_order",
+        "_version_rank",
+        "_version_function",
+        "_commit_pos",
+    )
+
+    def __init__(
+        self,
+        workload: Workload,
+        order: Sequence[Operation],
+        version_order: Mapping[str, Sequence[Operation]],
+        version_function: Mapping[Operation, Operation],
+    ):
+        self._workload = workload
+        self._order: Tuple[Operation, ...] = tuple(order)
+        self._positions: Dict[Operation, int] = {}
+        for pos, op in enumerate(self._order):
+            if op in self._positions:
+                raise ScheduleError(f"operation {op} occurs twice in the order")
+            self._positions[op] = pos
+        self._validate_order()
+
+        self._version_order: Dict[str, Tuple[Operation, ...]] = {
+            obj: tuple(writes) for obj, writes in version_order.items()
+        }
+        self._version_rank: Dict[Operation, int] = {}
+        self._validate_version_order()
+
+        self._version_function: Dict[Operation, Operation] = dict(version_function)
+        self._validate_version_function()
+
+        self._commit_pos: Dict[int, int] = {
+            txn.tid: self._positions[txn.commit_op] for txn in workload
+        }
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate_order(self) -> None:
+        expected = set(self._workload.operations())
+        actual = set(self._order)
+        if expected != actual:
+            missing = expected - actual
+            extra = actual - expected
+            parts = []
+            if missing:
+                parts.append(f"missing {sorted(map(str, missing))}")
+            if extra:
+                parts.append(f"foreign {sorted(map(str, extra))}")
+            raise ScheduleError("schedule order is not over the workload: " + "; ".join(parts))
+        for txn in self._workload:
+            last = -1
+            for op in txn:
+                pos = self._positions[op]
+                if pos < last:
+                    raise ScheduleError(
+                        f"schedule order violates program order of transaction {txn.tid}"
+                    )
+                last = pos
+
+    def _validate_version_order(self) -> None:
+        written: Dict[str, List[Operation]] = {}
+        for txn in self._workload:
+            for op in txn.body:
+                if op.is_write:
+                    written.setdefault(op.obj, []).append(op)
+        for obj, writes in written.items():
+            declared = self._version_order.get(obj)
+            if declared is None:
+                raise ScheduleError(f"no version order declared for object {obj!r}")
+            if sorted(map(str, declared)) != sorted(map(str, writes)):
+                raise ScheduleError(
+                    f"version order for {obj!r} is not a permutation of its writes"
+                )
+        for obj, declared in self._version_order.items():
+            if obj not in written and declared:
+                raise ScheduleError(f"version order for unwritten object {obj!r}")
+            for rank, op in enumerate(declared):
+                if not op.is_write or op.obj != obj:
+                    raise ScheduleError(f"{op} cannot install a version of {obj!r}")
+                self._version_rank[op] = rank
+
+    def _validate_version_function(self) -> None:
+        for txn in self._workload:
+            for op in txn.body:
+                if not op.is_read:
+                    continue
+                observed = self._version_function.get(op)
+                if observed is None:
+                    raise ScheduleError(f"version function undefined for {op}")
+                if observed.is_initial:
+                    continue
+                if not observed.is_write or observed.obj != op.obj:
+                    raise ScheduleError(f"{op} cannot observe the version of {observed}")
+                if not self.before(observed, op):
+                    raise ScheduleError(
+                        f"{op} observes {observed}, which does not precede it"
+                    )
+        for op in self._version_function:
+            if not op.is_read:
+                raise ScheduleError(f"version function defined on non-read {op}")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def workload(self) -> Workload:
+        """The set of transactions the schedule is over."""
+        return self._workload
+
+    @property
+    def order(self) -> Tuple[Operation, ...]:
+        """The operations in schedule order (``op_0`` excluded)."""
+        return self._order
+
+    @property
+    def version_order(self) -> Mapping[str, Tuple[Operation, ...]]:
+        """Per object, the writes in installation order (``op_0`` implicit first)."""
+        return self._version_order
+
+    @property
+    def version_function(self) -> Mapping[Operation, Operation]:
+        """The version observed by each read operation."""
+        return self._version_function
+
+    def position(self, op: Operation) -> int:
+        """The position of ``op`` under ``<=_s`` (``op_0`` is position ``-1``)."""
+        if op.is_initial:
+            return -1
+        try:
+            return self._positions[op]
+        except KeyError:
+            raise ScheduleError(f"operation {op} does not occur in this schedule") from None
+
+    def before(self, a: Operation, b: Operation) -> bool:
+        """``a <_s b``: whether ``a`` strictly precedes ``b``."""
+        return self.position(a) < self.position(b)
+
+    def commit_position(self, tid: int) -> int:
+        """The position of ``C_i`` for transaction ``tid``."""
+        try:
+            return self._commit_pos[tid]
+        except KeyError:
+            raise WorkloadError(f"no transaction with id {tid}") from None
+
+    def version_of(self, read_op: Operation) -> Operation:
+        """``v_s(read_op)``: the write (or ``OP0``) observed by the read."""
+        try:
+            return self._version_function[read_op]
+        except KeyError:
+            raise ScheduleError(f"{read_op} is not a read of this schedule") from None
+
+    # ------------------------------------------------------------------
+    # Version-order and concurrency predicates
+    # ------------------------------------------------------------------
+    def installs_before(self, a: Operation, b: Operation) -> bool:
+        """``a <<_s b``: the version of ``a`` is installed before that of ``b``.
+
+        Defined for write operations on the same object and for ``op_0``,
+        which precedes every write and follows nothing.
+        """
+        if b.is_initial:
+            return False
+        if not b.is_write:
+            raise ScheduleError(f"{b} does not install a version")
+        if a.is_initial:
+            return True
+        if not a.is_write or a.obj != b.obj:
+            raise ScheduleError(f"{a} and {b} are not writes on the same object")
+        if a == b:
+            return False
+        return self._version_rank[a] < self._version_rank[b]
+
+    def concurrent(self, tid_i: int, tid_j: int) -> bool:
+        """Whether two (distinct) transactions overlap in the schedule.
+
+        Per Section 2.3: ``first(T_i) <_s C_j`` and ``first(T_j) <_s C_i``.
+        """
+        if tid_i == tid_j:
+            return False
+        first_i = self.position(self._workload[tid_i].first)
+        first_j = self.position(self._workload[tid_j].first)
+        return first_i < self.commit_position(tid_j) and first_j < self.commit_position(tid_i)
+
+    # ------------------------------------------------------------------
+    # Single-version properties (Section 2.1)
+    # ------------------------------------------------------------------
+    def is_single_version(self) -> bool:
+        """Whether the schedule is a single version schedule.
+
+        ``<<_s`` must be compatible with ``<_s`` and every read must observe
+        the last version written before it.
+        """
+        for writes in self._version_order.values():
+            positions = [self.position(w) for w in writes]
+            if positions != sorted(positions):
+                return False
+        for txn in self._workload:
+            for op in txn.body:
+                if not op.is_read:
+                    continue
+                observed = self._version_function[op]
+                observed_pos = self.position(observed)
+                for other in self._version_order.get(op.obj, ()):
+                    if observed_pos < self.position(other) < self.position(op):
+                        return False
+        return True
+
+    def is_serial(self) -> bool:
+        """Whether transactions are not interleaved in the operation order."""
+        seen_complete: set = set()
+        current: Optional[int] = None
+        for op in self._order:
+            tid = op.transaction_id
+            if tid in seen_complete:
+                return False
+            if tid != current:
+                if current is not None:
+                    seen_complete.add(current)
+                current = tid
+        return True
+
+    def is_single_version_serial(self) -> bool:
+        """Whether the schedule is single version serial (Definition 2.1 target)."""
+        return self.is_single_version() and self.is_serial()
+
+    def serial_transaction_order(self) -> Tuple[int, ...]:
+        """The order of transactions in a serial schedule.
+
+        Raises:
+            ScheduleError: if the schedule is not serial.
+        """
+        if not self.is_serial():
+            raise ScheduleError("schedule is not serial")
+        seen: List[int] = []
+        for op in self._order:
+            if not seen or seen[-1] != op.transaction_id:
+                seen.append(op.transaction_id)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        return " ".join(str(op) for op in self._order)
+
+    def __repr__(self) -> str:
+        return f"MVSchedule({self})"
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def commit_order_version_order(
+    workload: Workload, order: Sequence[Operation]
+) -> Dict[str, Tuple[Operation, ...]]:
+    """The version order induced by the commit order of the writers.
+
+    This is the version order mandated by "writes respect the commit order"
+    (Section 2.3), shared by RC, SI and SSI.
+    """
+    commit_pos: Dict[int, int] = {}
+    for pos, op in enumerate(order):
+        if op.is_commit:
+            commit_pos[op.transaction_id] = pos
+    per_object: Dict[str, List[Operation]] = {}
+    for txn in workload:
+        for op in txn.body:
+            if op.is_write:
+                per_object.setdefault(op.obj, []).append(op)
+    return {
+        obj: tuple(sorted(writes, key=lambda w: commit_pos[w.transaction_id]))
+        for obj, writes in per_object.items()
+    }
+
+
+def last_committed_version(
+    workload: Workload,
+    order: Sequence[Operation],
+    positions: Mapping[Operation, int],
+    version_order: Mapping[str, Sequence[Operation]],
+    obj: str,
+    anchor: Operation,
+) -> Operation:
+    """The most recently committed version of ``obj`` strictly before ``anchor``.
+
+    "Committed before" means the writer's commit precedes ``anchor`` in the
+    operation order; "most recent" is taken under the version order.
+    Returns ``OP0`` when no version of ``obj`` is committed before ``anchor``.
+    """
+    anchor_pos = positions[anchor]
+    commit_pos = {
+        txn.tid: positions[txn.commit_op] for txn in workload
+    }
+    best = OP0
+    for write_op in version_order.get(obj, ()):
+        if commit_pos[write_op.transaction_id] < anchor_pos:
+            best = write_op  # version_order is ascending, keep the last match
+    return best
+
+
+def canonical_schedule(
+    workload: Workload,
+    order: Sequence[Operation],
+    allocation: Allocation,
+) -> MVSchedule:
+    """The unique candidate schedule for an operation order under an allocation.
+
+    For allocations over {RC, SI, SSI} every write respects the commit order
+    and every read is read-last-committed (relative to itself for RC, to
+    ``first(T)`` for SI/SSI).  Both requirements pin down the version order
+    and the version function, so each operation order admits at most one
+    schedule allowed under the allocation — this one.  Whether it actually
+    *is* allowed must still be checked (see :mod:`repro.core.allowed`).
+    """
+    order = tuple(order)
+    positions = {op: pos for pos, op in enumerate(order)}
+    version_order = commit_order_version_order(workload, order)
+    version_function: Dict[Operation, Operation] = {}
+    for txn in workload:
+        level = allocation[txn.tid]
+        for op in txn.body:
+            if not op.is_read:
+                continue
+            anchor = op if level is IsolationLevel.RC else txn.first
+            version_function[op] = last_committed_version(
+                workload, order, positions, version_order, op.obj, anchor
+            )
+    return MVSchedule(workload, order, version_order, version_function)
+
+
+def serial_schedule(workload: Workload, tid_order: Iterable[int]) -> MVSchedule:
+    """The single version serial schedule executing transactions in ``tid_order``."""
+    tids = list(tid_order)
+    if sorted(tids) != sorted(workload.tids):
+        raise ScheduleError("tid_order must be a permutation of the workload's ids")
+    order: List[Operation] = []
+    for tid in tids:
+        order.extend(workload[tid].operations)
+    positions = {op: pos for pos, op in enumerate(order)}
+    version_order: Dict[str, List[Operation]] = {}
+    last_write: Dict[str, Operation] = {}
+    version_function: Dict[Operation, Operation] = {}
+    for op in order:
+        if op.is_write:
+            version_order.setdefault(op.obj, []).append(op)
+            last_write[op.obj] = op
+        elif op.is_read:
+            version_function[op] = last_write.get(op.obj, OP0)
+    return MVSchedule(
+        workload,
+        order,
+        {obj: tuple(ws) for obj, ws in version_order.items()},
+        version_function,
+    )
+
+
+def schedule_from_text(
+    workload: Workload,
+    order_text: str,
+    allocation: Optional[Allocation] = None,
+    version_function: Optional[Mapping[Operation, Operation]] = None,
+    version_order: Optional[Mapping[str, Sequence[Operation]]] = None,
+) -> MVSchedule:
+    """Build a schedule from an interleaved operation string.
+
+    With only ``allocation`` given, the canonical version order and version
+    function are derived (see :func:`canonical_schedule`).  Explicit
+    ``version_function`` / ``version_order`` arguments override the
+    canonical components — useful for writing down the paper's figures,
+    which fix these components by hand.
+    """
+    from .transactions import parse_schedule_operations
+
+    order = parse_schedule_operations(order_text)
+    if version_function is None and version_order is None:
+        if allocation is None:
+            raise ScheduleError(
+                "need an allocation (or explicit components) to build a schedule"
+            )
+        return canonical_schedule(workload, order, allocation)
+    derived_vo = commit_order_version_order(workload, order)
+    vo = dict(derived_vo)
+    if version_order is not None:
+        vo.update({obj: tuple(ws) for obj, ws in version_order.items()})
+    if version_function is None:
+        if allocation is None:
+            raise ScheduleError("explicit version order requires a version function")
+        positions = {op: pos for pos, op in enumerate(order)}
+        vf: Dict[Operation, Operation] = {}
+        for txn in workload:
+            level = allocation[txn.tid]
+            for op in txn.body:
+                if op.is_read:
+                    anchor = op if level is IsolationLevel.RC else txn.first
+                    vf[op] = last_committed_version(
+                        workload, order, positions, vo, op.obj, anchor
+                    )
+    else:
+        vf = dict(version_function)
+    return MVSchedule(workload, order, vo, vf)

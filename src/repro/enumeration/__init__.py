@@ -1,0 +1,40 @@
+"""Exhaustive robustness checking by schedule enumeration.
+
+The baseline Algorithm 1 is validated against and benchmarked against:
+enumerate every interleaving of the workload's operations, build the
+unique candidate schedule for the allocation, and test Definition 2.4 and
+conflict serializability directly.
+"""
+
+from .brute_force import (
+    BruteForceResult,
+    brute_force_check,
+    count_interleavings,
+    find_counterexample_schedule,
+)
+from .exhaustive import (
+    enumerate_schedules,
+    exhaustive_check,
+    schedule_space_size,
+)
+from .interleavings import interleavings, interleaving_count
+from .sampling import (
+    AnomalyEstimate,
+    estimate_anomaly_rate,
+    sample_interleaving,
+)
+
+__all__ = [
+    "AnomalyEstimate",
+    "BruteForceResult",
+    "brute_force_check",
+    "count_interleavings",
+    "enumerate_schedules",
+    "estimate_anomaly_rate",
+    "exhaustive_check",
+    "find_counterexample_schedule",
+    "interleavings",
+    "interleaving_count",
+    "sample_interleaving",
+    "schedule_space_size",
+]

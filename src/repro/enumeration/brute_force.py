@@ -1,0 +1,105 @@
+"""Brute-force robustness checking (the exhaustive baseline).
+
+Robustness quantifies over all schedules allowed under an allocation — an
+a-priori enormous space: operation order × version order × version
+function.  Over {RC, SI, SSI} the space collapses to operation orders
+only:
+
+* every level requires writes to *respect the commit order*, forcing the
+  version order of each object to be the commit order of its writers;
+* every level requires reads to be *read-last-committed* (relative to the
+  read itself for RC, to ``first(T)`` for SI/SSI), forcing the version
+  function.
+
+So for each interleaving there is exactly one candidate schedule
+(:func:`repro.core.schedules.canonical_schedule`); the interleaving
+contributes an allowed schedule iff the candidate passes Definition 2.4.
+The checker walks all interleavings, which is exact but exponential — the
+baseline that Algorithm 1 is validated against (they must agree) and
+benchmarked against (crossover study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.allowed import is_allowed
+from ..core.isolation import Allocation
+from ..core.schedules import MVSchedule, canonical_schedule
+from ..core.serialization import is_conflict_serializable
+from ..core.workload import Workload, WorkloadError
+from .interleavings import interleaving_count, interleavings
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """The outcome of an exhaustive robustness check.
+
+    Attributes:
+        robust: whether every allowed schedule is conflict serializable.
+        counterexample: an allowed, non-serializable schedule (when found).
+        schedules_checked: interleavings examined before the verdict.
+        schedules_allowed: how many of those passed Definition 2.4.
+    """
+
+    robust: bool
+    counterexample: Optional[MVSchedule]
+    schedules_checked: int
+    schedules_allowed: int
+
+    def __bool__(self) -> bool:
+        return self.robust
+
+
+def count_interleavings(workload: Workload) -> int:
+    """The size of the interleaving space (see :func:`interleaving_count`)."""
+    return interleaving_count(workload)
+
+
+def brute_force_check(
+    workload: Workload,
+    allocation: Allocation,
+    max_interleavings: Optional[int] = None,
+) -> BruteForceResult:
+    """Exhaustively decide robustness of ``workload`` against ``allocation``.
+
+    Args:
+        workload: the set of transactions.
+        allocation: an isolation level for each transaction.
+        max_interleavings: optional safety bound; exceeding it raises
+            ``ValueError`` instead of running for hours.
+
+    Returns:
+        A :class:`BruteForceResult`; on non-robustness the counterexample
+        is the first allowed, non-serializable schedule in enumeration
+        order.
+    """
+    if not allocation.covers(workload):
+        raise WorkloadError("allocation does not cover the workload")
+    if max_interleavings is not None:
+        space = interleaving_count(workload)
+        if space > max_interleavings:
+            raise ValueError(
+                f"interleaving space {space} exceeds the bound {max_interleavings}"
+            )
+    checked = 0
+    allowed_count = 0
+    for order in interleavings(workload):
+        checked += 1
+        schedule = canonical_schedule(workload, order, allocation)
+        if not is_allowed(schedule, allocation):
+            continue
+        allowed_count += 1
+        if not is_conflict_serializable(schedule):
+            return BruteForceResult(False, schedule, checked, allowed_count)
+    return BruteForceResult(True, None, checked, allowed_count)
+
+
+def find_counterexample_schedule(
+    workload: Workload,
+    allocation: Allocation,
+    max_interleavings: Optional[int] = None,
+) -> Optional[MVSchedule]:
+    """The first allowed, non-serializable schedule, or ``None`` if robust."""
+    return brute_force_check(workload, allocation, max_interleavings).counterexample

@@ -1,0 +1,130 @@
+"""Fully exhaustive schedule enumeration (version choices included).
+
+The brute-force robustness checker exploits *forcedness*: over
+{RC, SI, SSI} allocations the version order and version function are
+pinned by Definition 2.3, so enumerating operation orders suffices.  This
+module is the ablation that validates the reduction: it enumerates the
+complete schedule space — operation order × per-object version order ×
+version function — with no shortcut.  It explodes even faster than the
+interleaving space (use only on tiny inputs), and the test suite asserts
+that both enumerations agree:
+
+* an allowed schedule exists here iff the canonical schedule of its
+  operation order is allowed;
+* the fully exhaustive robustness verdict equals the operation-order
+  verdict (and hence Algorithm 1's).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.allowed import is_allowed
+from ..core.isolation import Allocation
+from ..core.operations import OP0, Operation
+from ..core.schedules import MVSchedule
+from ..core.serialization import is_conflict_serializable
+from ..core.workload import Workload, WorkloadError
+from .brute_force import BruteForceResult
+from .interleavings import interleaving_count, interleavings
+
+
+def schedule_space_size(workload: Workload) -> int:
+    """The exact number of full schedules (orders × versions × functions).
+
+    An upper bound is computed without enumerating: per object with ``w``
+    writes there are ``w!`` version orders; each read may observe ``OP0``
+    or any earlier write — position-dependent, so the true count varies
+    per operation order.  This function returns the **upper bound**
+    ``interleavings * prod(w_obj!) * prod(w_obj + 1 per read)`` used for
+    guard rails.
+    """
+    import math
+
+    total = interleaving_count(workload)
+    writes_per_object: Dict[str, int] = {}
+    reads = 0
+    for txn in workload:
+        for op in txn.body:
+            if op.is_write:
+                writes_per_object[op.obj] = writes_per_object.get(op.obj, 0) + 1
+            else:
+                reads += 1
+    for count in writes_per_object.values():
+        total *= math.factorial(count)
+    for txn in workload:
+        for op in txn.body:
+            if op.is_read:
+                total *= writes_per_object.get(op.obj, 0) + 1
+    return total
+
+
+def enumerate_schedules(workload: Workload) -> Iterator[MVSchedule]:
+    """Yield every structurally valid schedule of the workload.
+
+    Every operation order, every per-object permutation of writes as the
+    version order, and every version function mapping each read to ``OP0``
+    or a preceding write on its object.
+    """
+    per_object: Dict[str, List[Operation]] = {}
+    read_ops: List[Operation] = []
+    for txn in workload:
+        for op in txn.body:
+            if op.is_write:
+                per_object.setdefault(op.obj, []).append(op)
+            else:
+                read_ops.append(op)
+    objects = sorted(per_object)
+    for order in interleavings(workload):
+        positions = {op: index for index, op in enumerate(order)}
+        version_orders = itertools.product(
+            *(itertools.permutations(per_object[obj]) for obj in objects)
+        )
+        for vo_choice in version_orders:
+            version_order = dict(zip(objects, vo_choice))
+            candidate_lists = []
+            for op in read_ops:
+                candidates: List[Operation] = [OP0]
+                candidates.extend(
+                    w
+                    for w in per_object.get(op.obj, ())
+                    if positions[w] < positions[op]
+                )
+                candidate_lists.append(candidates)
+            for vf_choice in itertools.product(*candidate_lists):
+                version_function = dict(zip(read_ops, vf_choice))
+                yield MVSchedule(workload, order, version_order, version_function)
+
+
+def exhaustive_check(
+    workload: Workload,
+    allocation: Allocation,
+    max_schedules: Optional[int] = 200_000,
+) -> BruteForceResult:
+    """Robustness by enumerating the *complete* schedule space.
+
+    Semantically identical to
+    :func:`repro.enumeration.brute_force.brute_force_check` (the test
+    suite asserts it); exponentially slower — exists to validate the
+    forcedness reduction and as the deepest baseline in the ablation
+    benchmarks.
+    """
+    if not allocation.covers(workload):
+        raise WorkloadError("allocation does not cover the workload")
+    if max_schedules is not None:
+        bound = schedule_space_size(workload)
+        if bound > max_schedules:
+            raise ValueError(
+                f"schedule space bound {bound} exceeds the limit {max_schedules}"
+            )
+    checked = 0
+    allowed_count = 0
+    for schedule in enumerate_schedules(workload):
+        checked += 1
+        if not is_allowed(schedule, allocation):
+            continue
+        allowed_count += 1
+        if not is_conflict_serializable(schedule):
+            return BruteForceResult(False, schedule, checked, allowed_count)
+    return BruteForceResult(True, None, checked, allowed_count)

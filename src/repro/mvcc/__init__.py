@@ -1,0 +1,48 @@
+"""A from-scratch multiversion concurrency-control engine simulator.
+
+The paper's Definitions 2.3/2.4 abstract the behaviour of Postgres-style
+multiversion engines.  This subpackage implements that behaviour
+operationally — version chains, statement vs transaction snapshots,
+first-committer-wins aborts, SSI dangerous-structure aborts — so that the
+theory can be validated against executions and the throughput motivation
+(footnote 1: RC outperforms SI under contention) can be measured.
+
+Every execution trace converts back into a formal
+:class:`~repro.core.schedules.MVSchedule` (see :mod:`repro.mvcc.trace`),
+and the test suite asserts that each trace is allowed under its
+allocation per Definition 2.4 — the engine and the formal semantics are
+kept honest against each other.
+"""
+
+from .engine import MVCCEngine, TransactionAborted, TransactionBlocked
+from .procedures import (
+    ProcedureCall,
+    ProcedureRun,
+    ProcedureScheduler,
+    Read,
+    Write,
+    run_procedures,
+)
+from .scheduler import ExecutionStats, InterleavingScheduler, run_workload
+from .storage import Version, VersionedStore
+from .trace import Trace, TraceEvent, trace_to_schedule
+
+__all__ = [
+    "ExecutionStats",
+    "InterleavingScheduler",
+    "MVCCEngine",
+    "ProcedureCall",
+    "ProcedureRun",
+    "ProcedureScheduler",
+    "Read",
+    "Trace",
+    "TraceEvent",
+    "TransactionAborted",
+    "TransactionBlocked",
+    "Version",
+    "VersionedStore",
+    "Write",
+    "run_procedures",
+    "run_workload",
+    "trace_to_schedule",
+]

@@ -1,0 +1,272 @@
+"""Interleaved execution of workloads on the MVCC engine.
+
+The scheduler plays the role of the client fleet plus the operating
+system: each transaction runs in its own session, and at every tick one
+runnable session executes its next operation.  Blocking (write intents),
+first-committer-wins aborts, SSI aborts, deadlock detection and retries
+are all handled here, producing a :class:`~repro.mvcc.trace.Trace` and
+throughput statistics.
+
+The tick order is driven by a seeded RNG (or round-robin), so executions
+are reproducible; sweeping seeds explores the interleaving space the
+formal schedules quantify over.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.isolation import Allocation
+from ..core.transactions import Transaction
+from ..core.workload import Workload
+from .engine import MVCCEngine, TransactionAborted, TransactionBlocked
+from .trace import Trace, TraceEvent
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate statistics of one workload execution.
+
+    Attributes:
+        commits: transactions committed.
+        aborts: abort counts by reason.
+        blocked_ticks: ticks spent waiting on write intents.
+        ticks: total scheduling ticks consumed.
+        retries: transaction attempts beyond the first.
+    """
+
+    commits: int = 0
+    aborts: Dict[str, int] = field(default_factory=dict)
+    blocked_ticks: int = 0
+    ticks: int = 0
+    retries: int = 0
+
+    @property
+    def total_aborts(self) -> int:
+        """Aborts across all reasons."""
+        return sum(self.aborts.values())
+
+    @property
+    def commits_per_tick(self) -> float:
+        """Throughput proxy: committed transactions per scheduling tick."""
+        return self.commits / self.ticks if self.ticks else 0.0
+
+    def record_abort(self, reason: str) -> None:
+        self.aborts[reason] = self.aborts.get(reason, 0) + 1
+
+
+@dataclass
+class _Session:
+    """One client session executing a queue of transactions."""
+
+    session_id: int
+    queue: List[Transaction]
+    current: Optional[Transaction] = None
+    attempt: int = 0
+    op_index: int = 0
+    waiting_for: Optional[int] = None
+    begun: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.current is None and not self.queue
+
+    def next_transaction(self) -> None:
+        self.current = self.queue.pop(0) if self.queue else None
+        self.attempt = 0
+        self.op_index = 0
+        self.begun = False
+
+    def restart(self) -> None:
+        self.attempt += 1
+        self.op_index = 0
+        self.begun = False
+
+
+class InterleavingScheduler:
+    """Executes a workload as concurrently interleaved sessions.
+
+    Args:
+        workload: the transactions to run.
+        allocation: the isolation level of each transaction.
+        sessions: number of concurrent sessions; transactions are dealt to
+            sessions round-robin.  Defaults to one session per transaction
+            (maximum concurrency).
+        seed: RNG seed for the tick order; ``None`` means strict
+            round-robin.
+        max_attempts: per-transaction retry budget before giving up
+            (a give-up raises ``RuntimeError`` — it indicates livelock and
+            should not happen with sane workloads).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        allocation: Allocation,
+        sessions: Optional[int] = None,
+        seed: Optional[int] = 0,
+        max_attempts: int = 50,
+    ):
+        self.workload = workload
+        self.allocation = allocation
+        count = sessions if sessions is not None else max(1, len(workload))
+        self._sessions = [_Session(i, []) for i in range(count)]
+        for index, txn in enumerate(workload):
+            self._sessions[index % count].queue.append(txn)
+        for session in self._sessions:
+            session.next_transaction()
+        self._rng = random.Random(seed) if seed is not None else None
+        self._rr_next = 0
+        self.max_attempts = max_attempts
+        self.engine = MVCCEngine()
+        self.trace = Trace()
+        self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        """Run the workload to completion and return the execution trace."""
+        while not all(session.done for session in self._sessions):
+            session = self._pick_session()
+            if session is None:
+                self._break_deadlock()
+                continue
+            self._step(session)
+        return self.trace
+
+    # ------------------------------------------------------------------
+    def _runnable(self) -> List[_Session]:
+        runnable = []
+        for session in self._sessions:
+            if session.done:
+                continue
+            if session.waiting_for is not None:
+                if session.waiting_for in self.engine.active_tids:
+                    continue  # still blocked
+                session.waiting_for = None
+            runnable.append(session)
+        return runnable
+
+    def _pick_session(self) -> Optional[_Session]:
+        runnable = self._runnable()
+        if not runnable:
+            return None
+        if self._rng is not None:
+            return self._rng.choice(runnable)
+        session = runnable[self._rr_next % len(runnable)]
+        self._rr_next += 1
+        return session
+
+    def _attempt_tid(self, session: _Session) -> int:
+        """Engine-level id for the current attempt of the session's transaction."""
+        assert session.current is not None
+        return session.current.tid * 1000 + session.attempt
+
+    def _step(self, session: _Session) -> None:
+        txn = session.current
+        assert txn is not None
+        self.stats.ticks += 1
+        engine_tid = self._attempt_tid(session)
+        level = self.allocation[txn.tid]
+        if not session.begun:
+            self.engine.begin(engine_tid, level)
+            session.begun = True
+            self.trace.append(
+                TraceEvent("begin", txn.tid, session.attempt, None, None)
+            )
+        op = txn.operations[session.op_index]
+        try:
+            if op.is_read:
+                version = self.engine.read(engine_tid, op.obj)
+                observed = version.writer_tid // 1000 if version.writer_tid else 0
+                self.trace.append(
+                    TraceEvent("read", txn.tid, session.attempt, op.obj, observed)
+                )
+            elif op.is_write:
+                self.engine.write(engine_tid, op.obj, value=(txn.tid, session.attempt))
+                self.trace.append(
+                    TraceEvent("write", txn.tid, session.attempt, op.obj, None)
+                )
+            else:
+                self.engine.commit(engine_tid)
+                self.trace.append(
+                    TraceEvent("commit", txn.tid, session.attempt, None, None)
+                )
+                self.stats.commits += 1
+                session.next_transaction()
+                return
+        except TransactionBlocked as blocked:
+            self.stats.blocked_ticks += 1
+            session.waiting_for = blocked.waiting_for
+            return  # retry the same operation once unblocked
+        except TransactionAborted as aborted:
+            self.trace.append(
+                TraceEvent("abort", txn.tid, session.attempt, None, None)
+            )
+            self.stats.record_abort(aborted.reason)
+            self._retry(session)
+            return
+        session.op_index += 1
+
+    def _retry(self, session: _Session) -> None:
+        self.stats.retries += 1
+        if session.attempt + 1 >= self.max_attempts:
+            raise RuntimeError(
+                f"transaction {session.current.tid} exceeded"  # type: ignore[union-attr]
+                f" {self.max_attempts} attempts (livelock?)"
+            )
+        session.restart()
+
+    def _break_deadlock(self) -> None:
+        """Abort one session of the wait-for cycle.
+
+        When no session is runnable, every live session waits on a write
+        intent held by another live (hence also waiting) session, so the
+        wait-for graph contains a cycle.  The victim is the cycle member
+        with the fewest attempts so far (fairness: repeat offenders are
+        spared, spreading aborts instead of starving one transaction).
+        """
+        waiting = [s for s in self._sessions if not s.done and s.waiting_for is not None]
+        if not waiting:
+            raise RuntimeError("scheduler stalled without waiting sessions")
+        owner = {
+            self._attempt_tid(s): s for s in self._sessions if not s.done and s.current
+        }
+        # Follow waiting_for pointers until a session repeats: that suffix
+        # is the cycle.
+        seen: List[_Session] = []
+        node: Optional[_Session] = waiting[0]
+        while node is not None and node not in seen:
+            seen.append(node)
+            node = owner.get(node.waiting_for) if node.waiting_for else None
+        cycle = seen[seen.index(node):] if node in seen else waiting  # type: ignore[arg-type]
+        victim = min(cycle, key=lambda s: (s.attempt, s.session_id))
+        blocker = victim.waiting_for
+        engine_tid = self._attempt_tid(victim)
+        if engine_tid in self.engine.active_tids:
+            self.engine.abort(engine_tid)
+        self.trace.append(
+            TraceEvent("abort", victim.current.tid, victim.attempt, None, None)  # type: ignore[union-attr]
+        )
+        self.stats.record_abort("deadlock")
+        self._retry(victim)
+        # Keep the victim parked until its blocker finishes, otherwise it
+        # re-acquires its first intent immediately and the same cycle
+        # re-forms (livelock).
+        victim.waiting_for = blocker
+
+
+def run_workload(
+    workload: Workload,
+    allocation: Allocation,
+    sessions: Optional[int] = None,
+    seed: Optional[int] = 0,
+    max_attempts: int = 50,
+) -> Tuple[Trace, ExecutionStats]:
+    """Convenience wrapper: execute a workload and return trace and stats."""
+    scheduler = InterleavingScheduler(
+        workload, allocation, sessions=sessions, seed=seed, max_attempts=max_attempts
+    )
+    trace = scheduler.run()
+    return trace, scheduler.stats

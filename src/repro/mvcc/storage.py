@@ -1,0 +1,83 @@
+"""Version-chain storage for the MVCC engine.
+
+Each object carries a chain of committed versions ordered by commit
+sequence number; sequence ``0`` is the initial version written by the
+conceptual ``op_0``.  Uncommitted writes live in per-transaction write
+buffers (see :mod:`repro.mvcc.engine`), never in the store — the store
+only ever serves committed data, mirroring the paper's assumption that
+only committed versions are readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed version of an object.
+
+    Attributes:
+        writer_tid: transaction that wrote it (``0`` for the initial version).
+        commit_seq: commit sequence number at which it was installed
+            (``0`` for the initial version).
+        value: the stored value (opaque to the engine).
+    """
+
+    writer_tid: int
+    commit_seq: int
+    value: object = None
+
+    @property
+    def is_initial(self) -> bool:
+        """Whether this is the initial (``op_0``) version."""
+        return self.commit_seq == 0
+
+
+class VersionedStore:
+    """Committed version chains for all objects, in commit order."""
+
+    def __init__(self) -> None:
+        self._chains: Dict[str, List[Version]] = {}
+
+    def chain(self, obj: str) -> List[Version]:
+        """The committed versions of ``obj``, oldest first (initial included)."""
+        return [Version(0, 0)] + self._chains.get(obj, [])
+
+    def install(self, obj: str, writer_tid: int, commit_seq: int, value: object) -> None:
+        """Install a committed version of ``obj``.
+
+        Versions must be installed in increasing commit order (the engine
+        assigns monotone commit sequence numbers).
+        """
+        chain = self._chains.setdefault(obj, [])
+        if chain and chain[-1].commit_seq >= commit_seq:
+            raise ValueError(
+                f"version of {obj!r} installed out of commit order "
+                f"({commit_seq} after {chain[-1].commit_seq})"
+            )
+        chain.append(Version(writer_tid, commit_seq, value))
+
+    def latest_committed(self, obj: str, as_of_seq: Optional[int] = None) -> Version:
+        """The most recent version of ``obj`` visible at ``as_of_seq``.
+
+        ``as_of_seq=None`` means "now" (the newest committed version);
+        otherwise versions with ``commit_seq > as_of_seq`` are invisible.
+        Falls back to the initial version when nothing qualifies.
+        """
+        best = Version(0, 0)
+        for version in self._chains.get(obj, ()):
+            if as_of_seq is not None and version.commit_seq > as_of_seq:
+                break
+            best = version
+        return best
+
+    def has_newer_than(self, obj: str, seq: int) -> bool:
+        """Whether a version of ``obj`` committed after sequence ``seq``."""
+        chain = self._chains.get(obj)
+        return bool(chain) and chain[-1].commit_seq > seq
+
+    def objects(self) -> List[str]:
+        """All objects with at least one non-initial committed version."""
+        return sorted(self._chains)

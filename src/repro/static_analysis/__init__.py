@@ -1,0 +1,33 @@
+"""Static (program-level) sufficient conditions for robustness.
+
+Section 6.3.2 of the paper discusses the lineage of static robustness
+tests (Fekete et al.; Alomari & Fekete): build a *static dependency graph*
+whose nodes are programs and whose edges are possible conflicts, then
+derive a sufficient condition — absence of a dangerous structure (for SI)
+or of counterflow edges in cycles (for RC) guarantees robustness, while
+their presence proves nothing.  This subpackage implements that classic
+analysis over templates and measures its precision against the exact
+bounded checker (benchmarks/bench_static_analysis.py).
+"""
+
+from .static_graph import (
+    StaticDependencyGraph,
+    StaticEdge,
+    build_static_graph,
+)
+from .sufficient import (
+    StaticVerdict,
+    static_mixed_check,
+    static_rc_check,
+    static_si_check,
+)
+
+__all__ = [
+    "StaticDependencyGraph",
+    "StaticEdge",
+    "StaticVerdict",
+    "build_static_graph",
+    "static_mixed_check",
+    "static_rc_check",
+    "static_si_check",
+]

@@ -1,0 +1,134 @@
+"""The static dependency graph over transaction templates.
+
+Nodes are templates; there is a directed edge ``P -> Q`` labelled with a
+conflict kind whenever *some* pair of instantiations of ``P`` and ``Q``
+can exhibit that conflict, i.e. whenever ``P`` has an operation on a
+relation that ``Q`` accesses conflictingly (two instantiations conflict
+exactly when their bindings map the shared relation to the same row).
+
+Edge kinds follow the literature's terminology:
+
+* ``rw`` edges are the *vulnerable* (counterflow) edges: the reader may
+  observe a snapshot predating the writer's version, so the dependency
+  can point against the commit order;
+* ``ww`` and ``wr`` edges always agree with the commit order under the
+  multiversion semantics of the paper.
+
+Self-edges (a program conflicting with another instance of itself) are
+included: ``copies >= 2`` counterexamples route through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+from ..templates.template import TransactionTemplate
+
+
+@dataclass(frozen=True)
+class StaticEdge:
+    """A possible conflict between two templates.
+
+    Attributes:
+        source: name of the template owning the first operation.
+        target: name of the template owning the second operation.
+        kind: ``"ww"``, ``"wr"`` or ``"rw"``.
+        relation: the shared relation witnessing the conflict.
+    """
+
+    source: str
+    target: str
+    kind: str
+    relation: str
+
+    @property
+    def vulnerable(self) -> bool:
+        """Whether this is an rw (counterflow-capable) edge."""
+        return self.kind == "rw"
+
+    def __str__(self) -> str:
+        return f"{self.source} -{self.kind}[{self.relation}]-> {self.target}"
+
+
+class StaticDependencyGraph:
+    """The static dependency graph of a template set."""
+
+    def __init__(self, templates: Sequence[TransactionTemplate]):
+        self.templates = tuple(templates)
+        self._by_name = {t.name: t for t in templates}
+        if len(self._by_name) != len(self.templates):
+            raise ValueError("duplicate template names")
+        self._edges: List[StaticEdge] = []
+        for p in self.templates:
+            for q in self.templates:
+                self._edges.extend(_edges_between(p, q))
+        self._graph = nx.MultiDiGraph()
+        self._graph.add_nodes_from(self._by_name)
+        for edge in self._edges:
+            self._graph.add_edge(edge.source, edge.target, kind=edge.kind, data=edge)
+
+    @property
+    def graph(self) -> nx.MultiDiGraph:
+        """The underlying multigraph (template names as nodes)."""
+        return self._graph
+
+    @property
+    def edges(self) -> Tuple[StaticEdge, ...]:
+        """All possible-conflict edges."""
+        return tuple(self._edges)
+
+    def edges_between(self, source: str, target: str) -> Tuple[StaticEdge, ...]:
+        """The edges from ``source`` to ``target`` (empty if none)."""
+        return tuple(
+            e for e in self._edges if e.source == source and e.target == target
+        )
+
+    def vulnerable_edges(self) -> Tuple[StaticEdge, ...]:
+        """All rw (counterflow-capable) edges."""
+        return tuple(e for e in self._edges if e.vulnerable)
+
+    def simple_cycles(self) -> Iterable[List[str]]:
+        """Simple cycles of the underlying simple digraph (names).
+
+        Includes self-loop "cycles" ``[P]`` for templates that conflict
+        with their own copies.
+        """
+        simple = nx.DiGraph()
+        simple.add_nodes_from(self._graph.nodes)
+        simple.add_edges_from({(e.source, e.target) for e in self._edges})
+        return nx.simple_cycles(simple)
+
+    def has_edge_kind(self, source: str, target: str, kind: str) -> bool:
+        """Whether an edge of the given kind exists between two templates."""
+        return any(e.kind == kind for e in self.edges_between(source, target))
+
+    def __str__(self) -> str:
+        return "\n".join(str(e) for e in self._edges)
+
+
+def _edges_between(
+    p: TransactionTemplate, q: TransactionTemplate
+) -> List[StaticEdge]:
+    """Possible conflicts from an instance of ``p`` to an instance of ``q``.
+
+    For ``p is q`` this describes two *different* copies of the same
+    template (operations of one transaction never conflict with itself).
+    """
+    edges = []
+    for relation in sorted(p.write_relations & q.write_relations):
+        edges.append(StaticEdge(p.name, q.name, "ww", relation))
+    for relation in sorted(p.write_relations & q.read_relations):
+        edges.append(StaticEdge(p.name, q.name, "wr", relation))
+    for relation in sorted(p.read_relations & q.write_relations):
+        edges.append(StaticEdge(p.name, q.name, "rw", relation))
+    return edges
+
+
+def build_static_graph(
+    templates: Sequence[TransactionTemplate],
+) -> StaticDependencyGraph:
+    """Build the static dependency graph of a template set."""
+    return StaticDependencyGraph(templates)

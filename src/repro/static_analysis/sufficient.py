@@ -1,0 +1,260 @@
+"""Sufficient static conditions for template robustness.
+
+Three checks, all *sound for robustness* (a pass guarantees robustness of
+every instantiation, unboundedly) and *incomplete* (a fail means
+"unknown" — fall back to the exact bounded checker):
+
+* :func:`static_rc_check` — the classic counterflow condition for
+  ``A_RC``: robust if no vulnerable (rw) edge of the static graph lies on
+  a cycle (Alomari & Fekete).
+* :func:`static_si_check` — the classic dangerous-structure condition for
+  ``A_SI``: robust if no template is the pivot of two consecutive rw
+  edges lying on a cycle (Fekete et al.).
+* :func:`static_mixed_check` — new, derived from the paper's Theorem 3.2:
+  a template-level over-approximation of the multiversion split schedule.
+  Any instance-level counterexample projects onto templates
+  ``(P_1, P_2, P_m)`` such that: ``P_2`` may-reaches ``P_m``; ``P_1`` has
+  a read ``b_1`` on a relation ``P_2`` writes (condition 4); some
+  operation ``a_1`` of ``P_1`` may-conflicts with ``P_m`` and either is a
+  write on a relation ``P_m`` reads (rw form of condition 5) or ``P_1``
+  is at RC with ``b_1`` preceding ``a_1`` in program order; and not all
+  three templates are at SSI (condition 6).  If no such triple exists,
+  no split schedule — hence no counterexample — exists (conditions 1–3,
+  7–8 only *restrict* instances further, so dropping them keeps the
+  over-approximation sound).
+
+The precision of these conditions relative to the exact checker is
+measured in ``benchmarks/bench_static_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Set, Union
+
+import networkx as nx
+
+from ..core.isolation import IsolationLevel
+from ..templates.template import TemplateError, TransactionTemplate
+from .static_graph import StaticDependencyGraph, build_static_graph
+
+
+@dataclass(frozen=True)
+class StaticVerdict:
+    """Outcome of a sufficient static check.
+
+    Attributes:
+        robust_guaranteed: ``True`` means every instantiation of the
+            template set is robust (sound, unbounded).  ``False`` means
+            *unknown*: the static pattern exists, which may or may not be
+            realizable by concrete instances.
+        witness: human-readable description of the blocking pattern, when
+            ``robust_guaranteed`` is ``False``.
+    """
+
+    robust_guaranteed: bool
+    witness: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.robust_guaranteed
+
+    def __str__(self) -> str:
+        if self.robust_guaranteed:
+            return "robust (static guarantee)"
+        return f"unknown (static pattern: {self.witness})"
+
+
+def _reachable(graph: StaticDependencyGraph) -> Dict[str, Set[str]]:
+    """May-conflict reachability (reflexive) between template names."""
+    simple = nx.DiGraph()
+    simple.add_nodes_from(t.name for t in graph.templates)
+    simple.add_edges_from({(e.source, e.target) for e in graph.edges})
+    closure: Dict[str, Set[str]] = {}
+    for name in simple.nodes:
+        closure[name] = {name} | nx.descendants(simple, name)
+    return closure
+
+
+def static_rc_check(
+    templates: Sequence[TransactionTemplate],
+) -> StaticVerdict:
+    """Counterflow condition for ``A_RC``: no rw edge on a cycle."""
+    graph = build_static_graph(templates)
+    reach = _reachable(graph)
+    for edge in graph.vulnerable_edges():
+        if edge.source in reach[edge.target]:
+            return StaticVerdict(
+                False, f"vulnerable edge on a cycle: {edge}"
+            )
+    return StaticVerdict(True)
+
+
+def static_si_check(
+    templates: Sequence[TransactionTemplate],
+) -> StaticVerdict:
+    """Dangerous-structure condition for ``A_SI`` (Fekete et al.).
+
+    Robust if no pivot ``Q`` has consecutive vulnerable edges
+    ``P -rw-> Q -rw-> R`` with ``R`` may-reaching ``P``.
+    """
+    graph = build_static_graph(templates)
+    reach = _reachable(graph)
+    incoming: Dict[str, list] = {}
+    outgoing: Dict[str, list] = {}
+    for edge in graph.vulnerable_edges():
+        incoming.setdefault(edge.target, []).append(edge)
+        outgoing.setdefault(edge.source, []).append(edge)
+    for pivot in (t.name for t in graph.templates):
+        for in_edge in incoming.get(pivot, ()):
+            for out_edge in outgoing.get(pivot, ()):
+                if in_edge.source in reach[out_edge.target]:
+                    return StaticVerdict(
+                        False,
+                        f"dangerous structure {in_edge} ; {out_edge}",
+                    )
+    return StaticVerdict(True)
+
+
+def static_mixed_check(
+    templates: Sequence[TransactionTemplate],
+    allocation: Mapping[str, Union[str, IsolationLevel]],
+) -> StaticVerdict:
+    """Split-schedule over-approximation for mixed per-template allocations.
+
+    Sound for robustness against the per-template allocation: if no
+    template triple can carry the skeleton of a multiversion split
+    schedule (conditions 4, 5 and 6 of Definition 3.1, template-level),
+    every instantiation is robust.
+
+    One refinement of conditions (2)/(3) is applied because it is *forced*
+    at the template level (first-committer-wins protection): when ``P_1``
+    itself writes the relation of ``b_1`` through the *same variable*, any
+    instantiation puts that write on exactly the row that ``a_2`` writes,
+    so the ww-conflict with ``P_2`` is unavoidable and the candidate is
+    invalid (unless ``P_1`` runs at RC with the write after the split).
+    The symmetric argument invalidates rw back-edges into read-modify-
+    write relations of ``P_m``.  All remaining instance-level conditions
+    (1, the rest of 2–3, 7, 8) are satisfiable by choosing fresh rows, so
+    dropping them keeps the over-approximation sound.
+    """
+    levels = {}
+    for template in templates:
+        if template.name not in allocation:
+            raise TemplateError(
+                f"no isolation level allocated to template {template.name!r}"
+            )
+        levels[template.name] = IsolationLevel.parse(allocation[template.name])
+    graph = build_static_graph(templates)
+    reach = _reachable(graph)
+    ssi = IsolationLevel.SSI
+    for p1 in graph.templates:
+        rc_split = levels[p1.name] is IsolationLevel.RC
+        for p2 in graph.templates:
+            valid_b1 = _valid_split_reads(p1, p2, rc_split)
+            if not valid_b1:
+                continue
+            for pm in graph.templates:
+                if pm.name not in reach[p2.name]:
+                    continue
+                # Condition (6).
+                if (
+                    levels[p1.name] is ssi
+                    and levels[p2.name] is ssi
+                    and levels[pm.name] is ssi
+                ):
+                    continue
+                # Condition (5), rw form: a write a_1 of P_1 on a relation
+                # P_m reads, not ww-forced against P_m.
+                if any(
+                    _rw_back_edge_possible(p1, pm, b1_index, rc_split)
+                    for b1_index in valid_b1
+                ):
+                    return StaticVerdict(
+                        False,
+                        f"split skeleton {p1.name} -> {p2.name} ~> {pm.name}"
+                        f" (rw back-edge)",
+                    )
+                # Condition (5), RC form: P_1 at RC with some operation
+                # a_1 conflicting with P_m strictly after b_1.
+                if rc_split and any(
+                    _rc_back_edge_possible(p1, pm, b1_index)
+                    for b1_index in valid_b1
+                ):
+                    return StaticVerdict(
+                        False,
+                        f"split skeleton {p1.name} -> {p2.name} ~> {pm.name}"
+                        f" (RC case)",
+                    )
+    return StaticVerdict(True)
+
+
+def _valid_split_reads(
+    p1: TransactionTemplate, p2: TransactionTemplate, rc_split: bool
+) -> list:
+    """Positions of reads of ``P_1`` usable as ``b_1`` against ``P_2``.
+
+    A read ``R[r:X]`` qualifies (condition 4) when ``P_2`` writes ``r``;
+    it is *disqualified* when ``P_1`` also writes ``(r, X)`` — the forced
+    ww-conflict of conditions (2)/(3) — except at RC with the write
+    strictly after the read (condition (2) only covers the prefix).
+    """
+    ops = p1.operations
+    own_writes = {
+        (op.relation, op.variable): index
+        for index, op in enumerate(ops)
+        if op.is_write
+    }
+    valid = []
+    for index, op in enumerate(ops):
+        if not op.is_read or op.relation not in p2.write_relations:
+            continue
+        write_index = own_writes.get((op.relation, op.variable))
+        if write_index is not None:
+            if write_index < index or not rc_split:
+                continue  # forced ww with a_2's row
+        valid.append(index)
+    return valid
+
+
+def _rw_back_edge_possible(
+    p1: TransactionTemplate,
+    pm: TransactionTemplate,
+    b1_index: int,
+    rc_split: bool,
+) -> bool:
+    """Whether ``b_m`` rw-conflicting ``a_1`` is realizable against ``P_m``.
+
+    Needs a write ``a_1 = W[s:Y]`` in ``P_1`` and a read ``R[s:Z]`` in
+    ``P_m`` such that ``P_m`` does not also write ``(s, Z)`` in a way that
+    forces a ww-conflict on ``a_1``'s row (disallowed by conditions
+    (2)/(3) unless ``P_1`` is at RC with ``a_1`` after the split point).
+    """
+    pm_reads = {}
+    for op in pm.operations:
+        if op.is_read:
+            pm_reads.setdefault(op.relation, []).append(op.variable)
+    pm_writes = {(op.relation, op.variable) for op in pm.operations if op.is_write}
+    for index, a1 in enumerate(p1.operations):
+        if not a1.is_write or a1.relation not in pm_reads:
+            continue
+        escape = rc_split and index > b1_index
+        for variable in pm_reads[a1.relation]:
+            forced = (a1.relation, variable) in pm_writes
+            if not forced or escape:
+                return True
+    return False
+
+
+def _rc_back_edge_possible(
+    p1: TransactionTemplate,
+    pm: TransactionTemplate,
+    b1_index: int,
+) -> bool:
+    """Whether some ``a_1`` conflicting with ``P_m`` follows ``b_1`` (RC case)."""
+    for op in p1.operations[b1_index + 1 :]:
+        if op.is_read:
+            if op.relation in pm.write_relations:
+                return True
+        elif op.relation in (pm.read_relations | pm.write_relations):
+            return True
+    return False

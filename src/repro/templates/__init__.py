@@ -1,0 +1,38 @@
+"""Transaction templates (Section 6.3.1 of the paper).
+
+In practice transactions are generated from a fixed set of *programs*
+(templates): TPC-C's five programs generate unboundedly many concrete
+transactions.  The paper positions its transaction-level results as "a
+stepping stone for corresponding results on the level of transaction
+templates" — this subpackage takes that step operationally: parameterized
+templates, instantiation over finite domains, bounded robustness checking
+of template sets, and template-level optimal allocation (one isolation
+level per program, as DBAs actually configure).
+"""
+
+from .allocation import optimal_template_allocation
+from .instantiate import all_instantiations, instantiate, saturation_workload
+from .robustness import TemplateRobustnessResult, check_template_robustness
+from .template import (
+    TemplateAllocation,
+    TemplateError,
+    TemplateOperation,
+    TransactionTemplate,
+    parse_template,
+    parse_templates,
+)
+
+__all__ = [
+    "TemplateAllocation",
+    "TemplateError",
+    "TemplateOperation",
+    "TemplateRobustnessResult",
+    "TransactionTemplate",
+    "all_instantiations",
+    "check_template_robustness",
+    "instantiate",
+    "optimal_template_allocation",
+    "parse_template",
+    "parse_templates",
+    "saturation_workload",
+]

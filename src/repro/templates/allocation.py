@@ -1,0 +1,68 @@
+"""Template-level optimal allocation.
+
+DBAs configure an isolation level per *program*, not per transaction
+instance.  This module lifts Algorithm 2 to that granularity: start with
+every template at the top level, then refine each template to the lowest
+level that keeps the (bounded) template robustness check passing.
+
+Correctness mirrors Algorithm 2: raising levels preserves robustness
+(Proposition 4.1(1) applied instance-wise), and a template-group of
+transactions can adopt a lower level proven robust elsewhere by applying
+Proposition 4.1(2) to its instances one at a time — so the refinement is
+order-invariant and yields the unique group-wise optimum (relative to the
+instantiation bound).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..core.isolation import IsolationLevel, POSTGRES_LEVELS
+from .robustness import check_template_robustness
+from .template import TemplateAllocation, TransactionTemplate
+
+
+def optimal_template_allocation(
+    templates: Sequence[TransactionTemplate],
+    levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
+    domain_size: int = 2,
+    copies: int = 2,
+) -> Optional[TemplateAllocation]:
+    """The optimal per-template allocation over ``levels`` (bounded check).
+
+    Returns ``None`` when no robust allocation over ``levels`` exists even
+    with every template at the class's top level (only possible when SSI
+    is not in the class, cf. Proposition 5.4).
+
+    Examples:
+        >>> from repro.templates import parse_templates
+        >>> ts = parse_templates('''
+        ...     Deposit(C): R[checking:C] W[checking:C]
+        ...     Audit(C): R[checking:C]
+        ... ''')
+        >>> {n: l.name for n, l in optimal_template_allocation(ts).items()}
+        {'Deposit': 'SI', 'Audit': 'RC'}
+    """
+    ordered = sorted(set(levels))
+    if not ordered:
+        raise ValueError("the class of isolation levels must not be empty")
+    top = ordered[-1]
+    current: Dict[str, IsolationLevel] = {t.name: top for t in templates}
+
+    def robust(allocation: Mapping[str, IsolationLevel]) -> bool:
+        return check_template_robustness(
+            templates, allocation, domain_size=domain_size, copies=copies
+        ).robust
+
+    if top is not IsolationLevel.SSI and not robust(current):
+        return None
+    for template in templates:
+        for level in ordered:
+            if level >= current[template.name]:
+                break
+            candidate = dict(current)
+            candidate[template.name] = level
+            if robust(candidate):
+                current = candidate
+                break
+    return current

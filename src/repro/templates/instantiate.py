@@ -1,0 +1,119 @@
+"""Instantiating templates into concrete transactions and workloads."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..core.operations import Operation, read, write
+from ..core.transactions import Transaction
+from ..core.workload import Workload
+from .template import TemplateError, TransactionTemplate
+
+
+def instantiate(
+    template: TransactionTemplate, tid: int, binding: Mapping[str, object]
+) -> Transaction:
+    """One concrete transaction: bind the template's variables.
+
+    Distinct variables must be bound to distinct values (see the module
+    docstring of :mod:`repro.templates.template`).
+    """
+    values = [binding.get(var) for var in template.variables]
+    if any(value is None for value in values):
+        missing = [v for v, val in zip(template.variables, values) if val is None]
+        raise TemplateError(f"binding misses variables {missing}")
+    if len(set(values)) != len(values):
+        raise TemplateError(
+            f"binding aliases distinct variables of {template.name}: {binding}"
+        )
+    ops: List[Operation] = []
+    for op in template.operations:
+        obj = op.object_for(binding)
+        ops.append(read(tid, obj) if op.is_read else write(tid, obj))
+    return Transaction(tid, ops)
+
+
+def bindings(
+    template: TransactionTemplate, domain: Sequence[object]
+) -> Iterator[Dict[str, object]]:
+    """All injective bindings of the template's variables into ``domain``."""
+    variables = template.variables
+    if not variables:
+        yield {}
+        return
+    for values in itertools.permutations(domain, len(variables)):
+        yield dict(zip(variables, values))
+
+
+def all_instantiations(
+    templates: Sequence[TransactionTemplate],
+    domain_size: int,
+    copies: int = 1,
+    start_tid: int = 1,
+) -> Workload:
+    """The workload of every instantiation of every template.
+
+    Args:
+        templates: the template set.
+        domain_size: parameters range over ``1..domain_size``.
+        copies: how many identical instances of each (template, binding)
+            pair to include — counterexamples may need two concurrent
+            instances of the *same* program on the *same* parameters.
+        start_tid: first transaction id to assign.
+
+    Returns:
+        A workload; transaction ids are assigned consecutively in
+        (template, binding, copy) order.
+    """
+    txns: List[Transaction] = []
+    tid = start_tid
+    for template in templates:
+        for binding in bindings(template, _domain_for(template, domain_size)):
+            for _copy in range(copies):
+                txns.append(instantiate(template, tid, binding))
+                tid += 1
+    return Workload(txns)
+
+
+def _domain_for(template: TransactionTemplate, domain_size: int) -> List[int]:
+    """The parameter domain for one template.
+
+    Bindings are injective, so a template with more variables than
+    ``domain_size`` would silently get *no* instances; the domain is
+    therefore widened to the template's variable count.  Values are shared
+    across templates (``1..n``), so cross-template row collisions still
+    occur for every prefix of the domain.
+    """
+    return list(range(1, max(domain_size, len(template.variables)) + 1))
+
+
+def saturation_workload(
+    templates: Sequence[TransactionTemplate],
+    domain_size: int = 2,
+    copies: int = 2,
+) -> Tuple[Workload, Dict[int, str]]:
+    """The bounded-saturation workload used for template robustness.
+
+    Returns the workload together with a map from transaction id to the
+    originating template name (needed to translate a per-template
+    allocation into a per-transaction one).
+
+    The default bound (``domain_size=2, copies=2``) captures the standard
+    anomaly shapes: two copies allow a program to conflict with itself,
+    and two domain values distinguish same-row from different-row
+    interactions.  Larger bounds only add instances, so a counterexample
+    found at any bound is definitive (non-robustness is certain); a
+    "robust" verdict is relative to the bound — see
+    :func:`repro.templates.robustness.check_template_robustness`.
+    """
+    txns: List[Transaction] = []
+    origin: Dict[int, str] = {}
+    tid = 1
+    for template in templates:
+        for binding in bindings(template, _domain_for(template, domain_size)):
+            for _copy in range(copies):
+                txns.append(instantiate(template, tid, binding))
+                origin[tid] = template.name
+                tid += 1
+    return Workload(txns), origin

@@ -1,0 +1,232 @@
+"""Transaction templates: parameterized transaction programs.
+
+A template is a transaction whose objects are ``relation:variable`` pairs:
+``Balance(C): R[savings:C] R[checking:C]``.  Instantiating the template
+binds each variable to a domain value, producing a concrete transaction
+over objects like ``savings:2``.  Distinct variables of one template bind
+to *distinct* values (TPC-C's NewOrder never orders from itself;
+SmallBank's Amalgamate moves funds between two different customers) —
+templates that allow aliasing can simply be listed twice, once per
+aliasing pattern.
+
+The text DSL mirrors the workload DSL::
+
+    parse_template("WriteCheck(C): R[savings:C] R[checking:C] W[checking:C]")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.isolation import IsolationLevel
+
+
+class TemplateError(ValueError):
+    """Raised for malformed templates or bindings."""
+
+
+@dataclass(frozen=True)
+class TemplateOperation:
+    """One parameterized read or write.
+
+    Attributes:
+        kind: ``"R"`` or ``"W"``.
+        relation: the relation (or column-group) accessed, e.g. ``checking``.
+        variable: the template parameter selecting the row, or ``None`` for
+            a singleton relation accessed as a whole (e.g. a counter).
+    """
+
+    kind: str
+    relation: str
+    variable: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("R", "W"):
+            raise TemplateError(f"operation kind must be R or W, not {self.kind!r}")
+        if not self.relation:
+            raise TemplateError("operation needs a relation name")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == "R"
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == "W"
+
+    def object_for(self, binding: Mapping[str, object]) -> str:
+        """The concrete object this operation touches under a binding."""
+        if self.variable is None:
+            return self.relation
+        try:
+            return f"{self.relation}:{binding[self.variable]}"
+        except KeyError:
+            raise TemplateError(f"binding misses variable {self.variable!r}") from None
+
+    def __str__(self) -> str:
+        target = self.relation if self.variable is None else f"{self.relation}:{self.variable}"
+        return f"{self.kind}[{target}]"
+
+
+class TransactionTemplate:
+    """A named, parameterized transaction program."""
+
+    __slots__ = ("_name", "_variables", "_operations")
+
+    def __init__(
+        self,
+        name: str,
+        operations: Iterable[TemplateOperation],
+        variables: Optional[Sequence[str]] = None,
+    ):
+        ops = tuple(operations)
+        if not name:
+            raise TemplateError("template needs a name")
+        if not ops:
+            raise TemplateError(f"template {name!r} has no operations")
+        used = []
+        for op in ops:
+            if op.variable is not None and op.variable not in used:
+                used.append(op.variable)
+        if variables is None:
+            declared = tuple(used)
+        else:
+            declared = tuple(variables)
+            missing = set(used) - set(declared)
+            if missing:
+                raise TemplateError(
+                    f"template {name!r} uses undeclared variables {sorted(missing)}"
+                )
+        seen: Dict[Tuple[str, str, Optional[str]], bool] = {}
+        for op in ops:
+            key = (op.kind, op.relation, op.variable)
+            if key in seen:
+                raise TemplateError(
+                    f"template {name!r} repeats {op} (one-read-one-write form)"
+                )
+            seen[key] = True
+        self._name = name
+        self._variables = declared
+        self._operations = ops
+
+    @property
+    def name(self) -> str:
+        """The template (program) name."""
+        return self._name
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """The declared parameters, in declaration order."""
+        return self._variables
+
+    @property
+    def operations(self) -> Tuple[TemplateOperation, ...]:
+        """The parameterized operations in program order."""
+        return self._operations
+
+    @property
+    def read_relations(self) -> frozenset:
+        """Relations read by the template."""
+        return frozenset(op.relation for op in self._operations if op.is_read)
+
+    @property
+    def write_relations(self) -> frozenset:
+        """Relations written by the template."""
+        return frozenset(op.relation for op in self._operations if op.is_write)
+
+    def may_conflict_with(self, other: "TransactionTemplate") -> bool:
+        """Whether *some* instantiations of the two templates conflict.
+
+        True iff a relation written by one is accessed by the other — the
+        static (program-level) conflict test of Section 6.3.2.
+        """
+        if self.write_relations & (other.read_relations | other.write_relations):
+            return True
+        return bool(other.write_relations & self.read_relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransactionTemplate):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._variables == other._variables
+            and self._operations == other._operations
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._variables, self._operations))
+
+    def __str__(self) -> str:
+        params = ", ".join(self._variables)
+        body = " ".join(str(op) for op in self._operations)
+        return f"{self._name}({params}): {body}"
+
+    def __repr__(self) -> str:
+        return f"TransactionTemplate({self})"
+
+
+#: One isolation level per template name — how levels are configured in
+#: practice (per program, not per transaction instance).
+TemplateAllocation = Dict[str, IsolationLevel]
+
+
+_HEADER = re.compile(r"(?P<name>\w+)\s*(?:\((?P<params>[^)]*)\))?\s*")
+_OP = re.compile(r"(?P<kind>[RW])\[(?P<relation>[\w.-]+)(?::(?P<var>\w+))?\]")
+
+
+def parse_template(text: str) -> TransactionTemplate:
+    """Parse ``Name(P1, P2): R[rel:P1] W[rel2:P2] ...``.
+
+    The parameter list may be omitted (parameters are then inferred from
+    the operations in order of first use).
+
+    Examples:
+        >>> parse_template("Balance(C): R[savings:C] R[checking:C]").name
+        'Balance'
+    """
+    head, sep, body = text.partition(":")
+    if not sep:
+        raise TemplateError(f"template text needs a ':' after the header: {text!r}")
+    match = _HEADER.fullmatch(head.strip())
+    if not match:
+        raise TemplateError(f"cannot parse template header {head!r}")
+    name = match.group("name")
+    params_text = match.group("params")
+    variables = (
+        tuple(p.strip() for p in params_text.split(",") if p.strip())
+        if params_text is not None
+        else None
+    )
+    ops: List[TemplateOperation] = []
+    consumed = 0
+    for op_match in _OP.finditer(body):
+        consumed += 1
+        ops.append(
+            TemplateOperation(
+                op_match.group("kind"),
+                op_match.group("relation"),
+                op_match.group("var"),
+            )
+        )
+    if consumed != len(body.split()):
+        raise TemplateError(f"unparsable tokens in template body {body!r}")
+    return TransactionTemplate(name, ops, variables)
+
+
+def parse_templates(text: str) -> List[TransactionTemplate]:
+    """Parse one template per non-empty, non-comment line."""
+    templates = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            templates.append(parse_template(line))
+        except TemplateError as exc:
+            raise TemplateError(f"line {lineno}: {exc}") from exc
+    names = [t.name for t in templates]
+    if len(set(names)) != len(names):
+        raise TemplateError("duplicate template names")
+    return templates

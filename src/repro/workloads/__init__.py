@@ -1,0 +1,54 @@
+"""Workloads: random generation, TPC-C, SmallBank, YCSB, paper examples.
+
+Concrete transaction workloads for the robustness/allocation algorithms
+(:mod:`generator`, :mod:`tpcc`, :mod:`smallbank`, :mod:`ycsb`), the same
+catalogs as template sets (:mod:`templates_catalog`), value-carrying
+procedure versions for the MVCC engine (:mod:`smallbank_app`), and every
+schedule appearing in the paper's figures (:mod:`paper_examples`).
+"""
+
+from .generator import GeneratorConfig, random_workload
+from .paper_examples import (
+    example26_allocations,
+    example26_schedule,
+    example26_workload,
+    example52_schedule,
+    example52_workload,
+    figure2_schedule,
+    figure2_workload,
+)
+from .smallbank import (
+    SmallBankConfig,
+    si_anomaly_triple,
+    smallbank_one_of_each,
+    smallbank_workload,
+    write_check_pair,
+)
+from .templates_catalog import smallbank_templates, tpcc_templates
+from .tpcc import TpccConfig, tpcc_one_of_each, tpcc_workload
+from .ycsb import YcsbConfig, ZipfianGenerator, ycsb_workload
+
+__all__ = [
+    "GeneratorConfig",
+    "SmallBankConfig",
+    "TpccConfig",
+    "YcsbConfig",
+    "ZipfianGenerator",
+    "example26_allocations",
+    "example26_schedule",
+    "example26_workload",
+    "example52_schedule",
+    "example52_workload",
+    "figure2_schedule",
+    "figure2_workload",
+    "random_workload",
+    "si_anomaly_triple",
+    "smallbank_one_of_each",
+    "smallbank_templates",
+    "smallbank_workload",
+    "tpcc_one_of_each",
+    "tpcc_templates",
+    "tpcc_workload",
+    "write_check_pair",
+    "ycsb_workload",
+]

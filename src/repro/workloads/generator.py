@@ -1,0 +1,131 @@
+"""Parametric random workload generation.
+
+Robustness behaviour is driven by contention: how often transactions touch
+the same objects, and with how many writes.  The generator exposes exactly
+those knobs, so benchmarks can sweep them (see
+``benchmarks/bench_allocation_quality.py``):
+
+* a pool of ``objects`` of which ``hot_objects`` form a hot set accessed
+  with probability ``hot_probability``;
+* per-transaction operation counts and a write probability;
+* a seeded RNG for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.operations import Operation, read, write
+from ..core.transactions import Transaction
+from ..core.workload import Workload
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random workload generator.
+
+    Attributes:
+        transactions: number of transactions to generate.
+        objects: size of the object pool (objects are named ``x0, x1, ...``).
+        min_ops: minimum read/write operations per transaction.
+        max_ops: maximum read/write operations per transaction.
+        write_probability: probability that an accessed object is written
+            (a written object may additionally be read first).
+        read_before_write_probability: probability that a write is preceded
+            by a read of the same object (read-modify-write pattern).
+        hot_objects: size of the hot set (0 disables hotspotting).
+        hot_probability: probability that an access goes to the hot set.
+    """
+
+    transactions: int = 10
+    objects: int = 20
+    min_ops: int = 2
+    max_ops: int = 5
+    write_probability: float = 0.5
+    read_before_write_probability: float = 0.5
+    hot_objects: int = 0
+    hot_probability: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.transactions < 0:
+            raise ValueError("transactions must be non-negative")
+        if self.objects < 1:
+            raise ValueError("need at least one object")
+        if not 0 < self.min_ops <= self.max_ops:
+            raise ValueError("need 0 < min_ops <= max_ops")
+        if not 0.0 <= self.write_probability <= 1.0:
+            raise ValueError("write_probability must be in [0, 1]")
+        if not 0.0 <= self.read_before_write_probability <= 1.0:
+            raise ValueError("read_before_write_probability must be in [0, 1]")
+        if self.hot_objects < 0 or self.hot_objects > self.objects:
+            raise ValueError("hot_objects must be in [0, objects]")
+        if not 0.0 <= self.hot_probability <= 1.0:
+            raise ValueError("hot_probability must be in [0, 1]")
+
+
+def _pick_object(config: GeneratorConfig, rng: random.Random) -> str:
+    if config.hot_objects and rng.random() < config.hot_probability:
+        return f"x{rng.randrange(config.hot_objects)}"
+    return f"x{rng.randrange(config.objects)}"
+
+
+def _random_transaction(
+    tid: int, config: GeneratorConfig, rng: random.Random
+) -> Transaction:
+    target_accesses = rng.randint(config.min_ops, config.max_ops)
+    ops: List[Operation] = []
+    seen_reads: set = set()
+    seen_writes: set = set()
+    attempts = 0
+    while len(seen_reads | seen_writes) < target_accesses and attempts < 50 * target_accesses:
+        attempts += 1
+        obj = _pick_object(config, rng)
+        if rng.random() < config.write_probability:
+            if obj in seen_writes:
+                continue
+            if (
+                obj not in seen_reads
+                and rng.random() < config.read_before_write_probability
+            ):
+                ops.append(read(tid, obj))
+                seen_reads.add(obj)
+            ops.append(write(tid, obj))
+            seen_writes.add(obj)
+        else:
+            if obj in seen_reads or obj in seen_writes:
+                continue
+            ops.append(read(tid, obj))
+            seen_reads.add(obj)
+    if not ops:
+        obj = _pick_object(config, rng)
+        ops.append(read(tid, obj))
+    return Transaction(tid, ops)
+
+
+def random_workload(
+    config: Optional[GeneratorConfig] = None,
+    seed: int = 0,
+    **overrides,
+) -> Workload:
+    """Generate a random workload.
+
+    Either pass a :class:`GeneratorConfig` or individual knobs as keyword
+    arguments.  The same ``(config, seed)`` pair always yields the same
+    workload.
+
+    Examples:
+        >>> w = random_workload(transactions=4, objects=6, seed=7)
+        >>> len(w)
+        4
+    """
+    if config is None:
+        config = GeneratorConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a config or keyword overrides, not both")
+    rng = random.Random(seed)
+    return Workload(
+        _random_transaction(tid, config, rng)
+        for tid in range(1, config.transactions + 1)
+    )

@@ -1,0 +1,165 @@
+"""SmallBank with real money: procedures and integrity invariants.
+
+The value-level counterpart of :mod:`repro.workloads.smallbank`: the five
+programs as :mod:`repro.mvcc.procedures` generators over actual balances,
+plus the business rule they are supposed to preserve:
+
+    **No customer's total balance (savings + checking) goes negative.**
+
+``WriteCheck`` only debits when the *observed* total covers the cheque
+(with a small penalty otherwise), so every *serializable* execution keeps
+the invariant.  Under snapshot isolation the classic anomaly lets a
+``WriteCheck`` and a ``TransactSavings`` both justify their debits against
+the same stale snapshot — the invariant breaks, observably.  The tests
+and ``examples/bank_invariants.py`` use this to show what robustness
+buys in application terms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Mapping
+
+from ..mvcc.procedures import ProcedureCall, Read, Write
+
+#: Overdraft penalty charged by WriteCheck when the balance is short.
+PENALTY = 1
+
+
+def _savings(c: object) -> str:
+    return f"savings:{c}"
+
+
+def _checking(c: object) -> str:
+    return f"checking:{c}"
+
+
+def balance(params: Mapping[str, object]) -> Generator:
+    """Read-only balance inquiry; returns nothing, reads both accounts."""
+    yield Read(_savings(params["c"]))
+    yield Read(_checking(params["c"]))
+
+
+def deposit_checking(params: Mapping[str, object]) -> Generator:
+    """Add ``amount`` to the checking account."""
+    current = yield Read(_checking(params["c"]))
+    yield Write(_checking(params["c"]), current + params["amount"])
+
+
+def transact_savings(params: Mapping[str, object]) -> Generator:
+    """Adjust the savings account by ``amount`` if the result stays >= 0."""
+    current = yield Read(_savings(params["c"]))
+    updated = current + params["amount"]
+    if updated >= 0:
+        yield Write(_savings(params["c"]), updated)
+
+
+def amalgamate(params: Mapping[str, object]) -> Generator:
+    """Move all funds of customer ``c1`` into ``c2``'s checking account."""
+    savings1 = yield Read(_savings(params["c1"]))
+    checking1 = yield Read(_checking(params["c1"]))
+    yield Write(_savings(params["c1"]), 0)
+    yield Write(_checking(params["c1"]), 0)
+    checking2 = yield Read(_checking(params["c2"]))
+    yield Write(_checking(params["c2"]), checking2 + savings1 + checking1)
+
+
+def write_check(params: Mapping[str, object]) -> Generator:
+    """Cash a cheque against the combined balance, debiting checking.
+
+    Declines (writes nothing) when the *observed* total does not cover the
+    amount.  The guard is exact in any serializable execution — which is
+    precisely what snapshot isolation's stale snapshots break.
+    """
+    savings = yield Read(_savings(params["c"]))
+    checking = yield Read(_checking(params["c"]))
+    amount = params["amount"]
+    if savings + checking >= amount:
+        yield Write(_checking(params["c"]), checking - amount)
+
+
+def withdraw_savings(params: Mapping[str, object]) -> Generator:
+    """Withdraw from savings, allowed to overdraw it if the *total* covers it.
+
+    The mirror image of :func:`write_check`: reads both accounts, writes
+    savings.  Together they form the textbook write-skew pair.
+    """
+    savings = yield Read(_savings(params["c"]))
+    checking = yield Read(_checking(params["c"]))
+    amount = params["amount"]
+    if savings + checking >= amount:
+        yield Write(_savings(params["c"]), savings - amount)
+
+
+PROCEDURES = {
+    "balance": balance,
+    "deposit_checking": deposit_checking,
+    "transact_savings": transact_savings,
+    "amalgamate": amalgamate,
+    "write_check": write_check,
+    "withdraw_savings": withdraw_savings,
+}
+
+
+def initial_state(customers: int, savings: int = 100, checking: int = 100) -> Dict[str, int]:
+    """Opening balances for ``customers`` customers."""
+    state: Dict[str, int] = {}
+    for c in range(1, customers + 1):
+        state[_savings(c)] = savings
+        state[_checking(c)] = checking
+    return state
+
+
+def total_balance_invariant(state: Mapping[str, object], customers: int) -> List[str]:
+    """Violations of the non-negative-total rule (empty list = holds)."""
+    violations = []
+    for c in range(1, customers + 1):
+        total = state[_savings(c)] + state[_checking(c)]  # type: ignore[operator]
+        if total < 0:
+            violations.append(f"customer {c} total balance {total} < 0")
+    return violations
+
+
+def conservation_invariant(
+    before: Mapping[str, object],
+    after: Mapping[str, object],
+    customers: int,
+    external_delta: int,
+) -> bool:
+    """Money is only created/destroyed by the known external flows."""
+    def total(state: Mapping[str, object]) -> int:
+        return sum(
+            state[key]  # type: ignore[misc]
+            for c in range(1, customers + 1)
+            for key in (_savings(c), _checking(c))
+        )
+
+    return total(after) == total(before) + external_delta
+
+
+def skew_scenario(customer: int = 1, amount: int = 150) -> List[ProcedureCall]:
+    """The invariant-breaking pair: a big cheque and a big withdrawal.
+
+    With opening balances 100/100, each alone is covered (total 200);
+    both together overdraw.  In a serializable execution the second
+    transaction observes the first's debit and declines, so the total
+    stays non-negative.  Snapshot isolation lets both justify their
+    debits against the same stale snapshot — write skew — and the
+    customer ends up at -100.
+    """
+    return [
+        ProcedureCall(1, write_check, {"c": customer, "amount": amount}),
+        ProcedureCall(2, withdraw_savings, {"c": customer, "amount": amount}),
+    ]
+
+
+def deposit_scenario(customer: int = 1, amount: int = 10, deposits: int = 4) -> List[ProcedureCall]:
+    """Concurrent deposits to one account: the lost-update scenario.
+
+    Serializable and snapshot-isolated executions preserve conservation of
+    money (first-committer-wins forces retries); multiversion read
+    committed permits lost updates — deposits silently vanish.
+    """
+    return [
+        ProcedureCall(tid, deposit_checking, {"c": customer, "amount": amount})
+        for tid in range(1, deposits + 1)
+    ]

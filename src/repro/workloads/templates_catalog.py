@@ -1,0 +1,47 @@
+"""The classic workloads as transaction templates.
+
+Bridges :mod:`repro.workloads` and :mod:`repro.templates`: the same
+column-granularity footprints used by the concrete instantiators, as
+parameterized programs for the template-level checkers.
+
+TPC-C's order-dependent parts (fresh order ids, delivery queues) are not
+expressible as pure templates — templates bind rows independently — so the
+TPC-C template set covers the *hot-row* footprints (warehouse, district,
+customer, stock), which is exactly the part the SI-robustness analysis in
+the literature is about; the order/order-line rows only ever add
+ww-protected or fresh-row conflicts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..templates.template import TransactionTemplate, parse_templates
+
+#: SmallBank, verbatim from the footprints of :mod:`repro.workloads.smallbank`.
+SMALLBANK_TEMPLATE_TEXT = """
+Balance(C): R[savings:C] R[checking:C]
+DepositChecking(C): R[checking:C] W[checking:C]
+TransactSavings(C): R[savings:C] W[savings:C]
+Amalgamate(C1, C2): R[savings:C1] R[checking:C1] W[savings:C1] W[checking:C1] R[checking:C2] W[checking:C2]
+WriteCheck(C): R[savings:C] R[checking:C] W[checking:C]
+"""
+
+#: TPC-C hot-row footprints at column granularity (see module docstring).
+TPCC_TEMPLATE_TEXT = """
+NewOrder(W, D, C, I): R[w_tax:W] R[d_tax:D] R[d_next_oid:D] W[d_next_oid:D] R[c_info:C] R[item:I] R[stock:I] W[stock:I]
+Payment(W, D, C): R[w_ytd:W] W[w_ytd:W] R[d_ytd:D] W[d_ytd:D] R[c_info:C] R[c_bal:C] W[c_bal:C]
+OrderStatus(C): R[c_info:C] R[c_bal:C]
+Delivery(C): R[c_bal:C] W[c_bal:C]
+StockLevel(D, I): R[d_next_oid:D] R[stock:I]
+"""
+
+
+def smallbank_templates() -> List[TransactionTemplate]:
+    """The five SmallBank programs as templates."""
+    return parse_templates(SMALLBANK_TEMPLATE_TEXT)
+
+
+def tpcc_templates() -> List[TransactionTemplate]:
+    """The five TPC-C programs as hot-row templates."""
+    return parse_templates(TPCC_TEMPLATE_TEXT)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.analysis.anomalies."""
+
+from repro.analysis.anomalies import (
+    classify_counterexample,
+    classify_schedule,
+)
+from repro.core.isolation import Allocation
+from repro.core.robustness import check_robustness
+from repro.core.schedules import serial_schedule
+from repro.core.workload import workload
+from repro.workloads.smallbank import si_anomaly_triple
+
+
+def counterexample_for(wl, alloc):
+    result = check_robustness(wl, alloc)
+    assert not result.robust
+    return result.counterexample
+
+
+class TestClassification:
+    def test_write_skew_named(self, write_skew):
+        ce = counterexample_for(write_skew, Allocation.si(write_skew))
+        report = classify_counterexample(ce)
+        assert report.name == "write skew"
+        assert set(report.transactions) == {1, 2}
+        assert set(report.objects) == {"x", "y"}
+
+    def test_lost_update_named(self, lost_update):
+        ce = counterexample_for(lost_update, Allocation.rc(lost_update))
+        report = classify_counterexample(ce)
+        assert report.name == "lost update"
+        assert report.objects == ("x",)
+
+    def test_read_only_anomaly_named(self):
+        wl = si_anomaly_triple()
+        ce = counterexample_for(wl, Allocation.si(wl))
+        report = classify_counterexample(ce)
+        # T1 (Balance) is read-only; the cycle has three transactions.
+        if len(report.transactions) > 2:
+            assert report.name == "read-only anomaly"
+        else:
+            assert report.name in ("write skew", "read-write cycle")
+
+    def test_long_cycle_named(self):
+        wl = workload(
+            "R1[a] W1[d]",
+            "W2[a] R2[b]",
+            "W3[b] R3[c]",
+            "W4[c] R4[d]",
+        )
+        ce = counterexample_for(wl, Allocation.si(wl))
+        report = classify_counterexample(ce)
+        assert len(report.transactions) >= 3
+        assert report.name in ("long fork", "serialization cycle", "read-only anomaly")
+
+    def test_serializable_schedule_unclassified(self, disjoint_pair):
+        s = serial_schedule(disjoint_pair, [1, 2])
+        assert classify_schedule(s) is None
+
+    def test_report_str(self, write_skew):
+        ce = counterexample_for(write_skew, Allocation.si(write_skew))
+        text = str(classify_counterexample(ce))
+        assert "write skew" in text and "T1" in text

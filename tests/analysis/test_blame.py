@@ -1,0 +1,111 @@
+"""Unit tests for repro.analysis.blame and enumerate_counterexamples."""
+
+import pytest
+
+from repro.analysis.blame import blame_report, minimal_promotion_sets
+from repro.core.allowed import is_allowed
+from repro.core.isolation import Allocation, IsolationLevel
+from repro.core.robustness import enumerate_counterexamples, is_robust
+from repro.core.serialization import is_conflict_serializable
+from repro.core.workload import workload
+from repro.workloads.smallbank import si_anomaly_triple
+
+
+class TestEnumerateCounterexamples:
+    def test_empty_for_robust(self, disjoint_pair):
+        alloc = Allocation.rc(disjoint_pair)
+        assert list(enumerate_counterexamples(disjoint_pair, alloc)) == []
+
+    def test_every_witness_is_genuine(self, write_skew):
+        alloc = Allocation.si(write_skew)
+        witnesses = list(enumerate_counterexamples(write_skew, alloc))
+        assert witnesses
+        for ce in witnesses:
+            assert is_allowed(ce.schedule, alloc)
+            assert not is_conflict_serializable(ce.schedule)
+
+    def test_one_per_triple(self, write_skew):
+        alloc = Allocation.si(write_skew)
+        triples = [
+            (ce.spec.chain[0].tid_i, ce.spec.chain[0].tid_j, ce.spec.chain[-1].tid_i)
+            for ce in enumerate_counterexamples(write_skew, alloc)
+        ]
+        assert len(triples) == len(set(triples))
+        # Symmetric skew: both (1,2,2) and (2,1,1) style triples exist.
+        assert len(triples) >= 2
+
+    def test_skip_materialization(self, write_skew):
+        alloc = Allocation.si(write_skew)
+        fast = list(
+            enumerate_counterexamples(write_skew, alloc, materialize_schedules=False)
+        )
+        assert fast and all(ce.schedule is not None for ce in fast)
+
+
+class TestBlameReport:
+    def test_robust_report(self, disjoint_pair):
+        report = blame_report(disjoint_pair, Allocation.rc(disjoint_pair))
+        assert report.robust
+        assert report.ranked() == []
+        assert "robust" in str(report)
+
+    def test_skew_blames_both(self, write_skew):
+        report = blame_report(write_skew, Allocation.si(write_skew))
+        assert not report.robust
+        blamed = {entry.tid for entry in report.ranked()}
+        assert blamed == {1, 2}
+
+    def test_innocent_bystander_not_blamed(self):
+        wl = workload("R1[x] W1[y]", "R2[y] W2[x]", "R3[private]")
+        report = blame_report(wl, Allocation.si(wl))
+        blamed = {entry.tid for entry in report.ranked()}
+        assert 3 not in blamed
+
+    def test_roles_recorded(self, write_skew):
+        report = blame_report(write_skew, Allocation.si(write_skew))
+        entry = report.ranked()[0]
+        assert entry.total == (
+            entry.as_split + entry.as_first_committer + entry.as_closer
+        )
+        assert "split" in str(report)
+
+
+class TestMinimalPromotionSets:
+    def test_robust_needs_nothing(self, disjoint_pair):
+        sets = minimal_promotion_sets(disjoint_pair, Allocation.rc(disjoint_pair))
+        assert sets == [frozenset()]
+
+    def test_skew_needs_both(self, write_skew):
+        sets = minimal_promotion_sets(write_skew, Allocation.si(write_skew))
+        assert sets == [frozenset({1, 2})]
+
+    def test_lost_update_single_promotion(self, lost_update):
+        # RC everywhere is unsafe; promoting either transaction to SI fixes
+        # it?  No: both writers must be FCW-protected... verify exactly.
+        sets = minimal_promotion_sets(
+            lost_update, Allocation.rc(lost_update), level=IsolationLevel.SI
+        )
+        for promo in sets:
+            candidate = Allocation.rc(lost_update)
+            for tid in promo:
+                candidate = candidate.with_level(tid, IsolationLevel.SI)
+            assert is_robust(lost_update, candidate)
+
+    def test_smallbank_triple_promotions(self):
+        wl = si_anomaly_triple()
+        sets = minimal_promotion_sets(wl, Allocation.si(wl))
+        assert sets
+        # Every returned set is minimal: removing any member breaks it.
+        for promo in sets:
+            for tid in promo:
+                smaller = promo - {tid}
+                candidate = Allocation.si(wl)
+                for other in smaller:
+                    candidate = candidate.with_level(other, IsolationLevel.SSI)
+                assert not is_robust(wl, candidate)
+
+    def test_size_bound_respected(self, write_skew):
+        sets = minimal_promotion_sets(
+            write_skew, Allocation.si(write_skew), max_size=1
+        )
+        assert sets == []  # promoting one transaction is not enough

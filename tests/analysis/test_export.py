@@ -1,0 +1,58 @@
+"""Unit tests for repro.analysis.export."""
+
+import csv
+import io
+
+from repro.analysis.export import (
+    allocation_to_csv,
+    conflict_graph_dot,
+    rows_to_csv,
+    serialization_graph_dot,
+)
+from repro.core.isolation import Allocation
+from repro.core.schedules import canonical_schedule, serial_schedule
+from repro.core.serialization import serialization_graph
+from repro.core.transactions import parse_schedule_operations
+from repro.core.workload import workload
+
+
+class TestSerializationGraphDot:
+    def test_contains_nodes_and_colored_edges(self, write_skew):
+        s = canonical_schedule(
+            write_skew,
+            parse_schedule_operations("R1[x] R2[y] W1[y] W2[x] C1 C2"),
+            Allocation.si(write_skew),
+        )
+        dot = serialization_graph_dot(serialization_graph(s))
+        assert dot.startswith("digraph SeG {")
+        assert "T1 [shape=circle];" in dot
+        assert "color=red" in dot  # rw edges
+        assert dot.rstrip().endswith("}")
+
+    def test_no_edges(self, disjoint_pair):
+        s = serial_schedule(disjoint_pair, [1, 2])
+        dot = serialization_graph_dot(serialization_graph(s))
+        assert "->" not in dot.replace("digraph", "")
+
+
+class TestConflictGraphDot:
+    def test_undirected_edges(self, write_skew):
+        dot = conflict_graph_dot(write_skew)
+        assert "graph conflicts {" in dot
+        assert "T1 -- T2;" in dot
+
+    def test_allocation_labels(self, write_skew):
+        dot = conflict_graph_dot(write_skew, Allocation.si(write_skew))
+        assert "SI" in dot
+
+
+class TestCsv:
+    def test_rows_to_csv_roundtrip(self):
+        text = rows_to_csv(("a", "b"), [(1, "x"), (2, "y,z")])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "x"], ["2", "y,z"]]
+
+    def test_allocation_to_csv(self):
+        text = allocation_to_csv(Allocation({1: "RC", 2: "SSI"}))
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["transaction", "level"], ["T1", "RC"], ["T2", "SSI"]]

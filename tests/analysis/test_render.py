@@ -1,0 +1,91 @@
+"""Unit tests for repro.analysis.render."""
+
+from repro.analysis.render import (
+    render_schedule,
+    render_serialization_graph,
+    render_workload,
+)
+from repro.core.isolation import Allocation
+from repro.core.schedules import serial_schedule
+from repro.core.serialization import serialization_graph
+from repro.core.workload import workload
+from repro.workloads.paper_examples import figure2_schedule
+
+
+class TestRenderSchedule:
+    def test_one_row_per_transaction(self):
+        s = figure2_schedule()
+        lines = render_schedule(s).splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("T1")
+        assert lines[3].startswith("T4")
+
+    def test_read_annotations(self):
+        s = figure2_schedule()
+        text = render_schedule(s)
+        assert "R1[t]<-0" in text       # initial version
+        assert "R4[v]<-3" in text       # version written by T3
+
+    def test_annotations_can_be_disabled(self):
+        s = figure2_schedule()
+        text = render_schedule(s, annotate_reads=False)
+        assert "<-" not in text
+        assert "R1[t]" in text
+
+    def test_columns_align_with_positions(self):
+        wl = workload("R1[x]", "W2[x]")
+        s = serial_schedule(wl, [1, 2])
+        lines = render_schedule(s).splitlines()
+        # T1's ops occupy the first two columns, T2's the last two.
+        assert lines[0].index("R1[x]") < lines[1].index("W2[x]")
+
+
+class TestRenderGraph:
+    def test_lists_labelled_edges(self):
+        g = serialization_graph(figure2_schedule())
+        text = render_serialization_graph(g)
+        assert "T1 -> T2: R1[t] -> W2[t] (rw)" in text
+        assert "T2 -> T4: W2[t] -> W4[t] (ww)" in text
+        assert "T3 -> T4: W3[v] -> R4[v] (wr)" in text
+
+    def test_empty_graph(self):
+        wl = workload("R1[x]", "R2[y]")
+        g = serialization_graph(serial_schedule(wl, [1, 2]))
+        assert render_serialization_graph(g) == "(no dependencies)"
+
+
+class TestRenderWorkload:
+    def test_one_line_per_transaction(self):
+        wl = workload("R1[x] W1[y]", "R2[y]")
+        text = render_workload(wl)
+        assert text.splitlines() == ["T1: R1[x] W1[y] C1", "T2: R2[y] C2"]
+
+
+class TestRenderSplitSchedule:
+    def _spec(self, wl, alloc):
+        from repro.core.robustness import check_robustness
+
+        result = check_robustness(wl, alloc)
+        assert not result.robust
+        return result.counterexample.spec
+
+    def test_figure1_shape(self):
+        from repro.analysis.render import render_split_schedule
+        from repro.core.isolation import Allocation
+
+        wl = workload("R1[x] W1[y]", "R2[y] W2[x]")
+        spec = self._spec(wl, Allocation.si(wl))
+        text = render_split_schedule(spec, wl)
+        header, body = text.splitlines()
+        assert "prefix(T1)" in header and "postfix(T1)" in header
+        assert "R1[x]" in body and "W1[y] C1" in body
+
+    def test_rest_column_for_unmentioned_transactions(self):
+        from repro.analysis.render import render_split_schedule
+        from repro.core.isolation import Allocation
+
+        wl = workload("R1[x] W1[y]", "R2[y] W2[x]", "R3[q]")
+        spec = self._spec(wl, Allocation.si(wl))
+        text = render_split_schedule(spec, wl)
+        assert "rest" in text
+        assert "R3[q]" in text

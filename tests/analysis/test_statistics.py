@@ -1,0 +1,42 @@
+"""Unit tests for repro.analysis.statistics."""
+
+from repro.analysis.statistics import workload_stats
+from repro.core.workload import workload
+from repro.workloads.generator import random_workload
+
+
+class TestWorkloadStats:
+    def test_counts(self, write_skew):
+        stats = workload_stats(write_skew)
+        assert stats.transactions == 2
+        assert stats.operations == 6  # commits included
+        assert stats.reads == 2 and stats.writes == 2
+        assert stats.objects == 2
+
+    def test_conflict_density(self, write_skew, disjoint_pair):
+        assert workload_stats(write_skew).conflict_density == 1.0
+        assert workload_stats(disjoint_pair).conflict_density == 0.0
+
+    def test_max_conflict_degree(self):
+        wl = workload("W1[hot]", "R2[hot]", "R3[hot]", "R4[cold]")
+        stats = workload_stats(wl)
+        assert stats.max_conflict_degree == 2  # T1 conflicts with T2, T3
+
+    def test_hottest_objects(self):
+        wl = workload("W1[hot] R1[cold]", "R2[hot]", "R3[hot]")
+        stats = workload_stats(wl)
+        assert stats.hottest_objects[0] == ("hot", 3)
+
+    def test_write_fraction(self):
+        wl = workload("W1[a] W1[b]", "R2[a]")
+        assert workload_stats(wl).write_fraction == 2 / 3
+
+    def test_empty_workload(self):
+        stats = workload_stats(workload())
+        assert stats.transactions == 0
+        assert stats.conflict_density == 0.0
+        assert stats.write_fraction == 0.0
+
+    def test_str_mentions_key_numbers(self):
+        text = str(workload_stats(random_workload(transactions=5, seed=0)))
+        assert "5 txns" in text and "conflict density" in text

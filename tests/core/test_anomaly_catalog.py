@@ -1,0 +1,146 @@
+"""A curated catalog of classic anomalies and their robustness verdicts.
+
+Documentation-grade tests: each entry is a known workload shape from the
+isolation-level literature with its expected verdict per uniform
+allocation, all decided by Algorithm 1.  Sources: Berenson et al. (SIGMOD
+1995), Fekete et al. (TODS 2005), Fekete (PODS 2005) and the present
+paper's examples.
+"""
+
+import pytest
+
+from repro.core.allocation import optimal_allocation
+from repro.core.isolation import Allocation
+from repro.core.robustness import is_robust
+from repro.core.workload import workload
+
+# Each case: name, transactions, robust-vs-RC, robust-vs-SI (SSI is
+# always robust by definition of the allocation semantics).
+CATALOG = [
+    (
+        "write skew (Berenson et al. A5B)",
+        ("R1[x] W1[y]", "R2[y] W2[x]"),
+        False,
+        False,
+    ),
+    (
+        "lost update (A4): FCW saves SI",
+        ("R1[x] W1[x]", "R2[x] W2[x]"),
+        False,
+        True,
+    ),
+    (
+        "non-repeatable read shape (A2): two reads vs a writer",
+        ("R1[x] R1[y]", "W2[x] W2[y]"),
+        False,
+        True,
+    ),
+    (
+        "reader over two independent writers: no cycle, robust",
+        ("R1[x] R1[y]", "W2[x]", "W3[y]"),
+        True,
+        True,
+    ),
+    (
+        "inconsistent read (A5A): one writer updating both objects",
+        ("R1[x] R1[y]", "W2[x] W2[y]"),
+        False,
+        True,
+    ),
+    (
+        "read-only anomaly (Fekete/O'Neil/O'Neil)",
+        ("R1[s] R1[c]", "R2[s] R2[c] W2[c]", "R3[s] W3[s]"),
+        False,
+        False,
+    ),
+    (
+        "three-way write cycle: blind writes only",
+        ("W1[x] W1[y]", "W2[y] W2[z]", "W3[z] W3[x]"),
+        True,
+        True,
+    ),
+    (
+        "pure readers never conflict",
+        ("R1[x] R1[y]", "R2[x] R2[y]", "R3[y]"),
+        True,
+        True,
+    ),
+    (
+        "disjoint read-modify-writes",
+        ("R1[a] W1[a]", "R2[b] W2[b]"),
+        True,
+        True,
+    ),
+    (
+        "RMW chain without cycle",
+        ("R1[a] W1[b]", "R2[b] W2[c]", "R3[c] W3[d]"),
+        True,
+        True,
+    ),
+    (
+        "cyclic RMW chain",
+        ("R1[a] W1[b]", "R2[b] W2[c]", "R3[c] W3[a]"),
+        False,
+        False,
+    ),
+    (
+        "single transaction is always safe",
+        ("R1[x] W1[x] R1[y] W1[y]",),
+        True,
+        True,
+    ),
+    (
+        "counter increments (RMW on one hot row)",
+        ("R1[ctr] W1[ctr]", "R2[ctr] W2[ctr]", "R3[ctr] W3[ctr]"),
+        False,
+        True,
+    ),
+    (
+        "reader over one RMW writer",
+        ("R1[x]", "R2[x] W2[x]"),
+        True,
+        True,
+    ),
+    (
+        "reader over two unconnected RMW writers: still robust",
+        ("R1[x] R1[y]", "R2[x] W2[x]", "R3[y] W3[y]"),
+        True,
+        True,
+    ),
+    (
+        "reader over two writers linked by a shared RMW object: the ww "
+        "link is FCW-protected, so SI survives where RC does not",
+        ("R1[x] R1[y]", "R2[x] W2[x] R2[q] W2[q]", "R3[y] W3[y] R3[q] W3[q]"),
+        False,
+        True,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name, texts, rc_robust, si_robust",
+    CATALOG,
+    ids=[entry[0] for entry in CATALOG],
+)
+def test_catalog_verdicts(name, texts, rc_robust, si_robust):
+    wl = workload(*texts)
+    assert is_robust(wl, Allocation.rc(wl)) is rc_robust, "A_RC verdict"
+    assert is_robust(wl, Allocation.si(wl)) is si_robust, "A_SI verdict"
+    assert is_robust(wl, Allocation.ssi(wl)), "A_SSI is always robust"
+
+
+@pytest.mark.parametrize(
+    "name, texts, rc_robust, si_robust",
+    CATALOG,
+    ids=[entry[0] for entry in CATALOG],
+)
+def test_catalog_optima_consistent(name, texts, rc_robust, si_robust):
+    """Prop 5.1 ordering: RC-robust => SI-robust; optima match verdicts."""
+    wl = workload(*texts)
+    if rc_robust:
+        assert si_robust  # Proposition 5.1 on concrete instances
+    optimum = optimal_allocation(wl)
+    if rc_robust:
+        assert optimum == Allocation.rc(wl)
+    elif si_robust:
+        assert optimum <= Allocation.si(wl)

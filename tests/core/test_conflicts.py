@@ -1,0 +1,207 @@
+"""Unit tests for repro.core.conflicts."""
+
+import pytest
+from hypothesis import given
+
+import strategies as sts
+from repro.core.conflicts import (
+    ConflictQuadruple,
+    conflict_equivalent,
+    conflict_kind,
+    conflicting,
+    conflicting_pairs,
+    dependencies,
+    dependency_kind,
+    depends,
+    rw_antidependencies,
+    rw_conflicting,
+    transactions_conflict,
+    ww_conflicting,
+    wr_conflicting,
+)
+from repro.core.isolation import Allocation
+from repro.core.operations import OP0, commit, read, write
+from repro.core.schedules import canonical_schedule, serial_schedule
+from repro.core.transactions import parse_schedule_operations, parse_transaction
+from repro.core.workload import workload
+
+
+class TestConflictPredicates:
+    def test_ww(self):
+        assert ww_conflicting(write(1, "x"), write(2, "x"))
+        assert not ww_conflicting(write(1, "x"), write(2, "y"))
+        assert not ww_conflicting(write(1, "x"), write(1, "x"))
+        assert not ww_conflicting(write(1, "x"), read(2, "x"))
+
+    def test_wr(self):
+        assert wr_conflicting(write(1, "x"), read(2, "x"))
+        assert not wr_conflicting(read(1, "x"), write(2, "x"))
+        assert not wr_conflicting(write(1, "x"), read(1, "x"))
+
+    def test_rw(self):
+        assert rw_conflicting(read(1, "x"), write(2, "x"))
+        assert not rw_conflicting(write(1, "x"), read(2, "x"))
+        assert not rw_conflicting(read(1, "x"), read(2, "x"))
+
+    def test_conflicting_any(self):
+        assert conflicting(write(1, "x"), write(2, "x"))
+        assert conflicting(write(1, "x"), read(2, "x"))
+        assert conflicting(read(1, "x"), write(2, "x"))
+        assert not conflicting(read(1, "x"), read(2, "x"))
+
+    def test_commits_never_conflict(self):
+        assert not conflicting(commit(1), write(2, "x"))
+        assert not conflicting(write(1, "x"), commit(2))
+
+    def test_op0_never_conflicts(self):
+        assert not conflicting(OP0, write(2, "x"))
+
+    def test_conflict_kind(self):
+        assert conflict_kind(write(1, "x"), write(2, "x")) == "ww"
+        assert conflict_kind(write(1, "x"), read(2, "x")) == "wr"
+        assert conflict_kind(read(1, "x"), write(2, "x")) == "rw"
+        assert conflict_kind(read(1, "x"), read(2, "x")) is None
+
+
+class TestTransactionConflicts:
+    def test_symmetric_existence(self):
+        t1 = parse_transaction("R1[x]")
+        t2 = parse_transaction("W2[x]")
+        assert transactions_conflict(t1, t2)
+        assert transactions_conflict(t2, t1)
+
+    def test_read_read_no_conflict(self):
+        t1 = parse_transaction("R1[x]")
+        t2 = parse_transaction("R2[x]")
+        assert not transactions_conflict(t1, t2)
+
+    def test_self_no_conflict(self):
+        t1 = parse_transaction("R1[x] W1[x]")
+        assert not transactions_conflict(t1, t1)
+
+    def test_conflicting_pairs(self):
+        t1 = parse_transaction("R1[x] W1[y]")
+        t2 = parse_transaction("W2[x] R2[y] W2[y]")
+        pairs = set(conflicting_pairs(t1, t2))
+        assert (read(1, "x"), write(2, "x")) in pairs
+        assert (write(1, "y"), read(2, "y")) in pairs
+        assert (write(1, "y"), write(2, "y")) in pairs
+        assert len(pairs) == 3
+
+
+class TestConflictQuadruple:
+    def test_valid(self):
+        quad = ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2)
+        assert quad.kind == "rw"
+        assert "T1" in str(quad)
+
+    def test_mismatched_tids_rejected(self):
+        with pytest.raises(ValueError):
+            ConflictQuadruple(2, read(1, "x"), write(2, "x"), 2)
+
+    def test_non_conflicting_rejected(self):
+        with pytest.raises(ValueError):
+            ConflictQuadruple(1, read(1, "x"), read(2, "x"), 2)
+
+
+class TestDependencies:
+    """The paper's Figure 2 dependencies, rebuilt on a small schedule."""
+
+    def setup_method(self):
+        self.wl = workload("W1[x] R1[y]", "R2[x] W2[x] W2[y]")
+        # Under RC: R2[x] precedes C1 so it observes the initial version;
+        # R1[y] follows C2 so it observes W2[y].  T1 writes x first but
+        # commits second, so the version order is W2[x] << W1[x].
+        self.s = canonical_schedule(
+            self.wl,
+            parse_schedule_operations("W1[x] R2[x] W2[x] W2[y] C2 R1[y] C1"),
+            Allocation.rc(self.wl),
+        )
+
+    def test_ww_dependency_follows_version_order(self):
+        # T2 commits first: W2[x] << W1[x].
+        assert dependency_kind(self.s, write(2, "x"), write(1, "x")) == "ww"
+        assert dependency_kind(self.s, write(1, "x"), write(2, "x")) is None
+
+    def test_wr_dependency(self):
+        # R1[y] reads last committed = W2[y].
+        assert self.s.version_of(read(1, "y")) == write(2, "y")
+        assert dependency_kind(self.s, write(2, "y"), read(1, "y")) == "wr"
+
+    def test_rw_antidependency(self):
+        # R2[x] observed op0 << W1[x].
+        assert dependency_kind(self.s, read(2, "x"), write(1, "x")) == "rw"
+
+    def test_depends_wrapper(self):
+        assert depends(self.s, read(2, "x"), write(1, "x"))
+        assert not depends(self.s, write(1, "x"), write(2, "x"))
+
+    def test_dependencies_enumeration(self):
+        deps = {(kind, q.b, q.a) for kind, q in dependencies(self.s)}
+        assert ("ww", write(2, "x"), write(1, "x")) in deps
+        assert ("wr", write(2, "y"), read(1, "y")) in deps
+        assert ("rw", read(2, "x"), write(1, "x")) in deps
+
+    def test_rw_antidependencies_helper(self):
+        edges = rw_antidependencies(self.s, 2, 1)
+        assert [(q.b, q.a) for q in edges] == [(read(2, "x"), write(1, "x"))]
+        assert rw_antidependencies(self.s, 1, 2) == []
+
+    def test_wr_dependency_via_version_order(self):
+        # Reader observes a later version than the writer's: still a
+        # wr-dependency (b << v_s(a)).
+        wl = workload("W1[x]", "W2[x]", "R3[x]")
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("W1[x] C1 W2[x] C2 R3[x] C3"),
+            Allocation.rc(wl),
+        )
+        assert s.version_of(read(3, "x")) == write(2, "x")
+        assert dependency_kind(s, write(1, "x"), read(3, "x")) == "wr"
+
+    def test_no_rw_antidependency_when_read_saw_the_write(self):
+        wl = workload("W1[x]", "R2[x]")
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("W1[x] C1 R2[x] C2"),
+            Allocation.rc(wl),
+        )
+        # R2 observed W1's version, so there is no antidependency back.
+        assert dependency_kind(s, read(2, "x"), write(1, "x")) is None
+        assert dependency_kind(s, write(1, "x"), read(2, "x")) == "wr"
+
+
+class TestConflictEquivalence:
+    def test_equivalent_to_itself(self, write_skew):
+        s = serial_schedule(write_skew, [1, 2])
+        assert conflict_equivalent(s, s)
+
+    def test_different_workloads_not_equivalent(self, write_skew, disjoint_pair):
+        s1 = serial_schedule(write_skew, [1, 2])
+        s2 = serial_schedule(disjoint_pair, [1, 2])
+        assert not conflict_equivalent(s1, s2)
+
+    def test_reordered_conflicting_writes_not_equivalent(self):
+        wl = workload("W1[x]", "W2[x]")
+        s1 = serial_schedule(wl, [1, 2])
+        s2 = serial_schedule(wl, [2, 1])
+        assert not conflict_equivalent(s1, s2)
+
+    def test_reordered_disjoint_serials_equivalent(self, disjoint_pair):
+        s1 = serial_schedule(disjoint_pair, [1, 2])
+        s2 = serial_schedule(disjoint_pair, [2, 1])
+        assert conflict_equivalent(s1, s2)
+
+
+@given(sts.workloads(max_transactions=3))
+def test_every_conflicting_pair_yields_exactly_one_dependency(wl):
+    """Trichotomy: per conflicting pair, exactly one direction depends."""
+    s = serial_schedule(wl, list(wl.tids))
+    for ti in wl:
+        for tj in wl:
+            if ti.tid >= tj.tid:
+                continue
+            for b, a in conflicting_pairs(ti, tj):
+                forward = depends(s, b, a)
+                backward = depends(s, a, b)
+                assert forward != backward

@@ -1,0 +1,97 @@
+"""Edge cases across the core: empty bodies, singletons, degenerate inputs."""
+
+import pytest
+
+from repro.core.allocation import optimal_allocation
+from repro.core.allowed import allowed_under, is_allowed
+from repro.core.isolation import Allocation
+from repro.core.robustness import check_robustness, is_robust
+from repro.core.schedules import canonical_schedule, serial_schedule
+from repro.core.serialization import is_conflict_serializable
+from repro.core.transactions import Transaction
+from repro.core.workload import Workload, workload
+
+
+class TestCommitOnlyTransactions:
+    """Transactions with empty bodies: first(T) is the commit itself."""
+
+    def setup_method(self):
+        self.wl = Workload([Transaction(1, []), Transaction(2, [])])
+
+    def test_schedulable(self):
+        s = serial_schedule(self.wl, [1, 2])
+        assert is_conflict_serializable(s)
+
+    def test_allowed_under_everything(self):
+        s = serial_schedule(self.wl, [2, 1])
+        for level in ("RC", "SI", "SSI"):
+            assert is_allowed(s, Allocation.uniform(self.wl, level))
+
+    def test_robust_under_everything(self):
+        for level in ("RC", "SI", "SSI"):
+            assert is_robust(self.wl, Allocation.uniform(self.wl, level))
+
+    def test_optimal_is_rc(self):
+        assert optimal_allocation(self.wl) == Allocation.rc(self.wl)
+
+
+class TestMixedEmptyAndReal:
+    def test_empty_transaction_never_blamed(self, write_skew):
+        wl = Workload(list(write_skew) + [Transaction(3, [])])
+        result = check_robustness(wl, Allocation.si(wl))
+        assert not result.robust
+        chain_tids = {q.tid_i for q in result.counterexample.spec.chain}
+        assert 3 not in chain_tids
+
+
+class TestWriteOnlyWorkloads:
+    def test_blind_writer_pair(self):
+        wl = workload("W1[x]", "W2[x]")
+        # Blind write-write on one object is robust at every level: the
+        # split needs a read (condition 4).
+        for level in ("RC", "SI", "SSI"):
+            assert is_robust(wl, Allocation.uniform(wl, level))
+
+    def test_blind_writers_cycle_robust(self):
+        wl = workload("W1[x] W1[y]", "W2[y] W2[x]")
+        assert is_robust(wl, Allocation.rc(wl))
+
+
+class TestReadOnlyWorkloads:
+    def test_any_interleaving_serializable(self):
+        wl = workload("R1[x] R1[y]", "R2[y] R2[x]")
+        from repro.enumeration import interleavings
+
+        alloc = Allocation.rc(wl)
+        for order in interleavings(wl):
+            s = canonical_schedule(wl, order, alloc)
+            assert is_allowed(s, alloc)
+            assert is_conflict_serializable(s)
+
+
+class TestSingleObjectSaturation:
+    def test_many_rmws_on_one_object(self):
+        wl = workload(*[f"R{i}[hot] W{i}[hot]" for i in range(1, 7)])
+        assert not is_robust(wl, Allocation.rc(wl))
+        assert is_robust(wl, Allocation.si(wl))
+        optimum = optimal_allocation(wl)
+        assert optimum == Allocation.si(wl)
+
+    def test_single_rc_in_rmw_group_breaks(self):
+        wl = workload(*[f"R{i}[hot] W{i}[hot]" for i in range(1, 4)])
+        broken = Allocation.si(wl).with_level(2, "RC")
+        assert not is_robust(wl, broken)
+
+
+class TestAllowedDegenerate:
+    def test_schedule_over_empty_workload(self):
+        wl = Workload([])
+        s = canonical_schedule(wl, (), Allocation({}))
+        report = allowed_under(s, Allocation({}))
+        assert report.allowed
+        assert is_conflict_serializable(s)
+
+    def test_self_concurrency_is_false(self):
+        wl = workload("R1[x]")
+        s = serial_schedule(wl, [1])
+        assert not s.concurrent(1, 1)

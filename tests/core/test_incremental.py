@@ -1,0 +1,136 @@
+"""Unit and property tests for repro.core.incremental."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+import strategies as sts
+from repro.core.allocation import optimal_allocation
+from repro.core.incremental import AllocationManager, incremental_counterexample
+from repro.core.isolation import Allocation, IsolationLevel, ORACLE_LEVELS
+from repro.core.robustness import check_robustness, is_robust
+from repro.core.transactions import parse_transaction
+from repro.core.workload import Workload, WorkloadError, workload
+
+
+class TestAllocationManager:
+    def test_empty_start(self):
+        manager = AllocationManager()
+        assert len(manager.workload) == 0
+        assert manager.allocation == Allocation({})
+
+    def test_add_single(self):
+        manager = AllocationManager()
+        alloc = manager.add(parse_transaction("R1[x] W1[y]"))
+        assert alloc[1] is IsolationLevel.RC
+
+    def test_write_skew_forces_upgrade(self):
+        manager = AllocationManager()
+        manager.add(parse_transaction("R1[x] W1[y]"))
+        alloc = manager.add(parse_transaction("R2[y] W2[x]"))
+        assert alloc[1] is IsolationLevel.SSI
+        assert alloc[2] is IsolationLevel.SSI
+
+    def test_remove_relaxes(self):
+        manager = AllocationManager()
+        manager.add(parse_transaction("R1[x] W1[y]"))
+        manager.add(parse_transaction("R2[y] W2[x]"))
+        alloc = manager.remove(1)
+        assert alloc[2] is IsolationLevel.RC
+
+    def test_duplicate_add_rejected(self):
+        manager = AllocationManager()
+        manager.add(parse_transaction("R1[x]"))
+        with pytest.raises(WorkloadError):
+            manager.add(parse_transaction("W1[y]"))
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(WorkloadError):
+            AllocationManager().remove(5)
+
+    def test_requires_ssi_in_class(self):
+        with pytest.raises(ValueError, match="SSI"):
+            AllocationManager(levels=ORACLE_LEVELS)
+
+    def test_check_arbitrary_allocation(self):
+        manager = AllocationManager()
+        manager.add(parse_transaction("R1[x] W1[y]"))
+        manager.add(parse_transaction("R2[y] W2[x]"))
+        assert not manager.check(Allocation.si(manager.workload))
+        assert manager.check(Allocation.ssi(manager.workload))
+
+    def test_warm_start_skips_checks_when_independent(self):
+        manager = AllocationManager()
+        manager.add(parse_transaction("R1[a] W1[a]"))
+        manager.add(parse_transaction("R2[b] W2[b]"))
+        # Third transaction on fresh objects: the old optimum must hold,
+        # so only the newcomer is refined (at most 1 + levels-1 checks).
+        manager.add(parse_transaction("R3[c] W3[c]"))
+        assert manager.last_check_count <= 3
+
+
+@given(sts.workloads(min_transactions=1, max_transactions=4))
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_incremental_add_matches_batch(wl):
+    """Adding one by one lands on the same optimum as Algorithm 2."""
+    manager = AllocationManager()
+    for txn in wl:
+        manager.add(txn)
+    assert manager.allocation == optimal_allocation(wl)
+
+
+@given(sts.workloads(min_transactions=2, max_transactions=4))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_incremental_remove_matches_batch(wl):
+    """Removing a transaction re-optimizes exactly."""
+    manager = AllocationManager()
+    for txn in wl:
+        manager.add(txn)
+    victim = wl.tids[0]
+    manager.remove(victim)
+    assert manager.allocation == optimal_allocation(wl.without(victim))
+
+
+@given(sts.workloads(min_transactions=1, max_transactions=4))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_subset_robustness_monotonicity(wl):
+    """Counterexamples survive growth: subsets of robust workloads are robust."""
+    alloc = Allocation.si(wl)
+    if not is_robust(wl, alloc):
+        return
+    for tid in wl.tids:
+        smaller = wl.without(tid)
+        smaller_alloc = Allocation({t: alloc[t] for t in smaller.tids})
+        assert is_robust(smaller, smaller_alloc)
+
+
+class TestIncrementalCounterexample:
+    def test_reuses_valid_witness(self, write_skew):
+        alloc = Allocation.si(write_skew)
+        first = check_robustness(write_skew, alloc).counterexample
+        grown = Workload(
+            list(write_skew) + [parse_transaction("R3[q] W3[q]")]
+        )
+        grown_alloc = Allocation({1: "SI", 2: "SI", 3: "SI"})
+        reused = incremental_counterexample(first, grown, grown_alloc)
+        assert reused is not None
+        assert reused.spec == first.spec  # same chain, re-materialized
+
+    def test_detects_new_robustness(self, write_skew):
+        alloc = Allocation.si(write_skew)
+        first = check_robustness(write_skew, alloc).counterexample
+        # Upgrading both to SSI invalidates the witness and the workload
+        # becomes robust.
+        ssi = Allocation.ssi(write_skew)
+        assert incremental_counterexample(first, write_skew, ssi) is None
+
+    def test_rechecks_after_chain_member_removed(self, write_skew):
+        alloc = Allocation.si(write_skew)
+        first = check_robustness(write_skew, alloc).counterexample
+        smaller = write_skew.without(2)
+        smaller_alloc = Allocation({1: "SI"})
+        assert incremental_counterexample(first, smaller, smaller_alloc) is None
+
+    def test_no_previous_runs_fresh(self, write_skew):
+        alloc = Allocation.si(write_skew)
+        found = incremental_counterexample(None, write_skew, alloc)
+        assert found is not None

@@ -1,0 +1,290 @@
+"""Unit tests for repro.core.schedules."""
+
+import pytest
+from hypothesis import given
+
+import strategies as sts
+from repro.core.isolation import Allocation, IsolationLevel
+from repro.core.operations import OP0, commit, read, write
+from repro.core.schedules import (
+    MVSchedule,
+    ScheduleError,
+    canonical_schedule,
+    commit_order_version_order,
+    schedule_from_text,
+    serial_schedule,
+)
+from repro.core.transactions import parse_schedule_operations
+from repro.core.workload import workload
+
+
+@pytest.fixture
+def pair():
+    return workload("R1[x] W1[y]", "R2[y] W2[x]")
+
+
+def make(pair, text, level="RC"):
+    return canonical_schedule(
+        pair, parse_schedule_operations(text), Allocation.uniform(pair, level)
+    )
+
+
+class TestValidation:
+    def test_missing_operation_rejected(self, pair):
+        with pytest.raises(ScheduleError, match="missing"):
+            MVSchedule(pair, parse_schedule_operations("R1[x] W1[y] C1"), {}, {})
+
+    def test_foreign_operation_rejected(self, pair):
+        order = parse_schedule_operations("R1[x] W1[y] C1 R2[y] W2[x] C2 R3[q] C3")
+        with pytest.raises(ScheduleError):
+            MVSchedule(pair, order, {}, {})
+
+    def test_duplicate_operation_rejected(self, pair):
+        order = parse_schedule_operations("R1[x] R1[x] W1[y] C1 R2[y] W2[x] C2")
+        with pytest.raises(ScheduleError, match="twice"):
+            MVSchedule(pair, order, {}, {})
+
+    def test_program_order_violation_rejected(self, pair):
+        order = parse_schedule_operations("W1[y] R1[x] C1 R2[y] W2[x] C2")
+        with pytest.raises(ScheduleError, match="program order"):
+            MVSchedule(pair, order, {"x": (write(2, "x"),), "y": (write(1, "y"),)}, {})
+
+    def test_version_order_must_cover_written_objects(self, pair):
+        order = parse_schedule_operations("R1[x] W1[y] C1 R2[y] W2[x] C2")
+        with pytest.raises(ScheduleError, match="version order"):
+            MVSchedule(pair, order, {"y": (write(1, "y"),)}, {})
+
+    def test_version_order_wrong_ops_rejected(self, pair):
+        order = parse_schedule_operations("R1[x] W1[y] C1 R2[y] W2[x] C2")
+        with pytest.raises(ScheduleError):
+            MVSchedule(
+                pair,
+                order,
+                {"x": (write(1, "y"),), "y": (write(1, "y"),)},
+                {},
+            )
+
+    def test_version_function_must_cover_reads(self, pair):
+        order = parse_schedule_operations("R1[x] W1[y] C1 R2[y] W2[x] C2")
+        vo = {"x": (write(2, "x"),), "y": (write(1, "y"),)}
+        with pytest.raises(ScheduleError, match="undefined"):
+            MVSchedule(pair, order, vo, {read(1, "x"): OP0})
+
+    def test_read_cannot_observe_later_write(self, pair):
+        order = parse_schedule_operations("R1[x] W1[y] C1 R2[y] W2[x] C2")
+        vo = {"x": (write(2, "x"),), "y": (write(1, "y"),)}
+        vf = {read(1, "x"): write(2, "x"), read(2, "y"): write(1, "y")}
+        with pytest.raises(ScheduleError, match="does not precede"):
+            MVSchedule(pair, order, vo, vf)
+
+    def test_read_cannot_observe_other_object(self, pair):
+        order = parse_schedule_operations("R1[x] W1[y] C1 R2[y] W2[x] C2")
+        vo = {"x": (write(2, "x"),), "y": (write(1, "y"),)}
+        vf = {read(1, "x"): OP0, read(2, "y"): write(2, "x")}
+        with pytest.raises(ScheduleError):
+            MVSchedule(pair, order, vo, vf)
+
+
+class TestPositions:
+    def test_op0_position(self, pair):
+        s = make(pair, "R1[x] W1[y] C1 R2[y] W2[x] C2")
+        assert s.position(OP0) == -1
+        assert s.before(OP0, read(1, "x"))
+
+    def test_before(self, pair):
+        s = make(pair, "R1[x] R2[y] W1[y] C1 W2[x] C2")
+        assert s.before(read(1, "x"), read(2, "y"))
+        assert not s.before(commit(2), commit(1))
+
+    def test_position_foreign_raises(self, pair):
+        s = make(pair, "R1[x] W1[y] C1 R2[y] W2[x] C2")
+        with pytest.raises(ScheduleError):
+            s.position(read(3, "x"))
+
+    def test_commit_position(self, pair):
+        s = make(pair, "R1[x] W1[y] C1 R2[y] W2[x] C2")
+        assert s.commit_position(1) == 2
+
+
+class TestConcurrency:
+    def test_serial_not_concurrent(self, pair):
+        s = make(pair, "R1[x] W1[y] C1 R2[y] W2[x] C2")
+        assert not s.concurrent(1, 2)
+
+    def test_overlapping_concurrent(self, pair):
+        s = make(pair, "R1[x] R2[y] W1[y] C1 W2[x] C2")
+        assert s.concurrent(1, 2) and s.concurrent(2, 1)
+
+    def test_self_not_concurrent(self, pair):
+        s = make(pair, "R1[x] R2[y] W1[y] C1 W2[x] C2")
+        assert not s.concurrent(1, 1)
+
+
+class TestVersionOrder:
+    def test_commit_order_version_order(self):
+        wl = workload("W1[x]", "W2[x]")
+        order = parse_schedule_operations("W1[x] W2[x] C2 C1")
+        vo = commit_order_version_order(wl, order)
+        assert vo["x"] == (write(2, "x"), write(1, "x"))  # T2 commits first
+
+    def test_installs_before_op0(self, pair):
+        s = make(pair, "R1[x] W1[y] C1 R2[y] W2[x] C2")
+        assert s.installs_before(OP0, write(2, "x"))
+        assert not s.installs_before(write(2, "x"), OP0)
+
+    def test_installs_before_mismatched_objects(self, pair):
+        s = make(pair, "R1[x] W1[y] C1 R2[y] W2[x] C2")
+        with pytest.raises(ScheduleError):
+            s.installs_before(write(1, "y"), write(2, "x"))
+
+    def test_installs_before_non_write(self, pair):
+        s = make(pair, "R1[x] W1[y] C1 R2[y] W2[x] C2")
+        with pytest.raises(ScheduleError):
+            s.installs_before(write(1, "y"), read(2, "y"))
+
+    def test_installs_before_irreflexive(self, pair):
+        s = make(pair, "R1[x] W1[y] C1 R2[y] W2[x] C2")
+        assert not s.installs_before(write(1, "y"), write(1, "y"))
+
+
+class TestCanonicalSchedule:
+    def test_rc_reads_last_committed_at_read(self):
+        wl = workload("W1[x]", "R2[x]")
+        # R2[x] happens after C1 -> RC observes T1's write.
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("W1[x] C1 R2[x] C2"),
+            Allocation.rc(wl),
+        )
+        assert s.version_of(read(2, "x")) == write(1, "x")
+
+    def test_si_reads_snapshot_at_first(self):
+        wl = workload("W1[x]", "R2[y] R2[x]")
+        # T2 starts before C1; SI must observe the initial version of x.
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("R2[y] W1[x] C1 R2[x] C2"),
+            Allocation.si(wl),
+        )
+        assert s.version_of(read(2, "x")) == OP0
+
+    def test_rc_same_order_reads_new_version(self):
+        wl = workload("W1[x]", "R2[y] R2[x]")
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("R2[y] W1[x] C1 R2[x] C2"),
+            Allocation.rc(wl),
+        )
+        assert s.version_of(read(2, "x")) == write(1, "x")
+
+    def test_uncommitted_writes_invisible(self):
+        wl = workload("W1[x]", "R2[x]")
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("W1[x] R2[x] C1 C2"),
+            Allocation.rc(wl),
+        )
+        assert s.version_of(read(2, "x")) == OP0
+
+    def test_never_reads_own_write(self):
+        wl = workload("W1[x] R1[y]")
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("W1[x] R1[y] C1"),
+            Allocation.rc(wl),
+        )
+        assert s.version_of(read(1, "y")) == OP0
+
+
+class TestSerialSchedule:
+    def test_serial_is_single_version_serial(self, pair):
+        s = serial_schedule(pair, [2, 1])
+        assert s.is_serial()
+        assert s.is_single_version()
+        assert s.is_single_version_serial()
+        assert s.serial_transaction_order() == (2, 1)
+
+    def test_serial_reads_previous_writes(self):
+        wl = workload("W1[x]", "R2[x]")
+        s = serial_schedule(wl, [1, 2])
+        assert s.version_of(read(2, "x")) == write(1, "x")
+
+    def test_serial_bad_permutation(self, pair):
+        with pytest.raises(ScheduleError):
+            serial_schedule(pair, [1])
+
+    def test_interleaved_not_serial(self, pair):
+        s = make(pair, "R1[x] R2[y] W1[y] C1 W2[x] C2")
+        assert not s.is_serial()
+        with pytest.raises(ScheduleError):
+            s.serial_transaction_order()
+
+    def test_serial_order_requires_contiguity(self):
+        wl = workload("R1[x] W1[y]", "R2[a]")
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("R1[x] R2[a] C2 W1[y] C1"),
+            Allocation.rc(wl),
+        )
+        assert not s.is_serial()
+
+
+class TestSingleVersion:
+    def test_version_order_against_op_order_not_single_version(self):
+        wl = workload("W1[x]", "W2[x]")
+        # W1 before W2 in the order but T2 commits first: version order is
+        # W2 << W1, incompatible with <_s.
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("W1[x] W2[x] C2 C1"),
+            Allocation.rc(wl),
+        )
+        assert not s.is_single_version()
+
+    def test_stale_read_not_single_version(self):
+        wl = workload("W1[x]", "R2[y] R2[x]")
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("R2[y] W1[x] C1 R2[x] C2"),
+            Allocation.si(wl),
+        )
+        assert not s.is_single_version()  # R2[x] skips the later version
+
+
+class TestScheduleFromText:
+    def test_requires_some_components(self, pair):
+        with pytest.raises(ScheduleError):
+            schedule_from_text(pair, "R1[x] W1[y] C1 R2[y] W2[x] C2")
+
+    def test_with_allocation(self, pair):
+        s = schedule_from_text(
+            pair,
+            "R1[x] W1[y] C1 R2[y] W2[x] C2",
+            allocation=Allocation.rc(pair),
+        )
+        assert s.version_of(read(2, "y")) == write(1, "y")
+
+    def test_explicit_version_function(self, pair):
+        s = schedule_from_text(
+            pair,
+            "R1[x] W1[y] C1 R2[y] W2[x] C2",
+            version_function={read(1, "x"): OP0, read(2, "y"): OP0},
+        )
+        assert s.version_of(read(2, "y")) == OP0
+
+    def test_str_lists_operations(self, pair):
+        s = make(pair, "R1[x] W1[y] C1 R2[y] W2[x] C2")
+        assert str(s) == "R1[x] W1[y] C1 R2[y] W2[x] C2"
+
+
+@given(sts.workloads())
+def test_canonical_schedule_always_valid(wl):
+    """Canonical schedules satisfy all structural schedule requirements."""
+    order = wl.operations()  # serial in tid order
+    for level in ("RC", "SI"):
+        s = canonical_schedule(wl, order, Allocation.uniform(wl, level))
+        for txn in wl:
+            for op in txn.body:
+                if op.is_read:
+                    observed = s.version_of(op)
+                    assert observed.is_initial or s.before(observed, op)

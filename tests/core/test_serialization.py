@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.serialization (SeG(s), Theorem 2.2)."""
+
+import pytest
+from hypothesis import given
+
+import strategies as sts
+from repro.core.conflicts import conflict_equivalent
+from repro.core.isolation import Allocation
+from repro.core.schedules import canonical_schedule, serial_schedule
+from repro.core.serialization import (
+    SerializationGraph,
+    equivalent_serial_schedule,
+    is_conflict_serializable,
+    serialization_graph,
+)
+from repro.core.transactions import parse_schedule_operations
+from repro.core.workload import workload
+
+
+def write_skew_schedule():
+    wl = workload("R1[x] W1[y]", "R2[y] W2[x]")
+    s = canonical_schedule(
+        wl,
+        parse_schedule_operations("R1[x] R2[y] W1[y] W2[x] C1 C2"),
+        Allocation.si(wl),
+    )
+    return s
+
+
+class TestGraphStructure:
+    def test_nodes_are_all_transactions(self, disjoint_pair):
+        s = serial_schedule(disjoint_pair, [1, 2])
+        g = serialization_graph(s)
+        assert set(g.graph.nodes) == {1, 2}
+
+    def test_no_edges_for_disjoint(self, disjoint_pair):
+        s = serial_schedule(disjoint_pair, [1, 2])
+        g = serialization_graph(s)
+        assert list(g.edges()) == []
+
+    def test_write_skew_cycle(self):
+        g = serialization_graph(write_skew_schedule())
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert not g.is_acyclic()
+
+    def test_labels_carry_operation_pairs(self):
+        g = serialization_graph(write_skew_schedule())
+        quads = g.label(1, 2)
+        assert len(quads) == 1
+        assert quads[0].kind == "rw"
+
+    def test_label_absent_edge_empty(self, disjoint_pair):
+        s = serial_schedule(disjoint_pair, [1, 2])
+        g = serialization_graph(s)
+        assert g.label(1, 2) == ()
+
+    def test_quadruples_lists_everything(self):
+        g = serialization_graph(write_skew_schedule())
+        assert len(g.quadruples()) == 2
+
+    def test_commits_never_appear_in_edges(self):
+        g = serialization_graph(write_skew_schedule())
+        for quad in g.quadruples():
+            assert not quad.b.is_commit and not quad.a.is_commit
+
+
+class TestCycles:
+    def test_find_cycle_on_write_skew(self):
+        g = serialization_graph(write_skew_schedule())
+        cycle = g.find_cycle()
+        assert cycle is not None
+        tids = [quad.tid_i for quad in cycle]
+        assert sorted(tids) == [1, 2]
+        # The cycle closes: each edge's target is the next edge's source.
+        for left, right in zip(cycle, cycle[1:] + cycle[:1]):
+            assert left.tid_j == right.tid_i
+
+    def test_acyclic_has_no_cycle(self, disjoint_pair):
+        g = serialization_graph(serial_schedule(disjoint_pair, [1, 2]))
+        assert g.find_cycle() is None
+        assert g.is_acyclic()
+
+    def test_topological_order(self):
+        wl = workload("W1[x]", "R2[x]")
+        s = serial_schedule(wl, [1, 2])
+        g = serialization_graph(s)
+        assert g.topological_order() == (1, 2)
+
+    def test_topological_order_none_when_cyclic(self):
+        g = serialization_graph(write_skew_schedule())
+        assert g.topological_order() is None
+
+
+class TestConflictSerializability:
+    def test_serial_schedules_serializable(self, write_skew):
+        assert is_conflict_serializable(serial_schedule(write_skew, [1, 2]))
+        assert is_conflict_serializable(serial_schedule(write_skew, [2, 1]))
+
+    def test_write_skew_interleaving_not_serializable(self):
+        assert not is_conflict_serializable(write_skew_schedule())
+
+    def test_equivalent_serial_schedule_exists_when_acyclic(self):
+        wl = workload("W1[x]", "R2[x] W2[y]", "R3[y]")
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("W1[x] C1 R2[x] W2[y] C2 R3[y] C3"),
+            Allocation.rc(wl),
+        )
+        serial = equivalent_serial_schedule(s)
+        assert serial is not None
+        assert serial.is_single_version_serial()
+        assert conflict_equivalent(s, serial)
+
+    def test_equivalent_serial_schedule_none_when_cyclic(self):
+        assert equivalent_serial_schedule(write_skew_schedule()) is None
+
+    def test_figure2_style_stale_si_reads_serializable_case(self):
+        # SI read skipping a version can still be serializable.
+        wl = workload("W1[x]", "R2[y] R2[x]")
+        s = canonical_schedule(
+            wl,
+            parse_schedule_operations("R2[y] W1[x] C1 R2[x] C2"),
+            Allocation.si(wl),
+        )
+        assert is_conflict_serializable(s)  # order T2 then T1
+
+
+@given(sts.workloads(max_transactions=4))
+def test_serial_schedules_always_serializable(wl):
+    """Theorem 2.2 sanity: serial schedules are conflict serializable."""
+    if len(wl) == 0:
+        return
+    s = serial_schedule(wl, list(wl.tids))
+    assert is_conflict_serializable(s)
+
+
+@given(sts.workloads(max_transactions=4))
+def test_equivalent_serial_schedule_is_conflict_equivalent(wl):
+    """The topological-order serial schedule realizes the same dependencies."""
+    if len(wl) == 0:
+        return
+    s = serial_schedule(wl, list(reversed(wl.tids)))
+    serial = equivalent_serial_schedule(s)
+    assert serial is not None
+    assert conflict_equivalent(s, serial)

@@ -1,0 +1,266 @@
+"""Unit tests for repro.core.split_schedule (Definition 3.1, Theorem 3.2)."""
+
+import pytest
+
+from repro.core.allowed import is_allowed
+from repro.core.conflicts import ConflictQuadruple
+from repro.core.isolation import Allocation
+from repro.core.operations import read, write
+from repro.core.serialization import is_conflict_serializable
+from repro.core.split_schedule import (
+    SplitScheduleSpec,
+    condition_failures,
+    is_valid_split_schedule,
+    materialize,
+    operation_order,
+)
+from repro.core.workload import workload
+
+
+def write_skew_spec():
+    """The chain of the write-skew counterexample: T1 split at R1[x]."""
+    return SplitScheduleSpec(
+        (
+            ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+            ConflictQuadruple(2, read(2, "y"), write(1, "y"), 1),
+        )
+    )
+
+
+@pytest.fixture
+def skew():
+    return workload("R1[x] W1[y]", "R2[y] W2[x]")
+
+
+class TestSpecStructure:
+    def test_accessors(self):
+        spec = write_skew_spec()
+        assert spec.split_tid == 1
+        assert spec.b1 == read(1, "x")
+        assert spec.a2 == write(2, "x")
+        assert spec.bm == read(2, "y")
+        assert spec.a1 == write(1, "y")
+        assert spec.middle_tids == (2,)
+        assert spec.intermediate_tids == ()
+
+    def test_three_transaction_chain(self):
+        spec = SplitScheduleSpec(
+            (
+                ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+                ConflictQuadruple(2, write(2, "z"), read(3, "z"), 3),
+                ConflictQuadruple(3, read(3, "y"), write(1, "y"), 1),
+            )
+        )
+        assert spec.middle_tids == (2, 3)
+        assert spec.intermediate_tids == ()
+
+    def test_single_quadruple_rejected(self):
+        with pytest.raises(ValueError, match="two quadruples"):
+            SplitScheduleSpec(
+                (ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),)
+            )
+
+    def test_broken_chain_rejected(self):
+        with pytest.raises(ValueError, match="broken"):
+            SplitScheduleSpec(
+                (
+                    ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+                    ConflictQuadruple(3, read(3, "y"), write(1, "y"), 1),
+                )
+            )
+
+    def test_open_chain_rejected(self):
+        with pytest.raises(ValueError, match="return"):
+            SplitScheduleSpec(
+                (
+                    ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+                    ConflictQuadruple(2, write(2, "z"), read(3, "z"), 3),
+                )
+            )
+
+    def test_repeated_transaction_rejected(self):
+        with pytest.raises(ValueError, match="more than two"):
+            SplitScheduleSpec(
+                (
+                    ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+                    ConflictQuadruple(2, write(2, "x"), read(1, "x"), 1),
+                    ConflictQuadruple(1, write(1, "y"), read(2, "y"), 2),
+                    ConflictQuadruple(2, read(2, "y"), write(1, "y"), 1),
+                )
+            )
+
+
+class TestConditions:
+    def test_write_skew_valid_below_ssi(self, skew):
+        spec = write_skew_spec()
+        for levels in ({1: "RC", 2: "RC"}, {1: "SI", 2: "SI"}, {1: "RC", 2: "SSI"}):
+            assert is_valid_split_schedule(spec, skew, Allocation(levels))
+
+    def test_condition6_all_ssi(self, skew):
+        spec = write_skew_spec()
+        failures = condition_failures(spec, skew, Allocation.ssi(skew))
+        assert any("(6)" in f for f in failures)
+
+    def test_condition4_b1_must_be_rw(self):
+        wl = workload("W1[x] W1[y]", "W2[x] R2[y]")
+        spec = SplitScheduleSpec(
+            (
+                ConflictQuadruple(1, write(1, "x"), write(2, "x"), 2),
+                ConflictQuadruple(2, read(2, "y"), write(1, "y"), 1),
+            )
+        )
+        failures = condition_failures(spec, wl, Allocation.rc(wl))
+        assert any("(4)" in f for f in failures)
+
+    def test_condition5_rc_case(self):
+        # b_m is wr-conflicting (not rw) with a_1: requires T1 at RC with
+        # b_1 before a_1.
+        wl = workload("R1[x] R1[y]", "W2[x] W2[y]")
+        spec = SplitScheduleSpec(
+            (
+                ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+                ConflictQuadruple(2, write(2, "y"), read(1, "y"), 1),
+            )
+        )
+        assert is_valid_split_schedule(spec, wl, Allocation.rc(wl))
+        failures = condition_failures(spec, wl, Allocation({1: "SI", 2: "RC"}))
+        assert any("(5)" in f for f in failures)
+
+    def test_condition5_rc_needs_b1_before_a1(self):
+        # Same shape but a_1 precedes b_1 in T1: the RC escape fails too.
+        wl = workload("R1[y] R1[x]", "W2[x] W2[y]")
+        spec = SplitScheduleSpec(
+            (
+                ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+                ConflictQuadruple(2, write(2, "y"), read(1, "y"), 1),
+            )
+        )
+        failures = condition_failures(spec, wl, Allocation.rc(wl))
+        assert any("(5)" in f for f in failures)
+
+    def test_condition2_prefix_ww(self):
+        wl = workload("W1[z] R1[x] W1[y]", "R2[y] W2[x] W2[z]")
+        spec = SplitScheduleSpec(
+            (
+                ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+                ConflictQuadruple(2, read(2, "y"), write(1, "y"), 1),
+            )
+        )
+        failures = condition_failures(spec, wl, Allocation.rc(wl))
+        assert any("(2)" in f for f in failures)
+
+    def test_condition3_postfix_ww_only_for_si(self):
+        # T1 writes z after the split; T2 also writes z.
+        wl = workload("R1[x] W1[y] W1[z]", "R2[y] W2[x] W2[z]")
+        spec = SplitScheduleSpec(
+            (
+                ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+                ConflictQuadruple(2, read(2, "y"), write(1, "y"), 1),
+            )
+        )
+        assert is_valid_split_schedule(spec, wl, Allocation.rc(wl))
+        failures = condition_failures(spec, wl, Allocation.si(wl))
+        assert any("(3)" in f for f in failures)
+
+    def test_condition1_intermediate_conflicts(self):
+        # T3 is intermediate and conflicts with T1.
+        wl = workload(
+            "R1[x] W1[y] R1[q]",
+            "R2[y] W2[z]",
+            "R3[z] W3[q] W3[w]",
+            "R4[w] W4[x]",
+        )
+        spec = SplitScheduleSpec(
+            (
+                ConflictQuadruple(1, read(1, "x"), write(4, "x"), 4),
+                ConflictQuadruple(4, read(4, "w"), write(3, "w"), 3),
+                ConflictQuadruple(3, read(3, "z"), write(2, "z"), 2),
+                ConflictQuadruple(2, read(2, "y"), write(1, "y"), 1),
+            )
+        )
+        failures = condition_failures(spec, wl, Allocation.rc(wl))
+        assert any("(1)" in f for f in failures)
+
+    def test_condition7_ssi_pair_t1_t2(self):
+        # T1 and T2 both SSI, T1 wr-conflicts into T2.
+        wl = workload("R1[x] W1[y] W1[q]", "R2[q] W2[x]", "R3[y] W3[z] R3[x]")
+        spec = SplitScheduleSpec(
+            (
+                ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+                ConflictQuadruple(2, write(2, "x"), read(3, "x"), 3),
+                ConflictQuadruple(3, read(3, "y"), write(1, "y"), 1),
+            )
+        )
+        failures = condition_failures(
+            spec, wl, Allocation({1: "SSI", 2: "SSI", 3: "RC"})
+        )
+        assert any("(7)" in f for f in failures)
+        assert is_valid_split_schedule(
+            spec, wl, Allocation({1: "SSI", 2: "SI", 3: "RC"})
+        )
+
+    def test_condition8_ssi_pair_t1_tm(self):
+        # T1 and T_m both SSI, T1 rw-conflicts into T_m.
+        wl = workload("R1[x] W1[y] R1[z]", "W2[x] R2[q]", "W3[q] W3[z] R3[y]")
+        spec = SplitScheduleSpec(
+            (
+                ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+                ConflictQuadruple(2, read(2, "q"), write(3, "q"), 3),
+                ConflictQuadruple(3, read(3, "y"), write(1, "y"), 1),
+            )
+        )
+        failures = condition_failures(
+            spec, wl, Allocation({1: "SSI", 2: "RC", 3: "SSI"})
+        )
+        assert any("(8)" in f for f in failures)
+        assert is_valid_split_schedule(
+            spec, wl, Allocation({1: "SSI", 2: "RC", 3: "SI"})
+        )
+
+
+class TestMaterialize:
+    def test_operation_order_shape(self, skew):
+        spec = write_skew_spec()
+        order = operation_order(spec, skew)
+        # prefix_b1(T1) . T2 . postfix_b1(T1)
+        assert [str(op) for op in order] == [
+            "R1[x]",
+            "R2[y]",
+            "W2[x]",
+            "C2",
+            "W1[y]",
+            "C1",
+        ]
+
+    def test_remaining_transactions_appended(self):
+        wl = workload("R1[x] W1[y]", "R2[y] W2[x]", "R3[q]")
+        spec = write_skew_spec()
+        order = operation_order(spec, wl)
+        assert [str(op) for op in order[-2:]] == ["R3[q]", "C3"]
+
+    def test_materialized_witness_is_allowed_and_nonserializable(self, skew):
+        spec = write_skew_spec()
+        for levels in ({1: "RC", 2: "RC"}, {1: "SI", 2: "SI"}, {1: "SI", 2: "SSI"}):
+            alloc = Allocation(levels)
+            s = materialize(spec, skew, alloc)
+            assert is_allowed(s, alloc)
+            assert not is_conflict_serializable(s)
+
+    def test_materialize_rejects_invalid_spec(self, skew):
+        spec = write_skew_spec()
+        with pytest.raises(ValueError, match="Definition 3.1"):
+            materialize(spec, skew, Allocation.ssi(skew))
+
+    def test_rc_case_witness(self):
+        """Condition 5's RC escape produces a valid counterexample."""
+        wl = workload("R1[x] R1[y]", "W2[x] W2[y]")
+        spec = SplitScheduleSpec(
+            (
+                ConflictQuadruple(1, read(1, "x"), write(2, "x"), 2),
+                ConflictQuadruple(2, write(2, "y"), read(1, "y"), 1),
+            )
+        )
+        alloc = Allocation({1: "RC", 2: "SSI"})
+        s = materialize(spec, wl, alloc)
+        assert is_allowed(s, alloc)
+        assert not is_conflict_serializable(s)

@@ -1,0 +1,187 @@
+"""Unit tests for repro.core.transactions."""
+
+import pytest
+from hypothesis import given
+
+import strategies as sts
+from repro.core.operations import commit, read, write
+from repro.core.transactions import (
+    Transaction,
+    TransactionError,
+    parse_operations,
+    parse_schedule_operations,
+    parse_transaction,
+    sequence_operations,
+    transaction,
+)
+
+
+class TestConstruction:
+    def test_commit_appended(self):
+        txn = Transaction(1, [read(1, "x")])
+        assert txn.operations == (read(1, "x"), commit(1))
+
+    def test_explicit_commit_accepted(self):
+        txn = Transaction(1, [read(1, "x"), commit(1)])
+        assert txn.commit_op == commit(1)
+        assert len(txn) == 2
+
+    def test_foreign_commit_rejected(self):
+        with pytest.raises(TransactionError):
+            Transaction(1, [read(1, "x"), commit(2)])
+
+    def test_foreign_operation_rejected(self):
+        with pytest.raises(TransactionError):
+            Transaction(1, [read(2, "x")])
+
+    def test_duplicate_read_rejected(self):
+        with pytest.raises(TransactionError):
+            Transaction(1, [read(1, "x"), read(1, "x")])
+
+    def test_duplicate_write_rejected(self):
+        with pytest.raises(TransactionError):
+            Transaction(1, [write(1, "x"), write(1, "x")])
+
+    def test_read_and_write_same_object_allowed(self):
+        txn = Transaction(1, [read(1, "x"), write(1, "x")])
+        assert txn.read_set == {"x"} and txn.write_set == {"x"}
+
+    def test_midstream_commit_rejected(self):
+        with pytest.raises(TransactionError):
+            Transaction(1, [commit(1), read(1, "x")])
+
+    def test_nonpositive_tid_rejected(self):
+        with pytest.raises(TransactionError):
+            Transaction(0, [])
+
+    def test_empty_transaction_is_just_commit(self):
+        txn = Transaction(5, [])
+        assert txn.operations == (commit(5),)
+        assert txn.first == commit(5)
+
+
+class TestAccessors:
+    def setup_method(self):
+        self.txn = parse_transaction("R1[x] W1[y] R1[z] W1[z] C1")
+
+    def test_first(self):
+        assert self.txn.first == read(1, "x")
+
+    def test_body_excludes_commit(self):
+        assert all(not op.is_commit for op in self.txn.body)
+        assert len(self.txn.body) == 4
+
+    def test_read_write_sets(self):
+        assert self.txn.read_set == {"x", "z"}
+        assert self.txn.write_set == {"y", "z"}
+
+    def test_read_op_lookup(self):
+        assert self.txn.read_op("x") == read(1, "x")
+        assert self.txn.read_op("y") is None
+
+    def test_write_op_lookup(self):
+        assert self.txn.write_op("y") == write(1, "y")
+        assert self.txn.write_op("x") is None
+
+    def test_before(self):
+        assert self.txn.before(read(1, "x"), write(1, "y"))
+        assert not self.txn.before(write(1, "y"), read(1, "x"))
+
+    def test_position(self):
+        assert self.txn.position(read(1, "x")) == 0
+        assert self.txn.position(self.txn.commit_op) == 4
+
+    def test_position_foreign_raises(self):
+        with pytest.raises(KeyError):
+            self.txn.position(read(2, "x"))
+
+    def test_prefix_includes_op(self):
+        prefix = self.txn.prefix(write(1, "y"))
+        assert prefix == (read(1, "x"), write(1, "y"))
+
+    def test_postfix_excludes_op(self):
+        postfix = self.txn.postfix(write(1, "y"))
+        assert postfix == (read(1, "z"), write(1, "z"), commit(1))
+
+    def test_prefix_postfix_partition(self):
+        for op in self.txn:
+            assert self.txn.prefix(op) + self.txn.postfix(op) == self.txn.operations
+
+    def test_contains(self):
+        assert read(1, "x") in self.txn
+        assert read(1, "q") not in self.txn
+
+    def test_equality_and_hash(self):
+        other = parse_transaction("R1[x] W1[y] R1[z] W1[z]")
+        assert other == self.txn
+        assert hash(other) == hash(self.txn)
+
+
+class TestParsing:
+    def test_parse_with_explicit_ids(self):
+        txn = parse_transaction("R2[a] W2[b] C2")
+        assert txn.tid == 2
+
+    def test_parse_with_tid_argument(self):
+        txn = parse_transaction("R[a] W[b]", tid=9)
+        assert txn.tid == 9
+        assert txn.read_set == {"a"}
+
+    def test_parse_conflicting_tid_rejected(self):
+        with pytest.raises(TransactionError):
+            parse_transaction("R2[a]", tid=3)
+
+    def test_parse_missing_tid_rejected(self):
+        with pytest.raises(TransactionError):
+            parse_transaction("R[a]")
+
+    def test_parse_missing_object_rejected(self):
+        with pytest.raises(TransactionError):
+            parse_operations("R1")
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(TransactionError):
+            parse_operations("X1[a]")
+
+    def test_parse_commit_with_object_rejected(self):
+        with pytest.raises(TransactionError):
+            parse_operations("C1[a]")
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(TransactionError):
+            parse_transaction("   ")
+
+    def test_transaction_helper(self):
+        txn = transaction(3, "R[x]", "W[y]")
+        assert str(txn) == "R3[x] W3[y] C3"
+
+    def test_parse_schedule_operations(self):
+        ops = parse_schedule_operations("R1[x] W2[x] C2 C1")
+        assert ops == (read(1, "x"), write(2, "x"), commit(2), commit(1))
+
+    def test_parse_schedule_requires_ids(self):
+        with pytest.raises(TransactionError):
+            parse_schedule_operations("R[x]")
+
+    def test_str_roundtrip(self):
+        text = "R1[x] W1[y] C1"
+        assert str(parse_transaction(text)) == text
+
+
+class TestSequenceOperations:
+    def test_concatenates_in_order(self):
+        t1 = parse_transaction("R1[x]")
+        t2 = parse_transaction("W2[y]")
+        ops = sequence_operations([t1, t2])
+        assert ops == (read(1, "x"), commit(1), write(2, "y"), commit(2))
+
+
+@given(sts.workloads())
+def test_random_transactions_satisfy_normal_form(wl):
+    """Generated transactions obey the one-read-one-write-per-object rule."""
+    for txn in wl:
+        reads = [op.obj for op in txn.body if op.is_read]
+        writes = [op.obj for op in txn.body if op.is_write]
+        assert len(reads) == len(set(reads))
+        assert len(writes) == len(set(writes))
+        assert txn.operations[-1].is_commit

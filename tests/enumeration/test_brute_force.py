@@ -1,0 +1,68 @@
+"""Unit tests for repro.enumeration.brute_force."""
+
+import pytest
+
+from repro.core.allowed import is_allowed
+from repro.core.isolation import Allocation
+from repro.core.serialization import is_conflict_serializable
+from repro.core.workload import WorkloadError, workload
+from repro.enumeration import (
+    brute_force_check,
+    count_interleavings,
+    find_counterexample_schedule,
+)
+
+
+class TestDecisions:
+    def test_write_skew_found(self, write_skew):
+        result = brute_force_check(write_skew, Allocation.si(write_skew))
+        assert not result.robust
+        assert result.counterexample is not None
+
+    def test_write_skew_ssi_robust(self, write_skew):
+        result = brute_force_check(write_skew, Allocation.ssi(write_skew))
+        assert result.robust
+        assert result.counterexample is None
+        assert bool(result)
+
+    def test_disjoint_robust_and_all_allowed(self, disjoint_pair):
+        result = brute_force_check(disjoint_pair, Allocation.rc(disjoint_pair))
+        assert result.robust
+        assert result.schedules_checked == count_interleavings(disjoint_pair)
+        assert result.schedules_allowed > 0
+
+    def test_lost_update_rc_vs_si(self, lost_update):
+        assert not brute_force_check(lost_update, Allocation.rc(lost_update)).robust
+        assert brute_force_check(lost_update, Allocation.si(lost_update)).robust
+
+    def test_counterexample_is_genuine(self, write_skew):
+        alloc = Allocation.rc(write_skew)
+        schedule = find_counterexample_schedule(write_skew, alloc)
+        assert schedule is not None
+        assert is_allowed(schedule, alloc)
+        assert not is_conflict_serializable(schedule)
+
+    def test_counts_monotone(self, write_skew):
+        result = brute_force_check(write_skew, Allocation.ssi(write_skew))
+        assert result.schedules_allowed <= result.schedules_checked
+
+
+class TestGuards:
+    def test_interleaving_bound(self):
+        wl = workload(
+            "R1[a] W1[b] R1[c]",
+            "R2[a] W2[b] R2[c]",
+            "R3[a] W3[b] R3[c]",
+        )
+        with pytest.raises(ValueError, match="exceeds"):
+            brute_force_check(wl, Allocation.rc(wl), max_interleavings=10)
+
+    def test_allocation_must_cover(self, write_skew):
+        with pytest.raises(WorkloadError):
+            brute_force_check(write_skew, Allocation({1: "RC"}))
+
+    def test_empty_workload(self):
+        wl = workload()
+        result = brute_force_check(wl, Allocation({}))
+        assert result.robust
+        assert result.schedules_checked == 1  # the empty interleaving

@@ -1,0 +1,104 @@
+"""Tests for the fully exhaustive enumeration (forcedness ablation)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+import strategies as sts
+from repro.core.allowed import is_allowed
+from repro.core.isolation import Allocation
+from repro.core.robustness import is_robust
+from repro.core.schedules import canonical_schedule
+from repro.core.workload import WorkloadError, workload
+from repro.enumeration import (
+    brute_force_check,
+    enumerate_schedules,
+    exhaustive_check,
+    schedule_space_size,
+)
+
+
+class TestSpaceSize:
+    def test_single_reader(self):
+        wl = workload("R1[x]")
+        # 1 interleaving, no writes, read has only OP0.
+        assert schedule_space_size(wl) == 1
+
+    def test_writer_and_reader_bound(self):
+        wl = workload("W1[x]", "R2[x]")
+        # 6 interleavings * 1! version orders * (1+1) read choices.
+        assert schedule_space_size(wl) == 12
+
+    def test_blowup_vs_interleavings(self, lost_update):
+        from repro.enumeration import count_interleavings
+
+        assert schedule_space_size(lost_update) > count_interleavings(lost_update)
+
+
+class TestEnumeration:
+    def test_all_structurally_valid(self):
+        wl = workload("W1[x]", "R2[x]")
+        schedules = list(enumerate_schedules(wl))
+        assert schedules
+        for s in schedules:
+            for txn in wl:
+                for op in txn.body:
+                    if op.is_read:
+                        observed = s.version_of(op)
+                        assert observed.is_initial or s.before(observed, op)
+
+    def test_count_at_most_bound(self):
+        wl = workload("W1[x]", "R2[x]")
+        assert len(list(enumerate_schedules(wl))) <= schedule_space_size(wl)
+
+    def test_allowed_implies_canonical(self):
+        """The forcedness lemma, exhaustively on a tiny workload."""
+        wl = workload("R1[x] W1[x]", "R2[x]")
+        for level in ("RC", "SI"):
+            alloc = Allocation.uniform(wl, level)
+            for s in enumerate_schedules(wl):
+                if not is_allowed(s, alloc):
+                    continue
+                canonical = canonical_schedule(wl, s.order, alloc)
+                assert dict(s.version_function) == dict(
+                    canonical.version_function
+                )
+
+
+class TestExhaustiveCheck:
+    def test_agrees_with_operation_order_enumeration(self, lost_update):
+        for level in ("RC", "SI"):
+            alloc = Allocation.uniform(lost_update, level)
+            full = exhaustive_check(lost_update, alloc)
+            fast = brute_force_check(lost_update, alloc)
+            assert full.robust == fast.robust == is_robust(lost_update, alloc)
+
+    def test_checks_more_schedules_but_same_allowed_count(self):
+        wl = workload("W1[x]", "R2[x]")
+        alloc = Allocation.rc(wl)
+        full = exhaustive_check(wl, alloc)
+        fast = brute_force_check(wl, alloc)
+        assert full.schedules_checked > fast.schedules_checked
+        # Forcedness: the number of ALLOWED schedules is identical.
+        assert full.schedules_allowed == fast.schedules_allowed
+
+    def test_guard_rail(self):
+        wl = workload(
+            "R1[a] W1[a] R1[b] W1[b]",
+            "R2[a] W2[a] R2[b] W2[b]",
+            "R3[a] W3[a]",
+        )
+        with pytest.raises(ValueError, match="exceeds"):
+            exhaustive_check(wl, Allocation.rc(wl), max_schedules=100)
+
+    def test_allocation_must_cover(self, lost_update):
+        with pytest.raises(WorkloadError):
+            exhaustive_check(lost_update, Allocation({1: "RC"}))
+
+
+@given(sts.allocated_workloads(max_transactions=2, max_accesses=2))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_exhaustive_agrees_on_random_pairs(pair):
+    wl, alloc = pair
+    if schedule_space_size(wl) > 30_000:
+        return
+    assert exhaustive_check(wl, alloc).robust == is_robust(wl, alloc)

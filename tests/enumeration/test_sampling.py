@@ -1,0 +1,80 @@
+"""Unit and property tests for repro.enumeration.sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+import strategies as sts
+from repro.core.isolation import Allocation
+from repro.core.robustness import is_robust
+from repro.core.workload import workload
+from repro.enumeration.sampling import (
+    estimate_anomaly_rate,
+    sample_interleaving,
+)
+
+
+class TestSampling:
+    def test_sample_respects_program_order(self, write_skew):
+        rng = random.Random(0)
+        for _ in range(20):
+            order = sample_interleaving(write_skew, rng)
+            positions = {op: i for i, op in enumerate(order)}
+            for txn in write_skew:
+                ops = txn.operations
+                for a, b in zip(ops, ops[1:]):
+                    assert positions[a] < positions[b]
+
+    def test_sample_is_exactly_uniform(self):
+        """Chi-square-ish sanity: two 2-op transactions, 6 interleavings."""
+        wl = workload("R1[x]", "R2[y]")
+        rng = random.Random(7)
+        counts = Counter(sample_interleaving(wl, rng) for _ in range(3000))
+        assert len(counts) == 6
+        for count in counts.values():
+            assert 380 <= count <= 620  # expectation 500
+
+    def test_empty_workload(self):
+        assert sample_interleaving(workload(), random.Random(0)) == ()
+
+
+class TestAnomalyEstimate:
+    def test_write_skew_under_si_has_anomalies(self, write_skew):
+        estimate = estimate_anomaly_rate(
+            write_skew, Allocation.si(write_skew), samples=200, seed=1
+        )
+        assert estimate.allowed > 0
+        assert estimate.anomalous > 0
+        assert 0 < estimate.anomaly_rate <= 1
+
+    def test_robust_allocation_never_anomalous(self, write_skew):
+        estimate = estimate_anomaly_rate(
+            write_skew, Allocation.ssi(write_skew), samples=200, seed=1
+        )
+        assert estimate.anomalous == 0
+
+    def test_deterministic_per_seed(self, write_skew):
+        a = estimate_anomaly_rate(write_skew, Allocation.si(write_skew), 100, seed=3)
+        b = estimate_anomaly_rate(write_skew, Allocation.si(write_skew), 100, seed=3)
+        assert (a.allowed, a.anomalous) == (b.allowed, b.anomalous)
+
+    def test_str(self, write_skew):
+        text = str(estimate_anomaly_rate(write_skew, Allocation.si(write_skew), 50))
+        assert "allowed schedules anomalous" in text
+
+    def test_zero_samples(self, write_skew):
+        estimate = estimate_anomaly_rate(write_skew, Allocation.si(write_skew), 0)
+        assert estimate.anomaly_rate == 0.0
+        assert estimate.allowed_rate == 0.0
+
+
+@given(sts.allocated_workloads(max_transactions=3, max_accesses=2))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_robust_implies_zero_anomaly_rate(pair):
+    """Monte-Carlo sampling never contradicts Algorithm 1."""
+    wl, alloc = pair
+    estimate = estimate_anomaly_rate(wl, alloc, samples=30, seed=0)
+    if is_robust(wl, alloc):
+        assert estimate.anomalous == 0

@@ -1,0 +1,193 @@
+"""Unit tests for repro.mvcc.engine — RC/SI/SSI operational semantics."""
+
+import pytest
+
+from repro.core.isolation import IsolationLevel
+from repro.mvcc.engine import MVCCEngine, TransactionAborted, TransactionBlocked
+
+RC = IsolationLevel.RC
+SI = IsolationLevel.SI
+SSI = IsolationLevel.SSI
+
+
+class TestLifecycle:
+    def test_begin_read_write_commit(self):
+        engine = MVCCEngine()
+        engine.begin(1, RC)
+        assert engine.read(1, "x").is_initial
+        engine.write(1, "x", 42)
+        seq = engine.commit(1)
+        assert seq == 1
+        assert engine.store.latest_committed("x").value == 42
+
+    def test_double_begin_rejected(self):
+        engine = MVCCEngine()
+        engine.begin(1, RC)
+        with pytest.raises(ValueError):
+            engine.begin(1, SI)
+
+    def test_begin_after_commit_rejected(self):
+        engine = MVCCEngine()
+        engine.begin(1, RC)
+        engine.commit(1)
+        with pytest.raises(ValueError):
+            engine.begin(1, RC)
+
+    def test_operations_require_active(self):
+        engine = MVCCEngine()
+        with pytest.raises(ValueError):
+            engine.read(1, "x")
+
+    def test_abort_discards_writes(self):
+        engine = MVCCEngine()
+        engine.begin(1, RC)
+        engine.write(1, "x", 1)
+        engine.abort(1)
+        assert engine.store.latest_committed("x").is_initial
+        assert engine.intent_holder("x") is None
+
+    def test_read_after_own_write_rejected(self):
+        engine = MVCCEngine()
+        engine.begin(1, RC)
+        engine.write(1, "x", 1)
+        with pytest.raises(ValueError, match="normal form"):
+            engine.read(1, "x")
+
+
+class TestSnapshots:
+    def test_rc_statement_snapshot_sees_new_commits(self):
+        engine = MVCCEngine()
+        engine.begin(1, RC)
+        engine.read(1, "y")  # start T1
+        engine.begin(2, RC)
+        engine.write(2, "x", "new")
+        engine.commit(2)
+        assert engine.read(1, "x").value == "new"
+
+    def test_si_transaction_snapshot_ignores_new_commits(self):
+        engine = MVCCEngine()
+        engine.begin(1, SI)
+        engine.read(1, "y")  # snapshot taken here
+        engine.begin(2, SI)
+        engine.write(2, "x", "new")
+        engine.commit(2)
+        assert engine.read(1, "x").is_initial
+
+    def test_snapshot_taken_lazily_at_first_operation(self):
+        engine = MVCCEngine()
+        engine.begin(1, SI)  # begin does NOT take the snapshot
+        engine.begin(2, SI)
+        engine.write(2, "x", "new")
+        engine.commit(2)
+        assert engine.read(1, "x").value == "new"  # first op after C2
+
+    def test_uncommitted_writes_invisible_to_everyone(self):
+        engine = MVCCEngine()
+        engine.begin(1, RC)
+        engine.write(1, "x", "dirty")
+        engine.begin(2, RC)
+        assert engine.read(2, "x").is_initial
+
+
+class TestWriteConflicts:
+    def test_second_writer_blocks(self):
+        engine = MVCCEngine()
+        engine.begin(1, RC)
+        engine.write(1, "x", 1)
+        engine.begin(2, RC)
+        with pytest.raises(TransactionBlocked) as exc:
+            engine.write(2, "x", 2)
+        assert exc.value.waiting_for == 1
+
+    def test_rc_proceeds_after_holder_commits(self):
+        engine = MVCCEngine()
+        engine.begin(1, RC)
+        engine.write(1, "x", 1)
+        engine.begin(2, RC)
+        engine.read(2, "y")  # T2 starts concurrently
+        engine.commit(1)
+        engine.write(2, "x", 2)  # no dirty write anymore; RC may proceed
+        engine.commit(2)
+        assert engine.store.latest_committed("x").value == 2
+
+    def test_si_first_committer_wins(self):
+        engine = MVCCEngine()
+        engine.begin(2, SI)
+        engine.read(2, "y")  # snapshot before T1 commits
+        engine.begin(1, SI)
+        engine.write(1, "x", 1)
+        engine.commit(1)
+        with pytest.raises(TransactionAborted) as exc:
+            engine.write(2, "x", 2)
+        assert exc.value.reason == "first-committer-wins"
+        assert 2 not in engine.active_tids
+
+    def test_si_non_concurrent_write_ok(self):
+        engine = MVCCEngine()
+        engine.begin(1, SI)
+        engine.write(1, "x", 1)
+        engine.commit(1)
+        engine.begin(2, SI)
+        engine.write(2, "x", 2)  # snapshot already includes T1
+        engine.commit(2)
+        assert engine.store.latest_committed("x").value == 2
+
+    def test_writer_abort_releases_intent(self):
+        engine = MVCCEngine()
+        engine.begin(1, RC)
+        engine.write(1, "x", 1)
+        engine.abort(1)
+        engine.begin(2, RC)
+        engine.write(2, "x", 2)  # no block
+        engine.commit(2)
+
+
+class TestSsiDetection:
+    def run_write_skew(self, level3=None):
+        """Classic write skew at SSI; the second committer must abort."""
+        engine = MVCCEngine()
+        engine.begin(1, SSI)
+        engine.begin(2, SSI)
+        engine.read(1, "x")
+        engine.read(2, "y")
+        engine.write(1, "y", 1)
+        engine.write(2, "x", 2)
+        engine.commit(1)
+        return engine
+
+    def test_write_skew_second_committer_aborts(self):
+        engine = self.run_write_skew()
+        with pytest.raises(TransactionAborted) as exc:
+            engine.commit(2)
+        assert exc.value.reason == "dangerous-structure"
+
+    def test_write_skew_at_si_commits(self):
+        engine = MVCCEngine()
+        engine.begin(1, SI)
+        engine.begin(2, SI)
+        engine.read(1, "x")
+        engine.read(2, "y")
+        engine.write(1, "y", 1)
+        engine.write(2, "x", 2)
+        engine.commit(1)
+        engine.commit(2)  # SI permits write skew
+
+    def test_mixed_skew_rc_participant_commits(self):
+        # Dangerous structures only count among SSI transactions.
+        engine = MVCCEngine()
+        engine.begin(1, SSI)
+        engine.begin(2, RC)
+        engine.read(1, "x")
+        engine.read(2, "y")
+        engine.write(1, "y", 1)
+        engine.write(2, "x", 2)
+        engine.commit(1)
+        engine.commit(2)
+
+    def test_serial_ssi_never_aborts(self):
+        engine = MVCCEngine()
+        for tid, (r, w) in enumerate([("x", "y"), ("y", "x")], start=1):
+            engine.begin(tid, SSI)
+            engine.read(tid, r)
+            engine.write(tid, w, tid)
+            engine.commit(tid)

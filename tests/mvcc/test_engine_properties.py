@@ -1,0 +1,99 @@
+"""Property tests directly on the MVCC engine's visibility rules."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.isolation import IsolationLevel
+from repro.mvcc.engine import MVCCEngine, TransactionAborted, TransactionBlocked
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(st.integers(1, 6), st.integers(0, 10_000))
+@settings(max_examples=40, **COMMON)
+def test_si_reads_are_frozen_at_snapshot(writers, seed):
+    """An SI reader sees the same value no matter how many commits follow."""
+    engine = MVCCEngine()
+    rng = random.Random(seed)
+    # Prime the object with a committed value.
+    engine.begin(1000, IsolationLevel.RC)
+    engine.write(1000, "x", "v0")
+    engine.commit(1000)
+    # Reader takes its snapshot.
+    engine.begin(1, IsolationLevel.SI)
+    first = engine.read(1, "x").value
+    # Writers commit new versions.
+    for i in range(writers):
+        tid = 2000 + i
+        engine.begin(tid, IsolationLevel.RC)
+        engine.write(tid, "x", f"v{i + 1}")
+        engine.commit(tid)
+    # Unread objects also resolve against the same snapshot.
+    again = engine.read(1, "y")
+    assert again.is_initial
+    assert engine.read(1, "x" if rng.random() < 0 else "x").value == first
+
+
+@given(st.integers(1, 6))
+@settings(max_examples=20, **COMMON)
+def test_rc_reads_track_latest_commit(writers):
+    """An RC reader always sees the newest committed version."""
+    engine = MVCCEngine()
+    engine.begin(1, IsolationLevel.RC)
+    assert engine.read(1, "x").is_initial
+    for i in range(writers):
+        tid = 2000 + i
+        engine.begin(tid, IsolationLevel.RC)
+        engine.write(tid, f"o{i}", i)  # distinct objects: no one-read rule
+        engine.commit(tid)
+        assert engine.read(1, f"o{i}").value == i
+
+
+@given(st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=6, unique=True))
+@settings(max_examples=30, **COMMON)
+def test_commit_installs_all_buffered_writes_atomically(objects):
+    """Buffered writes are invisible before commit, all visible after."""
+    engine = MVCCEngine()
+    engine.begin(1, IsolationLevel.SI)
+    for index, obj in enumerate(objects):
+        engine.write(1, obj, index)
+    engine.begin(2, IsolationLevel.RC)
+    for obj in objects:
+        assert engine.read(2, obj).is_initial  # atomic visibility: nothing yet
+    engine.commit(1)
+    engine.begin(3, IsolationLevel.RC)
+    for index, obj in enumerate(objects):
+        assert engine.read(3, obj).value == index
+
+    # And all share one commit sequence number.
+    seqs = {engine.store.latest_committed(obj).commit_seq for obj in objects}
+    assert len(seqs) == 1
+
+
+@given(st.integers(0, 1_000))
+@settings(max_examples=30, **COMMON)
+def test_fcw_exactly_when_concurrent_committed_writer(seed):
+    """SI writes abort iff a version committed after the snapshot exists."""
+    rng = random.Random(seed)
+    engine = MVCCEngine()
+    engine.begin(1, IsolationLevel.SI)
+    engine.read(1, "marker")  # snapshot now
+    conflict = rng.random() < 0.5
+    if conflict:
+        engine.begin(2, IsolationLevel.RC)
+        engine.write(2, "x", "other")
+        engine.commit(2)
+    if conflict:
+        try:
+            engine.write(1, "x", "mine")
+            raised = False
+        except TransactionAborted as aborted:
+            raised = True
+            assert aborted.reason == "first-committer-wins"
+        assert raised
+    else:
+        engine.write(1, "x", "mine")
+        engine.commit(1)
+        assert engine.store.latest_committed("x").value == "mine"

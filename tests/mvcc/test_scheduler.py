@@ -1,0 +1,91 @@
+"""Unit tests for repro.mvcc.scheduler."""
+
+import pytest
+
+from repro.core.isolation import Allocation
+from repro.core.workload import workload
+from repro.mvcc import InterleavingScheduler, run_workload
+
+
+class TestBasicExecution:
+    def test_all_transactions_commit(self, write_skew):
+        trace, stats = run_workload(write_skew, Allocation.si(write_skew), seed=0)
+        assert stats.commits == 2
+        assert trace.committed_attempts().keys() == {1, 2}
+
+    def test_round_robin_mode(self, write_skew):
+        trace, stats = run_workload(write_skew, Allocation.rc(write_skew), seed=None)
+        assert stats.commits == 2
+
+    def test_single_session_serializes(self):
+        wl = workload("R1[x] W1[x]", "R2[x] W2[x]")
+        trace, stats = run_workload(wl, Allocation.rc(wl), sessions=1, seed=0)
+        assert stats.commits == 2
+        assert stats.total_aborts == 0
+        assert stats.blocked_ticks == 0
+
+    def test_stats_commits_per_tick(self, write_skew):
+        _, stats = run_workload(write_skew, Allocation.rc(write_skew), seed=0)
+        assert 0 < stats.commits_per_tick <= 1
+
+    def test_empty_workload(self):
+        wl = workload()
+        trace, stats = run_workload(wl, Allocation({}), seed=0)
+        assert stats.commits == 0
+        assert len(trace) == 0
+
+
+class TestContention:
+    def test_si_rmw_storm_retries(self):
+        """Concurrent read-modify-writes on one object abort and retry at SI."""
+        wl = workload(*[f"R{i}[hot] W{i}[hot]" for i in range(1, 6)])
+        trace, stats = run_workload(wl, Allocation.si(wl), seed=1)
+        assert stats.commits == 5
+        assert stats.aborts.get("first-committer-wins", 0) > 0
+        assert stats.retries == stats.total_aborts
+
+    def test_rc_rmw_storm_no_fcw_aborts(self):
+        wl = workload(*[f"R{i}[hot] W{i}[hot]" for i in range(1, 6)])
+        trace, stats = run_workload(wl, Allocation.rc(wl), seed=1)
+        assert stats.commits == 5
+        assert stats.aborts.get("first-committer-wins", 0) == 0
+
+    def test_deadlock_broken(self):
+        # Two transactions taking the same two locks in opposite order.
+        wl = workload("W1[a] W1[b]", "W2[b] W2[a]")
+        trace, stats = run_workload(wl, Allocation.rc(wl), seed=None)
+        assert stats.commits == 2
+
+    def test_deterministic_given_seed(self, write_skew):
+        t1, s1 = run_workload(write_skew, Allocation.si(write_skew), seed=7)
+        t2, s2 = run_workload(write_skew, Allocation.si(write_skew), seed=7)
+        assert [str(e) for e in t1] == [str(e) for e in t2]
+        assert s1.commits == s2.commits and s1.ticks == s2.ticks
+
+    def test_seeds_explore_different_interleavings(self, write_skew):
+        traces = {
+            str(run_workload(write_skew, Allocation.si(write_skew), seed=s)[0])
+            for s in range(8)
+        }
+        assert len(traces) > 1
+
+    def test_retry_budget_enforced(self):
+        wl = workload("W1[a] W1[b]", "W2[b] W2[a]")
+        scheduler = InterleavingScheduler(
+            wl, Allocation.rc(wl), seed=None, max_attempts=1
+        )
+        with pytest.raises(RuntimeError, match="attempts"):
+            scheduler.run()
+
+
+class TestSessionDealing:
+    def test_transactions_dealt_round_robin(self):
+        wl = workload("R1[a]", "R2[b]", "R3[c]")
+        scheduler = InterleavingScheduler(wl, Allocation.rc(wl), sessions=2, seed=0)
+        scheduler.run()
+        assert scheduler.stats.commits == 3
+
+    def test_more_sessions_than_transactions(self):
+        wl = workload("R1[a]")
+        trace, stats = run_workload(wl, Allocation.rc(wl), sessions=4, seed=0)
+        assert stats.commits == 1

@@ -1,0 +1,62 @@
+"""Unit tests for repro.mvcc.storage."""
+
+import pytest
+
+from repro.mvcc.storage import Version, VersionedStore
+
+
+class TestVersion:
+    def test_initial(self):
+        v = Version(0, 0)
+        assert v.is_initial
+
+    def test_committed(self):
+        v = Version(3, 7, value="hello")
+        assert not v.is_initial
+        assert v.value == "hello"
+
+
+class TestVersionedStore:
+    def setup_method(self):
+        self.store = VersionedStore()
+
+    def test_empty_object_serves_initial(self):
+        v = self.store.latest_committed("x")
+        assert v.is_initial
+
+    def test_install_and_read_latest(self):
+        self.store.install("x", 1, 1, "a")
+        self.store.install("x", 2, 2, "b")
+        assert self.store.latest_committed("x").value == "b"
+
+    def test_as_of_snapshot(self):
+        self.store.install("x", 1, 1, "a")
+        self.store.install("x", 2, 3, "b")
+        assert self.store.latest_committed("x", as_of_seq=0).is_initial
+        assert self.store.latest_committed("x", as_of_seq=1).value == "a"
+        assert self.store.latest_committed("x", as_of_seq=2).value == "a"
+        assert self.store.latest_committed("x", as_of_seq=3).value == "b"
+
+    def test_install_out_of_order_rejected(self):
+        self.store.install("x", 1, 5, "a")
+        with pytest.raises(ValueError):
+            self.store.install("x", 2, 5, "b")
+        with pytest.raises(ValueError):
+            self.store.install("x", 2, 4, "b")
+
+    def test_has_newer_than(self):
+        assert not self.store.has_newer_than("x", 0)
+        self.store.install("x", 1, 2, "a")
+        assert self.store.has_newer_than("x", 1)
+        assert not self.store.has_newer_than("x", 2)
+
+    def test_chain_includes_initial(self):
+        self.store.install("x", 1, 1, "a")
+        chain = self.store.chain("x")
+        assert chain[0].is_initial
+        assert [v.writer_tid for v in chain] == [0, 1]
+
+    def test_objects_lists_written(self):
+        self.store.install("b", 1, 1, None)
+        self.store.install("a", 2, 2, None)
+        assert self.store.objects() == ["a", "b"]

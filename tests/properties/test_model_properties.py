@@ -1,0 +1,116 @@
+"""Property tests for the formal model itself.
+
+The deepest one justifies the brute-force checker's core reduction: over
+{RC, SI, SSI} allocations, *writes respect the commit order* and *reads
+are read-last-committed* force the version order and version function —
+so any allowed schedule coincides with the canonical schedule of its
+operation order.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import strategies as sts
+from repro.core.allowed import allowed_under, is_allowed
+from repro.core.conflicts import conflict_equivalent, dependencies
+from repro.core.isolation import Allocation
+from repro.core.operations import OP0
+from repro.core.schedules import MVSchedule, canonical_schedule, serial_schedule
+from repro.core.serialization import is_conflict_serializable, serialization_graph
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def schedules_with_free_components(draw):
+    """A random schedule: random order, version order and version function."""
+    wl = draw(sts.workloads(min_transactions=1, max_transactions=3, max_accesses=2))
+    order = draw(sts.interleaved_orders(wl))
+    positions = {op: i for i, op in enumerate(order)}
+    per_object = {}
+    for txn in wl:
+        for op in txn.body:
+            if op.is_write:
+                per_object.setdefault(op.obj, []).append(op)
+    version_order = {
+        obj: tuple(draw(st.permutations(writes)))
+        for obj, writes in per_object.items()
+    }
+    version_function = {}
+    for txn in wl:
+        for op in txn.body:
+            if not op.is_read:
+                continue
+            candidates = [OP0] + [
+                w
+                for w in per_object.get(op.obj, [])
+                if positions[w] < positions[op]
+            ]
+            version_function[op] = draw(st.sampled_from(candidates))
+    alloc = draw(sts.allocations(wl))
+    return MVSchedule(wl, order, version_order, version_function), alloc
+
+
+@given(schedules_with_free_components())
+@settings(max_examples=150, **COMMON)
+def test_allowed_schedules_are_canonical(pair):
+    """Forcedness: an allowed schedule equals its canonical counterpart.
+
+    This is the lemma that lets the brute-force checker enumerate
+    operation orders only.
+    """
+    schedule, alloc = pair
+    if not is_allowed(schedule, alloc):
+        return
+    canonical = canonical_schedule(schedule.workload, schedule.order, alloc)
+    assert dict(schedule.version_function) == dict(canonical.version_function)
+    assert {
+        obj: tuple(ws) for obj, ws in schedule.version_order.items()
+    } == {obj: tuple(ws) for obj, ws in canonical.version_order.items()}
+
+
+@given(schedules_with_free_components())
+@settings(max_examples=100, **COMMON)
+def test_conflict_equivalence_iff_same_graph(pair):
+    """Conflict-equivalent schedules have identical serialization graphs."""
+    schedule, _alloc = pair
+    serial = serial_schedule(schedule.workload, list(schedule.workload.tids))
+    graph_a = {(q.b, q.a) for _k, q in dependencies(schedule)}
+    graph_b = {(q.b, q.a) for _k, q in dependencies(serial)}
+    assert conflict_equivalent(schedule, serial) == (graph_a == graph_b)
+
+
+@given(schedules_with_free_components())
+@settings(max_examples=100, **COMMON)
+def test_dependency_trichotomy(pair):
+    """Every conflicting pair induces a dependency in exactly one direction."""
+    from repro.core.conflicts import conflicting_pairs, depends
+
+    schedule, _alloc = pair
+    txns = schedule.workload.transactions
+    for i, ti in enumerate(txns):
+        for tj in txns[i + 1 :]:
+            for b, a in conflicting_pairs(ti, tj):
+                assert depends(schedule, b, a) != depends(schedule, a, b)
+
+
+@given(schedules_with_free_components())
+@settings(max_examples=80, **COMMON)
+def test_serial_schedules_pass_all_levels(pair):
+    """A serial execution is allowed under every uniform allocation."""
+    schedule, _alloc = pair
+    wl = schedule.workload
+    serial = serial_schedule(wl, list(wl.tids))
+    for level in ("RC", "SI", "SSI"):
+        report = allowed_under(serial, Allocation.uniform(wl, level))
+        assert report.allowed, f"{level}: {report}"
+
+
+@given(schedules_with_free_components())
+@settings(max_examples=80, **COMMON)
+def test_graph_acyclicity_matches_serializability(pair):
+    """Theorem 2.2, by construction: the two APIs agree."""
+    schedule, _alloc = pair
+    assert serialization_graph(schedule).is_acyclic() == is_conflict_serializable(
+        schedule
+    )

@@ -1,0 +1,139 @@
+"""Property tests for Propositions 4.1, 4.2, 5.1 and 5.4 (ids P41/P42/P51/P54)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import strategies as sts
+from repro.core.allocation import (
+    is_robustly_allocatable,
+    optimal_allocation,
+    refine_allocation,
+)
+from repro.core.isolation import (
+    Allocation,
+    IsolationLevel,
+    ORACLE_LEVELS,
+    POSTGRES_LEVELS,
+)
+from repro.core.robustness import is_robust
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(sts.allocated_workloads(max_transactions=4), st.data())
+@settings(max_examples=80, **COMMON)
+def test_proposition_41_upward(pair, data):
+    """Prop 4.1(1): raising any transaction's level preserves robustness."""
+    wl, alloc = pair
+    if len(wl) == 0 or not is_robust(wl, alloc):
+        return
+    tid = data.draw(st.sampled_from(wl.tids))
+    higher = data.draw(
+        st.sampled_from([lvl for lvl in IsolationLevel if lvl >= alloc[tid]])
+    )
+    assert is_robust(wl, alloc.with_level(tid, higher))
+
+
+@given(sts.workloads(max_transactions=3, max_accesses=2), st.data())
+@settings(max_examples=50, **COMMON)
+def test_proposition_41_downward_swap(wl, data):
+    """Prop 4.1(2): adopting a lower level from another robust allocation."""
+    if len(wl) == 0:
+        return
+    alloc_a = data.draw(sts.allocations(wl))
+    alloc_b = data.draw(sts.allocations(wl))
+    if not (is_robust(wl, alloc_a) and is_robust(wl, alloc_b)):
+        return
+    for tid in wl.tids:
+        swapped = alloc_b.with_level(tid, alloc_a[tid])
+        assert is_robust(wl, swapped)
+
+
+@given(sts.workloads(max_transactions=4))
+@settings(max_examples=60, **COMMON)
+def test_proposition_42_unique_optimum(wl):
+    """Prop 4.2 via Algorithm 2: refinement order does not matter."""
+    if len(wl) == 0:
+        return
+    optimum = optimal_allocation(wl)
+    assert optimum is not None
+    # Recompute with a reversed refinement order by refining transactions
+    # in descending id order.
+    current = Allocation.ssi(wl)
+    for tid in reversed(wl.tids):
+        for level in (IsolationLevel.RC, IsolationLevel.SI):
+            candidate = current.with_level(tid, level)
+            if is_robust(wl, candidate):
+                current = candidate
+                break
+    assert current == optimum
+
+
+@given(sts.workloads(max_transactions=4))
+@settings(max_examples=60, **COMMON)
+def test_optimum_below_every_robust_allocation(wl):
+    """The optimum is the least element of the robust-allocation lattice."""
+    if len(wl) == 0:
+        return
+    optimum = optimal_allocation(wl)
+    assert optimum is not None
+    assert is_robust(wl, optimum)
+    # Spot-check: the uniform allocations that are robust dominate it.
+    for level in IsolationLevel:
+        uniform = Allocation.uniform(wl, level)
+        if is_robust(wl, uniform):
+            assert optimum <= uniform
+
+
+@given(sts.workloads(max_transactions=4))
+@settings(max_examples=60, **COMMON)
+def test_proposition_51(wl):
+    """Prop 5.1: robustness against A_RC implies robustness against A_SI."""
+    if len(wl) == 0:
+        return
+    if is_robust(wl, Allocation.rc(wl)):
+        assert is_robust(wl, Allocation.si(wl))
+
+
+@given(sts.workloads(max_transactions=4))
+@settings(max_examples=60, **COMMON)
+def test_proposition_54(wl):
+    """Prop 5.4: robustly allocatable over {RC, SI} iff robust against A_SI."""
+    if len(wl) == 0:
+        return
+    allocatable = is_robustly_allocatable(wl, ORACLE_LEVELS)
+    assert allocatable == is_robust(wl, Allocation.si(wl))
+    optimum = optimal_allocation(wl, ORACLE_LEVELS)
+    assert (optimum is not None) == allocatable
+    if optimum is not None:
+        assert optimum.uses_only(ORACLE_LEVELS)
+        assert is_robust(wl, optimum)
+
+
+@given(sts.workloads(max_transactions=4))
+@settings(max_examples=40, **COMMON)
+def test_theorem_55_oracle_optimum_below_a_si(wl):
+    """Theorem 5.5: the {RC, SI} optimum refines A_SI."""
+    if len(wl) == 0:
+        return
+    optimum = optimal_allocation(wl, ORACLE_LEVELS)
+    if optimum is not None:
+        assert optimum <= Allocation.si(wl)
+
+
+@given(sts.workloads(max_transactions=4))
+@settings(max_examples=40, **COMMON)
+def test_oracle_and_postgres_optima_consistent(wl):
+    """Where both exist, the {RC,SI} and {RC,SI,SSI} optima coincide.
+
+    If a robust {RC, SI} allocation exists, no transaction needs SSI, and
+    the unique optimum over the larger class equals the one over the
+    smaller (uniqueness, Prop 4.2).
+    """
+    if len(wl) == 0:
+        return
+    oracle = optimal_allocation(wl, ORACLE_LEVELS)
+    postgres = optimal_allocation(wl, POSTGRES_LEVELS)
+    assert postgres is not None
+    if oracle is not None:
+        assert oracle == postgres

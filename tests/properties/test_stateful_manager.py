@@ -1,0 +1,70 @@
+"""Stateful property testing of the incremental AllocationManager.
+
+A hypothesis rule-based state machine adds and removes random transactions
+and, after every step, asserts the manager's allocation equals the batch
+Algorithm 2 optimum and is robust — the strongest exactness guarantee for
+the warm-start logic.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.allocation import optimal_allocation
+from repro.core.incremental import AllocationManager
+from repro.core.operations import read, write
+from repro.core.robustness import is_robust
+from repro.core.transactions import Transaction
+
+OBJECTS = ("x", "y", "z")
+
+
+class ManagerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.manager = AllocationManager()
+        self.next_tid = 1
+
+    @rule(data=st.data())
+    def add_transaction(self, data):
+        count = data.draw(st.integers(min_value=1, max_value=2))
+        objects = data.draw(
+            st.lists(
+                st.sampled_from(OBJECTS),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        ops = []
+        for obj in objects:
+            mode = data.draw(st.sampled_from(("r", "w", "rw")))
+            if mode in ("r", "rw"):
+                ops.append(read(self.next_tid, obj))
+            if mode in ("w", "rw"):
+                ops.append(write(self.next_tid, obj))
+        self.manager.add(Transaction(self.next_tid, ops))
+        self.next_tid += 1
+
+    @precondition(lambda self: len(self.manager.workload) > 0)
+    @rule(data=st.data())
+    def remove_transaction(self, data):
+        tid = data.draw(st.sampled_from(self.manager.workload.tids))
+        self.manager.remove(tid)
+
+    @invariant()
+    def allocation_is_optimal(self):
+        workload = self.manager.workload
+        assert self.manager.allocation == optimal_allocation(workload)
+
+    @invariant()
+    def allocation_is_robust(self):
+        workload = self.manager.workload
+        if len(workload):
+            assert is_robust(workload, self.manager.allocation)
+
+
+TestManagerMachine = ManagerMachine.TestCase
+TestManagerMachine.settings = settings(
+    max_examples=20, stateful_step_count=8, deadline=None
+)

@@ -1,0 +1,75 @@
+"""Property tests for the template layer."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import strategies as sts
+from repro.core.isolation import IsolationLevel
+from repro.templates import (
+    check_template_robustness,
+    optimal_template_allocation,
+)
+from repro.templates.instantiate import all_instantiations, saturation_workload
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(sts.template_sets(max_templates=2), st.sampled_from(["RC", "SI", "SSI"]))
+@settings(max_examples=40, **COMMON)
+def test_counterexamples_monotone_in_copies(template_set, level):
+    """A counterexample at copies=1 persists at copies=2 (growth)."""
+    allocation = {t.name: level for t in template_set}
+    small = check_template_robustness(template_set, allocation, copies=1)
+    if not small.robust:
+        larger = check_template_robustness(template_set, allocation, copies=2)
+        assert not larger.robust
+
+
+@given(sts.template_sets(max_templates=2), st.sampled_from(["RC", "SI"]))
+@settings(max_examples=40, **COMMON)
+def test_counterexamples_monotone_in_domain(template_set, level):
+    """A counterexample at domain 2 persists at domain 3."""
+    allocation = {t.name: level for t in template_set}
+    small = check_template_robustness(template_set, allocation, domain_size=2)
+    if not small.robust:
+        larger = check_template_robustness(template_set, allocation, domain_size=3)
+        assert not larger.robust
+
+
+@given(sts.template_sets(max_templates=2))
+@settings(max_examples=30, **COMMON)
+def test_optimal_template_allocation_is_robust_and_minimal(template_set):
+    optimum = optimal_template_allocation(template_set)
+    assert optimum is not None
+    assert check_template_robustness(template_set, optimum).robust
+    for name in optimum:
+        for level in IsolationLevel:
+            if level < optimum[name]:
+                lowered = dict(optimum)
+                lowered[name] = level
+                assert not check_template_robustness(template_set, lowered).robust
+
+
+@given(sts.template_sets(max_templates=2))
+@settings(max_examples=30, **COMMON)
+def test_ssi_everywhere_always_robust_for_templates(template_set):
+    allocation = {t.name: "SSI" for t in template_set}
+    assert check_template_robustness(template_set, allocation).robust
+
+
+@given(sts.template_sets(max_templates=3), st.integers(1, 3))
+@settings(max_examples=30, **COMMON)
+def test_saturation_workload_well_formed(template_set, domain):
+    workload, origin = saturation_workload(template_set, domain_size=domain)
+    assert set(origin.keys()) == set(workload.tids)
+    assert set(origin.values()) <= {t.name for t in template_set}
+    # ids are consecutive from 1.
+    assert workload.tids == tuple(range(1, len(workload) + 1))
+
+
+@given(sts.template_sets(max_templates=2), st.integers(1, 2))
+@settings(max_examples=30, **COMMON)
+def test_all_instantiations_distinct(template_set, copies):
+    wl = all_instantiations(template_set, domain_size=2, copies=copies)
+    # Copies are identical up to tid; distinct tids guaranteed.
+    assert len(set(wl.tids)) == len(wl)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.static_analysis.static_graph."""
+
+import pytest
+
+from repro.static_analysis import build_static_graph
+from repro.static_analysis.static_graph import StaticEdge
+from repro.templates import parse_templates
+
+
+@pytest.fixture
+def reader_writer():
+    return parse_templates("Reader(X): R[r:X]\nWriter(Y): W[r:Y]")
+
+
+class TestEdges:
+    def test_rw_and_wr_between_reader_and_writer(self, reader_writer):
+        graph = build_static_graph(reader_writer)
+        kinds = {(e.source, e.target, e.kind) for e in graph.edges}
+        assert ("Reader", "Writer", "rw") in kinds
+        assert ("Writer", "Reader", "wr") in kinds
+        assert ("Writer", "Writer", "ww") in kinds  # two writer copies
+
+    def test_no_edges_between_disjoint(self):
+        ts = parse_templates("A(X): R[a:X]\nB(Y): W[b:Y]")
+        graph = build_static_graph(ts)
+        assert not graph.edges_between("A", "B")
+        assert not graph.edges_between("B", "A")
+
+    def test_read_read_no_self_edge(self):
+        ts = parse_templates("Reader(X): R[r:X]")
+        graph = build_static_graph(ts)
+        assert not graph.edges
+
+    def test_rmw_self_edges(self):
+        ts = parse_templates("Deposit(C): R[checking:C] W[checking:C]")
+        graph = build_static_graph(ts)
+        kinds = {e.kind for e in graph.edges_between("Deposit", "Deposit")}
+        assert kinds == {"ww", "wr", "rw"}
+
+    def test_edge_relation_labels(self, reader_writer):
+        graph = build_static_graph(reader_writer)
+        edge = graph.edges_between("Reader", "Writer")[0]
+        assert edge.relation == "r"
+        assert edge.vulnerable
+        assert "rw" in str(edge)
+
+    def test_vulnerable_edges(self, reader_writer):
+        graph = build_static_graph(reader_writer)
+        assert all(e.kind == "rw" for e in graph.vulnerable_edges())
+        assert graph.vulnerable_edges()
+
+    def test_has_edge_kind(self, reader_writer):
+        graph = build_static_graph(reader_writer)
+        assert graph.has_edge_kind("Reader", "Writer", "rw")
+        assert not graph.has_edge_kind("Reader", "Writer", "ww")
+
+    def test_duplicate_names_rejected(self):
+        ts = parse_templates("A(X): R[a:X]")
+        with pytest.raises(ValueError):
+            build_static_graph(list(ts) + list(ts))
+
+
+class TestCycles:
+    def test_simple_cycles_found(self):
+        ts = parse_templates("A(X): R[p:X] W[q:X]\nB(Y): R[q:Y] W[p:Y]")
+        graph = build_static_graph(ts)
+        cycles = [sorted(c) for c in graph.simple_cycles()]
+        assert ["A", "B"] in cycles
+
+    def test_self_loop_cycle(self):
+        ts = parse_templates("Deposit(C): R[checking:C] W[checking:C]")
+        graph = build_static_graph(ts)
+        assert [["Deposit"]] == [list(c) for c in graph.simple_cycles()]
+
+    def test_str_lists_edges(self):
+        ts = parse_templates("A(X): R[p:X]\nB(Y): W[p:Y]")
+        text = str(build_static_graph(ts))
+        assert "A -rw[p]-> B" in text

@@ -1,0 +1,132 @@
+"""Unit and property tests for the static sufficient conditions.
+
+The load-bearing property: a static "robust (guarantee)" verdict must
+never contradict the exact bounded checker — the static checks are sound
+over-approximations of counterexample existence.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+import strategies as sts
+from repro.core.isolation import IsolationLevel
+from repro.static_analysis import (
+    static_mixed_check,
+    static_rc_check,
+    static_si_check,
+)
+from repro.templates import check_template_robustness, parse_templates
+from repro.templates.template import TemplateError
+
+SMALLBANK = """
+Balance(C): R[savings:C] R[checking:C]
+DepositChecking(C): R[checking:C] W[checking:C]
+TransactSavings(C): R[savings:C] W[savings:C]
+WriteCheck(C): R[savings:C] R[checking:C] W[checking:C]
+"""
+
+
+class TestClassicConditions:
+    def test_disjoint_templates_pass_everything(self):
+        ts = parse_templates("A(X): R[a:X] W[b:X]\nB(Y): R[c:Y] W[d:Y]")
+        assert static_rc_check(ts)
+        assert static_si_check(ts)
+
+    def test_read_only_workload_passes(self):
+        ts = parse_templates("Q1(X): R[r:X]\nQ2(Y): R[r:Y] R[s:Y]")
+        assert static_rc_check(ts)
+        assert static_si_check(ts)
+
+    def test_smallbank_fails_si_condition(self):
+        ts = parse_templates(SMALLBANK)
+        verdict = static_si_check(ts)
+        assert not verdict
+        assert "dangerous structure" in str(verdict)
+
+    def test_rmw_fails_classic_conditions_but_is_robust(self):
+        """The classic conditions' textbook false positive."""
+        ts = parse_templates("Deposit(C): R[checking:C] W[checking:C]")
+        assert not static_si_check(ts)
+        assert not static_rc_check(ts)
+        assert check_template_robustness(ts, {"Deposit": "SI"}).robust
+
+    def test_write_only_counter_passes_si(self):
+        ts = parse_templates("Bump: W[counter]")
+        assert static_si_check(ts)
+        assert static_rc_check(ts)
+
+
+class TestMixedCondition:
+    def test_all_ssi_always_guaranteed(self):
+        ts = parse_templates(SMALLBANK)
+        assert static_mixed_check(ts, {t.name: "SSI" for t in ts})
+
+    def test_rmw_at_si_guaranteed(self):
+        """First-committer-wins, captured statically (the refinement)."""
+        ts = parse_templates("Deposit(C): R[checking:C] W[checking:C]")
+        assert static_mixed_check(ts, {"Deposit": "SI"})
+
+    def test_rmw_at_rc_unknown(self):
+        ts = parse_templates("Deposit(C): R[checking:C] W[checking:C]")
+        verdict = static_mixed_check(ts, {"Deposit": "RC"})
+        assert not verdict
+        assert not check_template_robustness(ts, {"Deposit": "RC"}).robust
+
+    def test_smallbank_optimum_guaranteed(self):
+        ts = parse_templates(SMALLBANK)
+        alloc = {
+            "Balance": "SSI",
+            "DepositChecking": "SI",
+            "TransactSavings": "SSI",
+            "WriteCheck": "SSI",
+        }
+        assert static_mixed_check(ts, alloc)
+
+    def test_smallbank_all_si_unknown(self):
+        ts = parse_templates(SMALLBANK)
+        assert not static_mixed_check(ts, {t.name: "SI" for t in ts})
+
+    def test_missing_level_rejected(self):
+        ts = parse_templates("A(X): R[a:X]")
+        with pytest.raises(TemplateError):
+            static_mixed_check(ts, {})
+
+    def test_verdict_str(self):
+        ts = parse_templates("A(X): R[a:X]")
+        assert "robust" in str(static_mixed_check(ts, {"A": "RC"}))
+
+
+@given(sts.template_sets())
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_static_mixed_check_is_sound(template_set):
+    """Static guarantee => the exact bounded checker agrees, at any level."""
+    for level in ("RC", "SI", "SSI"):
+        allocation = {t.name: level for t in template_set}
+        if static_mixed_check(template_set, allocation):
+            result = check_template_robustness(
+                template_set, allocation, domain_size=2, copies=2
+            )
+            assert result.robust, (
+                f"static guarantee contradicted at {level}: "
+                f"{[str(t) for t in template_set]}"
+            )
+
+
+@given(sts.template_sets(max_templates=2))
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_classic_conditions_are_sound(template_set):
+    """Classic RC/SI conditions imply exact bounded robustness."""
+    if static_rc_check(template_set):
+        allocation = {t.name: "RC" for t in template_set}
+        assert check_template_robustness(template_set, allocation).robust
+    if static_si_check(template_set):
+        allocation = {t.name: "SI" for t in template_set}
+        assert check_template_robustness(template_set, allocation).robust

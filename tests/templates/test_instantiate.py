@@ -1,0 +1,92 @@
+"""Unit tests for repro.templates.instantiate."""
+
+import pytest
+
+from repro.core.operations import read, write
+from repro.templates.instantiate import (
+    all_instantiations,
+    bindings,
+    instantiate,
+    saturation_workload,
+)
+from repro.templates.template import TemplateError, parse_template, parse_templates
+
+
+@pytest.fixture
+def write_check():
+    return parse_template("WriteCheck(C): R[savings:C] R[checking:C] W[checking:C]")
+
+
+@pytest.fixture
+def amalgamate():
+    return parse_template("Amalgamate(C1, C2): R[savings:C1] W[checking:C2]")
+
+
+class TestInstantiate:
+    def test_concrete_transaction(self, write_check):
+        txn = instantiate(write_check, 7, {"C": 2})
+        assert txn.tid == 7
+        assert txn.operations[:-1] == (
+            read(7, "savings:2"),
+            read(7, "checking:2"),
+            write(7, "checking:2"),
+        )
+
+    def test_missing_binding(self, write_check):
+        with pytest.raises(TemplateError, match="misses"):
+            instantiate(write_check, 1, {})
+
+    def test_aliasing_rejected(self, amalgamate):
+        with pytest.raises(TemplateError, match="aliases"):
+            instantiate(amalgamate, 1, {"C1": 1, "C2": 1})
+
+    def test_two_variable_instantiation(self, amalgamate):
+        txn = instantiate(amalgamate, 1, {"C1": 1, "C2": 2})
+        assert txn.read_set == {"savings:1"}
+        assert txn.write_set == {"checking:2"}
+
+    def test_singleton_relation(self):
+        t = parse_template("Tick: R[counter] W[counter]")
+        txn = instantiate(t, 1, {})
+        assert txn.read_set == txn.write_set == {"counter"}
+
+
+class TestBindings:
+    def test_injective(self, amalgamate):
+        all_bindings = list(bindings(amalgamate, [1, 2, 3]))
+        assert len(all_bindings) == 6  # 3P2 permutations
+        for binding in all_bindings:
+            assert binding["C1"] != binding["C2"]
+
+    def test_no_variables(self):
+        t = parse_template("Tick: W[counter]")
+        assert list(bindings(t, [1, 2])) == [{}]
+
+    def test_domain_smaller_than_variables(self, amalgamate):
+        assert list(bindings(amalgamate, [1])) == []
+
+
+class TestWorkloads:
+    def test_all_instantiations_counts(self, write_check, amalgamate):
+        wl = all_instantiations([write_check, amalgamate], domain_size=2)
+        # WriteCheck: 2 bindings; Amalgamate: 2 permutations.
+        assert len(wl) == 4
+
+    def test_copies(self, write_check):
+        wl = all_instantiations([write_check], domain_size=2, copies=3)
+        assert len(wl) == 6
+
+    def test_start_tid(self, write_check):
+        wl = all_instantiations([write_check], domain_size=1, start_tid=10)
+        assert wl.tids == (10,)
+
+    def test_saturation_origin_map(self, write_check, amalgamate):
+        wl, origin = saturation_workload([write_check, amalgamate], 2, copies=2)
+        assert len(wl) == 8
+        assert set(origin.values()) == {"WriteCheck", "Amalgamate"}
+        assert sorted(origin) == list(wl.tids)
+
+    def test_saturation_deterministic(self, write_check):
+        a, _ = saturation_workload([write_check], 2)
+        b, _ = saturation_workload([write_check], 2)
+        assert a == b

@@ -1,0 +1,130 @@
+"""Unit tests for repro.templates.template."""
+
+import pytest
+
+from repro.templates.template import (
+    TemplateError,
+    TemplateOperation,
+    TransactionTemplate,
+    parse_template,
+    parse_templates,
+)
+
+
+class TestTemplateOperation:
+    def test_read_write(self):
+        op = TemplateOperation("R", "checking", "C")
+        assert op.is_read and not op.is_write
+        assert str(op) == "R[checking:C]"
+
+    def test_singleton_relation(self):
+        op = TemplateOperation("W", "counter")
+        assert op.variable is None
+        assert str(op) == "W[counter]"
+        assert op.object_for({}) == "counter"
+
+    def test_object_for_binding(self):
+        op = TemplateOperation("R", "checking", "C")
+        assert op.object_for({"C": 3}) == "checking:3"
+
+    def test_object_for_missing_variable(self):
+        op = TemplateOperation("R", "checking", "C")
+        with pytest.raises(TemplateError):
+            op.object_for({"D": 3})
+
+    def test_bad_kind(self):
+        with pytest.raises(TemplateError):
+            TemplateOperation("X", "checking", "C")
+
+    def test_empty_relation(self):
+        with pytest.raises(TemplateError):
+            TemplateOperation("R", "", "C")
+
+
+class TestTransactionTemplate:
+    def test_variables_inferred_in_order(self):
+        t = TransactionTemplate(
+            "T",
+            [
+                TemplateOperation("R", "a", "Y"),
+                TemplateOperation("W", "b", "X"),
+            ],
+        )
+        assert t.variables == ("Y", "X")
+
+    def test_declared_variables_checked(self):
+        with pytest.raises(TemplateError, match="undeclared"):
+            TransactionTemplate(
+                "T", [TemplateOperation("R", "a", "X")], variables=("Y",)
+            )
+
+    def test_duplicate_operation_rejected(self):
+        with pytest.raises(TemplateError, match="repeats"):
+            TransactionTemplate(
+                "T",
+                [
+                    TemplateOperation("R", "a", "X"),
+                    TemplateOperation("R", "a", "X"),
+                ],
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(TemplateError):
+            TransactionTemplate("T", [])
+
+    def test_read_write_relations(self):
+        t = parse_template("T(C): R[sav:C] W[chk:C]")
+        assert t.read_relations == {"sav"}
+        assert t.write_relations == {"chk"}
+
+    def test_may_conflict(self):
+        a = parse_template("A(X): R[r:X]")
+        b = parse_template("B(Y): W[r:Y]")
+        c = parse_template("C(Z): R[r:Z]")
+        assert a.may_conflict_with(b) and b.may_conflict_with(a)
+        assert not a.may_conflict_with(c)
+
+    def test_equality_and_hash(self):
+        a = parse_template("T(C): R[sav:C]")
+        b = parse_template("T(C): R[sav:C]")
+        assert a == b and hash(a) == hash(b)
+
+    def test_str_roundtrip(self):
+        text = "WriteCheck(C): R[savings:C] R[checking:C] W[checking:C]"
+        assert str(parse_template(text)) == text
+
+
+class TestParsing:
+    def test_header_without_params(self):
+        t = parse_template("Tick: W[counter]")
+        assert t.variables == ()
+
+    def test_missing_colon(self):
+        with pytest.raises(TemplateError, match="header"):
+            parse_template("T(C) R[sav:C]")
+
+    def test_missing_colon_no_variables(self):
+        with pytest.raises(TemplateError, match="':'"):
+            parse_template("T R[sav] W[chk]")
+
+    def test_garbage_body(self):
+        with pytest.raises(TemplateError, match="unparsable"):
+            parse_template("T(C): R[sav:C] nonsense")
+
+    def test_parse_templates_multi(self):
+        ts = parse_templates(
+            """
+            # two programs
+            A(X): R[r:X]
+            B(Y): W[r:Y]
+            """
+        )
+        assert [t.name for t in ts] == ["A", "B"]
+
+    def test_parse_templates_duplicate_names(self):
+        with pytest.raises(TemplateError, match="duplicate"):
+            parse_templates("A(X): R[r:X]\nA(Y): W[r:Y]")
+
+    def test_parse_templates_reports_line(self):
+        with pytest.raises(TemplateError, match="line 2"):
+            parse_templates("A(X): R[r:X]\nB(Y) W[r:Y]")

@@ -1,0 +1,112 @@
+"""Unit tests for repro.templates.robustness and .allocation."""
+
+import pytest
+
+from repro.core.isolation import IsolationLevel, ORACLE_LEVELS
+from repro.templates import (
+    check_template_robustness,
+    optimal_template_allocation,
+    parse_templates,
+)
+from repro.templates.template import TemplateError
+
+SMALLBANK = """
+Balance(C): R[savings:C] R[checking:C]
+DepositChecking(C): R[checking:C] W[checking:C]
+TransactSavings(C): R[savings:C] W[savings:C]
+Amalgamate(C1, C2): R[savings:C1] R[checking:C1] W[savings:C1] W[checking:C1] R[checking:C2] W[checking:C2]
+WriteCheck(C): R[savings:C] R[checking:C] W[checking:C]
+"""
+
+
+class TestCheckTemplateRobustness:
+    def test_single_rmw_template_robust_at_si(self):
+        ts = parse_templates("Deposit(C): R[checking:C] W[checking:C]")
+        result = check_template_robustness(ts, {"Deposit": "SI"})
+        assert result.robust
+        assert result.counterexample is None
+        assert result.counterexample_templates() is None
+
+    def test_single_rmw_template_not_robust_at_rc(self):
+        ts = parse_templates("Deposit(C): R[checking:C] W[checking:C]")
+        result = check_template_robustness(ts, {"Deposit": "RC"})
+        assert not result.robust
+        assert result.counterexample_templates() == {1: "Deposit", 2: "Deposit"}
+
+    def test_smallbank_not_robust_at_si(self):
+        ts = parse_templates(SMALLBANK)
+        result = check_template_robustness(ts, {t.name: "SI" for t in ts})
+        assert not result.robust
+        involved = set(result.counterexample_templates().values())
+        # The classic anomaly: a reader + WriteCheck + TransactSavings.
+        assert involved <= {"Balance", "WriteCheck", "TransactSavings", "Amalgamate"}
+
+    def test_missing_level_rejected(self):
+        ts = parse_templates("Deposit(C): R[checking:C] W[checking:C]")
+        with pytest.raises(TemplateError, match="Deposit"):
+            check_template_robustness(ts, {})
+
+    def test_bound_parameters_recorded(self):
+        ts = parse_templates("Audit(C): R[checking:C]")
+        result = check_template_robustness(ts, {"Audit": "RC"}, domain_size=3, copies=1)
+        assert result.domain_size == 3 and result.copies == 1
+        assert result.robust  # read-only programs alone are always robust
+
+    def test_counterexamples_at_small_bound_persist_at_larger(self):
+        ts = parse_templates(SMALLBANK)
+        alloc = {t.name: "SI" for t in ts}
+        small = check_template_robustness(ts, alloc, domain_size=2, copies=1)
+        larger = check_template_robustness(ts, alloc, domain_size=2, copies=2)
+        assert not small.robust and not larger.robust
+
+
+class TestOptimalTemplateAllocation:
+    def test_smallbank_matches_literature(self):
+        """Alomari et al.: promote {Balance, WriteCheck, TransactSavings}."""
+        ts = parse_templates(SMALLBANK)
+        optimum = optimal_template_allocation(ts)
+        assert optimum is not None
+        names = {name: level.name for name, level in optimum.items()}
+        assert names["DepositChecking"] == "SI"
+        assert names["Amalgamate"] == "SI"
+        assert names["Balance"] == "SSI"
+        assert names["TransactSavings"] == "SSI"
+        assert names["WriteCheck"] == "SSI"
+
+    def test_result_is_robust(self):
+        ts = parse_templates(SMALLBANK)
+        optimum = optimal_template_allocation(ts)
+        assert check_template_robustness(ts, optimum).robust
+
+    def test_result_is_groupwise_minimal(self):
+        ts = parse_templates(SMALLBANK)
+        optimum = optimal_template_allocation(ts)
+        for name in optimum:
+            for level in IsolationLevel:
+                if level < optimum[name]:
+                    lowered = dict(optimum)
+                    lowered[name] = level
+                    assert not check_template_robustness(ts, lowered).robust
+
+    def test_oracle_class_may_not_exist(self):
+        ts = parse_templates(SMALLBANK)
+        assert optimal_template_allocation(ts, ORACLE_LEVELS) is None
+
+    def test_oracle_class_when_it_exists(self):
+        ts = parse_templates(
+            "Deposit(C): R[checking:C] W[checking:C]\nAudit(C): R[checking:C]"
+        )
+        optimum = optimal_template_allocation(ts, ORACLE_LEVELS)
+        assert optimum is not None
+        assert optimum["Deposit"] is IsolationLevel.SI
+        assert optimum["Audit"] is IsolationLevel.RC
+
+    def test_empty_levels_rejected(self):
+        ts = parse_templates("Audit(C): R[checking:C]")
+        with pytest.raises(ValueError):
+            optimal_template_allocation(ts, [])
+
+    def test_disjoint_templates_all_rc(self):
+        ts = parse_templates("A(X): R[a:X] W[b:X]\nB(Y): R[c:Y] W[d:Y]")
+        optimum = optimal_template_allocation(ts)
+        assert all(level is IsolationLevel.RC for level in optimum.values())

@@ -1,0 +1,227 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def skew_file(tmp_path):
+    path = tmp_path / "skew.txt"
+    path.write_text("# write skew\nT1: R[x] W[y]\nT2: R[y] W[x]\n")
+    return str(path)
+
+
+@pytest.fixture
+def disjoint_file(tmp_path):
+    path = tmp_path / "disjoint.txt"
+    path.write_text("T1: R[a] W[b]\nT2: R[c] W[d]\n")
+    return str(path)
+
+
+class TestCheck:
+    def test_non_robust_exit_code_and_output(self, skew_file, capsys):
+        code = main(["check", skew_file, "--uniform", "SI"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NOT ROBUST" in out
+        assert "Cycle:" in out
+
+    def test_robust_exit_code(self, disjoint_file, capsys):
+        code = main(["check", disjoint_file, "--uniform", "RC"])
+        assert code == 0
+        assert "ROBUST" in capsys.readouterr().out
+
+    def test_explicit_allocation(self, skew_file, capsys):
+        code = main(["check", skew_file, "--allocation", "T1=SSI,T2=SSI"])
+        assert code == 0
+
+    def test_default_uniform_is_si(self, skew_file):
+        assert main(["check", skew_file]) == 1
+
+    def test_allocation_and_uniform_conflict(self, skew_file):
+        with pytest.raises(SystemExit):
+            main(
+                ["check", skew_file, "--allocation", "T1=RC,T2=RC", "--uniform", "SI"]
+            )
+
+    def test_incomplete_allocation_rejected(self, skew_file):
+        with pytest.raises(SystemExit):
+            main(["check", skew_file, "--allocation", "T1=RC"])
+
+    def test_malformed_allocation_rejected(self, skew_file):
+        with pytest.raises(SystemExit):
+            main(["check", skew_file, "--allocation", "banana"])
+
+
+class TestAllocate:
+    def test_postgres_default(self, skew_file, capsys):
+        code = main(["allocate", skew_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "T1: SSI" in out
+
+    def test_oracle_levels(self, skew_file, capsys):
+        code = main(["allocate", skew_file, "--levels", "RC,SI"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "No robust allocation" in out
+
+    def test_disjoint_gets_rc(self, disjoint_file, capsys):
+        main(["allocate", disjoint_file])
+        out = capsys.readouterr().out
+        assert "T1: RC" in out and "T2: RC" in out
+
+
+class TestSimulate:
+    def test_runs_and_reports(self, skew_file, capsys):
+        code = main(["simulate", skew_file, "--uniform", "SI", "--runs", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run 0:" in out and "run 2:" in out
+        assert "executions serializable" in out
+
+    def test_ssi_always_serializable(self, skew_file, capsys):
+        main(["simulate", skew_file, "--uniform", "SSI", "--runs", "4"])
+        out = capsys.readouterr().out
+        assert "4/4 executions serializable" in out
+
+
+class TestStats:
+    def test_stats_output(self, skew_file, capsys):
+        assert main(["stats", skew_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 txns" in out and "conflict density" in out
+
+
+class TestReport:
+    def test_full_report(self, skew_file, capsys):
+        assert main(["report", skew_file]) == 0
+        out = capsys.readouterr().out
+        assert "Profile:" in out
+        assert "A_RC: NOT robust" in out
+        assert "A_SSI: robust" in out
+        assert "Optimal over {RC, SI, SSI}" in out
+        assert "none exists" in out  # the {RC, SI} class
+
+
+class TestBlame:
+    def test_blame_output(self, skew_file, capsys):
+        code = main(["blame", skew_file, "--uniform", "SI"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "problematic triples" in out
+        assert "{T1, T2}" in out
+
+    def test_blame_robust(self, disjoint_file, capsys):
+        code = main(["blame", disjoint_file, "--uniform", "RC"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "robust" in out
+
+    def test_blame_size_bound(self, skew_file, capsys):
+        code = main(["blame", skew_file, "--uniform", "SI", "--max-size", "1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "No promotion set of size <= 1" in out
+
+
+class TestRate:
+    def test_non_robust_allocation_rate(self, skew_file, capsys):
+        code = main(["rate", skew_file, "--uniform", "SI", "--samples", "100"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "anomalous" in out
+
+    def test_robust_allocation_rate(self, skew_file, capsys):
+        code = main(["rate", skew_file, "--uniform", "SSI", "--samples", "100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(0.0%)" in out
+
+
+class TestCheckExtras:
+    def test_anomaly_named(self, skew_file, capsys):
+        main(["check", skew_file, "--uniform", "SI"])
+        assert "Anomaly: write skew" in capsys.readouterr().out
+
+    def test_dot_export(self, skew_file, tmp_path, capsys):
+        dot_path = tmp_path / "seg.dot"
+        main(["check", skew_file, "--uniform", "SI", "--dot", str(dot_path)])
+        assert dot_path.read_text().startswith("digraph SeG {")
+
+
+@pytest.fixture
+def template_file(tmp_path):
+    path = tmp_path / "templates.txt"
+    path.write_text(
+        "Balance(C): R[savings:C] R[checking:C]\n"
+        "TransactSavings(C): R[savings:C] W[savings:C]\n"
+        "WriteCheck(C): R[savings:C] R[checking:C] W[checking:C]\n"
+    )
+    return str(path)
+
+
+class TestTemplates:
+    def test_check_uniform_si_not_robust(self, template_file, capsys):
+        code = main(["templates", "check", template_file, "--uniform", "SI"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NOT ROBUST" in out
+        assert "Static sufficient check" in out
+
+    def test_check_explicit_allocation(self, template_file, capsys):
+        code = main(
+            [
+                "templates",
+                "check",
+                template_file,
+                "--allocation",
+                "Balance=SSI,TransactSavings=SSI,WriteCheck=SSI",
+            ]
+        )
+        assert code == 0
+        assert "ROBUST" in capsys.readouterr().out
+
+    def test_check_requires_allocation(self, template_file):
+        with pytest.raises(SystemExit):
+            main(["templates", "check", template_file])
+
+    def test_allocate(self, template_file, capsys):
+        code = main(["templates", "allocate", template_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Balance: SSI" in out
+
+    def test_allocate_oracle_fails(self, template_file, capsys):
+        code = main(
+            ["templates", "allocate", template_file, "--levels", "RC,SI"]
+        )
+        assert code == 1
+        assert "No robust" in capsys.readouterr().out
+
+    def test_custom_bounds(self, template_file, capsys):
+        main(
+            [
+                "templates",
+                "check",
+                template_file,
+                "--uniform",
+                "SSI",
+                "--domain",
+                "3",
+                "--copies",
+                "1",
+            ]
+        )
+        assert "domain=3, copies=1" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            main(["check", "/nonexistent/workload.txt"])

@@ -1,0 +1,111 @@
+"""Unit tests for repro.workloads.generator."""
+
+import pytest
+
+from repro.workloads.generator import GeneratorConfig, random_workload
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"transactions": -1},
+            {"objects": 0},
+            {"min_ops": 0},
+            {"min_ops": 5, "max_ops": 3},
+            {"write_probability": 1.5},
+            {"read_before_write_probability": -0.1},
+            {"hot_objects": 50, "objects": 10},
+            {"hot_probability": 2.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**kwargs)
+
+    def test_config_and_overrides_exclusive(self):
+        with pytest.raises(TypeError):
+            random_workload(GeneratorConfig(), transactions=3)
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = random_workload(transactions=5, seed=3)
+        b = random_workload(transactions=5, seed=3)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = random_workload(transactions=5, seed=1)
+        b = random_workload(transactions=5, seed=2)
+        assert a != b
+
+    def test_transaction_count_and_ids(self):
+        wl = random_workload(transactions=7, seed=0)
+        assert wl.tids == tuple(range(1, 8))
+
+    def test_ops_within_bounds(self):
+        wl = random_workload(transactions=20, min_ops=2, max_ops=4, seed=5)
+        for txn in wl:
+            accessed = txn.read_set | txn.write_set
+            assert 1 <= len(accessed) <= 4
+
+    def test_objects_within_pool(self):
+        wl = random_workload(transactions=10, objects=5, seed=0)
+        for obj in wl.objects():
+            assert obj.startswith("x")
+            assert 0 <= int(obj[1:]) < 5
+
+    def test_read_only_mix(self):
+        wl = random_workload(transactions=10, write_probability=0.0, seed=0)
+        for txn in wl:
+            assert not txn.write_set
+
+    def test_write_heavy_mix(self):
+        wl = random_workload(
+            transactions=10,
+            write_probability=1.0,
+            read_before_write_probability=0.0,
+            seed=0,
+        )
+        for txn in wl:
+            assert txn.write_set and not txn.read_set
+
+    def test_hotspot_concentrates_accesses(self):
+        def hot_fraction(hot_objects, hot_probability):
+            wl = random_workload(
+                transactions=30,
+                objects=100,
+                hot_objects=hot_objects,
+                hot_probability=hot_probability,
+                seed=1,
+            )
+            hits = sum(
+                1
+                for txn in wl
+                for obj in txn.read_set | txn.write_set
+                if int(obj[1:]) < 2
+            )
+            total = sum(len(txn.read_set | txn.write_set) for txn in wl)
+            return hits / total
+
+        # Two hot objects out of 100: uniform access would hit them ~2% of
+        # the time; with hotspotting the fraction must be far larger.
+        assert hot_fraction(2, 0.95) > 10 * hot_fraction(0, 0.0)
+        assert hot_fraction(2, 0.95) > 0.3
+
+    def test_zero_transactions(self):
+        wl = random_workload(transactions=0, seed=0)
+        assert len(wl) == 0
+
+    def test_read_modify_write_pattern(self):
+        wl = random_workload(
+            transactions=10,
+            write_probability=1.0,
+            read_before_write_probability=1.0,
+            seed=0,
+        )
+        for txn in wl:
+            assert txn.read_set == txn.write_set

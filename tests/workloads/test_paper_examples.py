@@ -1,0 +1,225 @@
+"""Every fact the paper states about its figures and examples (F2/F3/F4/F5/E25).
+
+Each test cites the sentence of the paper it verifies.
+"""
+
+import pytest
+
+from repro.core.allowed import (
+    allowed_under,
+    concurrent_write_witness,
+    dangerous_structures,
+    dirty_write_witness,
+    is_allowed,
+    is_read_last_committed,
+)
+from repro.core.conflicts import dependency_kind
+from repro.core.isolation import Allocation, IsolationLevel
+from repro.core.operations import OP0, read, write
+from repro.core.serialization import is_conflict_serializable, serialization_graph
+from repro.workloads.paper_examples import (
+    example26_allocations,
+    example26_schedule,
+    example26_workload,
+    example52_schedule,
+    example52_workload,
+    figure2_schedule,
+    figure2_workload,
+)
+
+
+class TestFigure2:
+    """Figure 2 and the facts of Section 2.1/2.2 about it."""
+
+    def setup_method(self):
+        self.s = figure2_schedule()
+        self.wl = figure2_workload()
+
+    def test_reads_on_t_observe_initial_version(self):
+        """'the read operations on t in T1 and T4 both read the initial
+        version of t instead of the version written but not yet committed
+        by T2'."""
+        assert self.s.version_of(read(1, "t")) == OP0
+        assert self.s.version_of(read(4, "t")) == OP0
+        # W2[t] indeed precedes both reads, uncommitted.
+        assert self.s.before(write(2, "t"), read(1, "t"))
+        assert self.s.before(write(2, "t"), read(4, "t"))
+        assert self.s.before(read(4, "t"), self.wl[2].commit_op)
+
+    def test_r2v_reads_initial_despite_t3_commit(self):
+        """'R2[v] in T2 reads the initial version of v instead of the
+        version written by T3, even though T3 commits before R2[v]'."""
+        assert self.s.version_of(read(2, "v")) == OP0
+        assert self.s.before(self.wl[3].commit_op, read(2, "v"))
+
+    def test_stated_dependencies(self):
+        """'the dependencies W2[t] -> W4[t], W3[v] -> R4[v] and
+        R4[t] -> W2[t] are respectively a ww-dependency, a wr-dependency
+        and a rw-antidependency'."""
+        assert dependency_kind(self.s, write(2, "t"), write(4, "t")) == "ww"
+        assert dependency_kind(self.s, write(3, "v"), read(4, "v")) == "wr"
+        assert dependency_kind(self.s, read(4, "t"), write(2, "t")) == "rw"
+
+    def test_figure3_graph_is_cyclic(self):
+        """'Since SeG(s) is not acyclic, s is not conflict serializable.'"""
+        graph = serialization_graph(self.s)
+        assert not graph.is_acyclic()
+        assert not is_conflict_serializable(self.s)
+
+    def test_figure3_edges(self):
+        """The edges drawn in Figure 3."""
+        graph = serialization_graph(self.s)
+        assert graph.has_edge(1, 2)   # R1[t] -> W2[t]
+        assert graph.has_edge(2, 3)   # R2[v] -> W3[v]
+        assert graph.has_edge(4, 2)   # R4[t] -> W2[t]
+        assert graph.has_edge(2, 4)   # W2[t] -> W4[t]
+        assert graph.has_edge(3, 4)   # W3[v] -> R4[v]
+
+
+class TestExample25:
+    """Example 2.5, sentence by sentence."""
+
+    def setup_method(self):
+        self.s = figure2_schedule()
+        self.wl = figure2_workload()
+
+    def test_concurrency_pattern(self):
+        """'T1 is concurrent with T2 and T4, but not with T3; all other
+        transactions are pairwise concurrent with each other.'"""
+        assert self.s.concurrent(1, 2)
+        assert self.s.concurrent(1, 4)
+        assert not self.s.concurrent(1, 3)
+        assert self.s.concurrent(2, 3)
+        assert self.s.concurrent(2, 4)
+        assert self.s.concurrent(3, 4)
+
+    def test_second_read_of_t4(self):
+        """'The second read operation of T4 is read-last-committed relative
+        to itself but not relative to the start of T4.'"""
+        r4v = read(4, "v")
+        assert is_read_last_committed(self.s, r4v, r4v)
+        assert not is_read_last_committed(self.s, r4v, self.wl[4].first)
+
+    def test_read_of_t2(self):
+        """'The read operation of T2 is read-last-committed relative to the
+        start of T2, but not relative to itself, so an allocation mapping
+        T2 to RC is not allowed.'"""
+        r2v = read(2, "v")
+        assert is_read_last_committed(self.s, r2v, self.wl[2].first)
+        assert not is_read_last_committed(self.s, r2v, r2v)
+        alloc = Allocation({1: "RC", 2: "RC", 3: "RC", 4: "RC"})
+        assert not is_allowed(self.s, alloc)
+
+    def test_other_reads_rlc_both_ways(self):
+        """'All other read operations are read-last-committed relative to
+        both themselves and the start of the corresponding transaction.'"""
+        for op, txn in ((read(1, "t"), 1), (read(4, "t"), 4)):
+            assert is_read_last_committed(self.s, op, op)
+            assert is_read_last_committed(self.s, op, self.wl[txn].first)
+
+    def test_no_dirty_writes(self):
+        """'None of the transactions exhibits a dirty write.'"""
+        for txn in self.wl:
+            assert dirty_write_witness(self.s, txn) is None
+
+    def test_only_t4_exhibits_concurrent_write(self):
+        """'Only transaction T4 exhibits a concurrent write (witnessed by
+        the write operation in T2).'"""
+        witness = concurrent_write_witness(self.s, self.wl[4])
+        assert witness == (write(2, "t"), write(4, "t"))
+        for tid in (1, 2, 3):
+            assert concurrent_write_witness(self.s, self.wl[tid]) is None
+
+    def test_t4_on_si_or_ssi_not_allowed(self):
+        """'an allocation mapping T4 on SI or SSI is not allowed'."""
+        for level in ("SI", "SSI"):
+            alloc = Allocation({1: "SI", 2: "SI", 3: "SI", 4: level})
+            assert not is_allowed(self.s, alloc)
+
+    def test_dangerous_structure_t1_t2_t3(self):
+        """'The transactions T1 -> T2 -> T3 form a dangerous structure,
+        therefore an allocation mapping all three on SSI is not allowed.'"""
+        structures = {
+            (d.tid_1, d.tid_2, d.tid_3) for d in dangerous_structures(self.s)
+        }
+        assert (1, 2, 3) in structures
+        alloc = Allocation({1: "SSI", 2: "SSI", 3: "SSI", 4: "RC"})
+        assert not is_allowed(self.s, alloc)
+
+    def test_allowed_allocations(self):
+        """'All other allocations, that is, mapping T4 on RC, T2 on SI or
+        SSI and at least one of T1, T2, T3 on RC or SI, is allowed.'"""
+        import itertools
+
+        for l1, l2, l3 in itertools.product(["RC", "SI", "SSI"], repeat=3):
+            if l2 == "RC":
+                continue  # T2 cannot be RC
+            alloc = Allocation({1: l1, 2: l2, 3: l3, 4: "RC"})
+            expected = not (l1 == l2 == l3 == "SSI")
+            assert is_allowed(self.s, alloc) is expected, (l1, l2, l3)
+
+
+class TestExample26:
+    """Example 2.6 / Figure 4: the mixing subtlety."""
+
+    def setup_method(self):
+        self.s = example26_schedule()
+        self.a1, self.a2, self.a3 = example26_allocations()
+
+    def test_transactions_concurrent(self):
+        assert self.s.concurrent(1, 2)
+
+    def test_not_allowed_under_a_si(self):
+        """'(1) ... s is not allowed under A1 as T2 exhibits a concurrent
+        write which is not allowed by SI.'"""
+        report = allowed_under(self.s, self.a1)
+        assert not report.allowed
+        assert any(v.rule == "concurrent-write" and v.tid == 2 for v in report.violations)
+
+    def test_not_allowed_under_a2(self):
+        """'(2) The same is the case for allocation A2 (T1 -> RC, T2 -> SI).'"""
+        assert not is_allowed(self.s, self.a2)
+
+    def test_allowed_under_a3(self):
+        """'(3) ... s is allowed under A3 as the concurrent write exhibited
+        by T2 is allowed by RC and T1 does not exhibit a concurrent
+        write.'"""
+        wl = example26_workload()
+        assert is_allowed(self.s, self.a3)
+        assert concurrent_write_witness(self.s, wl[1]) is None
+        assert concurrent_write_witness(self.s, wl[2]) is not None
+        assert dirty_write_witness(self.s, wl[2]) is None
+
+
+class TestExample52:
+    """Example 5.2 / Figure 5: allowed under SI but not under RC."""
+
+    def setup_method(self):
+        self.s = example52_schedule()
+        self.wl = example52_workload()
+
+    def test_operation_order_matches_paper(self):
+        assert str(self.s) == "W1[t] R2[v] C1 R2[t] C2"
+
+    def test_version_function_matches_paper(self):
+        assert self.s.version_of(read(2, "v")) == OP0
+        assert self.s.version_of(read(2, "t")) == OP0
+
+    def test_allowed_under_a_si(self):
+        assert is_allowed(self.s, Allocation.si(self.wl))
+
+    def test_not_allowed_under_a_rc(self):
+        """'not under A_RC, because R2[t] is not read-last-committed in s
+        relative to itself.'"""
+        report = allowed_under(self.s, Allocation.rc(self.wl))
+        assert not report.allowed
+        assert any(
+            v.rule == "read-last-committed" and read(2, "t") in v.operations
+            for v in report.violations
+        )
+
+    def test_footnote3_no_containment(self):
+        """Footnote 3: the level order is preference, not containment —
+        this schedule is allowed under A_SI but not A_RC."""
+        assert is_allowed(self.s, Allocation.si(self.wl))
+        assert not is_allowed(self.s, Allocation.rc(self.wl))

@@ -1,0 +1,97 @@
+"""Tests for the TPC-C instantiation — including the folklore result.
+
+The paper's Section 1 recalls that TPC-C is robust against SI (Fekete et
+al.).  The ``TPCC`` experiment asserts this on our transaction-level
+instantiation, and consequently that the optimal {RC, SI, SSI} allocation
+never needs SSI.
+"""
+
+import pytest
+
+from repro.core.allocation import optimal_allocation
+from repro.core.isolation import Allocation, IsolationLevel
+from repro.core.robustness import is_robust
+from repro.workloads.tpcc import (
+    TPCC_MIX,
+    TPCC_PROGRAMS,
+    TpccConfig,
+    TpccInstantiator,
+    tpcc_one_of_each,
+    tpcc_workload,
+)
+
+
+class TestInstantiation:
+    def test_one_of_each_has_five_transactions(self):
+        wl = tpcc_one_of_each()
+        assert len(wl) == 5
+
+    def test_program_footprints(self):
+        inst = TpccInstantiator(TpccConfig(), seed=0)
+        new_order = inst.new_order(1)
+        assert any(obj.startswith("d:") for obj in new_order.write_set)
+        assert any(obj.startswith("o:") for obj in new_order.write_set)
+        assert any(obj.startswith("w:") for obj in new_order.read_set)
+
+        payment = inst.payment(2)
+        assert any(obj.startswith("w:") for obj in payment.write_set)
+        assert any(obj.startswith("h:") for obj in payment.write_set)
+
+        status = inst.order_status(3)
+        assert not status.write_set  # read-only
+
+        stock = inst.stock_level(4)
+        assert not stock.write_set  # read-only
+
+        delivery = inst.delivery(5)
+        assert any(obj.startswith("no:") for obj in delivery.write_set)
+
+    def test_new_orders_get_fresh_order_ids(self):
+        inst = TpccInstantiator(TpccConfig(warehouses=1, districts=1), seed=0)
+        first = inst.new_order(1)
+        second = inst.new_order(2)
+        orders_1 = {o for o in first.write_set if o.startswith("o:")}
+        orders_2 = {o for o in second.write_set if o.startswith("o:")}
+        assert orders_1.isdisjoint(orders_2)
+
+    def test_unknown_program_rejected(self):
+        inst = TpccInstantiator()
+        with pytest.raises(ValueError):
+            inst.instantiate(1, "refund")
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError):
+            tpcc_workload(5, mix={"refund": 1.0})
+
+    def test_deterministic_per_seed(self):
+        assert tpcc_workload(8, seed=4) == tpcc_workload(8, seed=4)
+        assert tpcc_workload(8, seed=4) != tpcc_workload(8, seed=5)
+
+    def test_mix_weights_cover_programs(self):
+        assert set(TPCC_MIX) == set(TPCC_PROGRAMS)
+        assert abs(sum(TPCC_MIX.values()) - 1.0) < 1e-9
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TpccConfig(warehouses=0)
+        with pytest.raises(ValueError):
+            TpccConfig(initial_orders=0)
+
+
+class TestFolkloreRobustness:
+    """Experiment TPCC: the folklore SI-robustness of TPC-C."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_robust_against_a_si(self, seed):
+        wl = tpcc_workload(10, seed=seed)
+        assert is_robust(wl, Allocation.si(wl))
+
+    def test_one_of_each_robust_against_a_si(self):
+        wl = tpcc_one_of_each()
+        assert is_robust(wl, Allocation.si(wl))
+
+    def test_optimal_allocation_never_needs_ssi(self):
+        wl = tpcc_workload(10, seed=0)
+        optimum = optimal_allocation(wl)
+        assert optimum is not None
+        assert IsolationLevel.SSI not in dict(optimum.items()).values()

@@ -1,0 +1,109 @@
+"""Unit tests for repro.workloads.ycsb."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.allocation import optimal_allocation
+from repro.workloads.ycsb import (
+    YCSB_MIXES,
+    YcsbConfig,
+    ZipfianGenerator,
+    ycsb_workload,
+)
+
+
+class TestZipfian:
+    def test_hottest_key_dominates(self):
+        zipf = ZipfianGenerator(100, theta=0.99)
+        rng = random.Random(0)
+        counts = Counter(zipf.sample(rng) for _ in range(5000))
+        assert counts[0] == max(counts.values())
+        assert counts[0] / 5000 > 0.1
+
+    def test_theta_zero_is_uniform(self):
+        zipf = ZipfianGenerator(10, theta=0.0)
+        rng = random.Random(1)
+        counts = Counter(zipf.sample(rng) for _ in range(10000))
+        for key in range(10):
+            assert 800 <= counts[key] <= 1200
+
+    def test_bounds(self):
+        zipf = ZipfianGenerator(5, theta=0.8)
+        rng = random.Random(2)
+        for _ in range(100):
+            assert 0 <= zipf.sample(rng) < 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=2.0)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workload": "Z"},
+            {"transactions": -1},
+            {"keys": 0},
+            {"operations_per_transaction": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            YcsbConfig(**kwargs)
+
+    def test_config_overrides_exclusive(self):
+        with pytest.raises(TypeError):
+            ycsb_workload(YcsbConfig(), workload="A")
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        assert ycsb_workload(seed=4) == ycsb_workload(seed=4)
+        assert ycsb_workload(seed=4) != ycsb_workload(seed=5)
+
+    def test_workload_c_read_only(self):
+        wl = ycsb_workload(workload="C", transactions=8, seed=0)
+        assert all(not txn.write_set for txn in wl)
+
+    def test_workload_f_always_rmw(self):
+        wl = ycsb_workload(workload="F", transactions=8, seed=0)
+        for txn in wl:
+            assert txn.read_set == txn.write_set
+
+    def test_workload_a_mixes(self):
+        wl = ycsb_workload(workload="A", transactions=30, seed=0)
+        writes = sum(len(txn.write_set) for txn in wl)
+        reads = sum(len(txn.read_set) for txn in wl)
+        assert 0 < writes < reads  # updates RMW: every write has a read
+
+    def test_mix_table_complete(self):
+        assert set(YCSB_MIXES) == {"A", "B", "C", "F"}
+
+    def test_skew_concentrates_on_k0(self):
+        wl = ycsb_workload(
+            workload="A", transactions=40, keys=200, theta=0.99, seed=2
+        )
+        hot_accesses = sum(
+            1 for txn in wl for obj in txn.read_set | txn.write_set if obj == "k0"
+        )
+        assert hot_accesses > 10
+
+    def test_read_only_workload_always_rc(self):
+        wl = ycsb_workload(workload="C", transactions=6, seed=3)
+        optimum = optimal_allocation(wl)
+        assert all(level.name == "RC" for _t, level in optimum.items())
+
+    def test_contention_pushes_levels_up(self):
+        flat = ycsb_workload(workload="F", transactions=8, keys=400, theta=0.0, seed=1)
+        skewed = ycsb_workload(workload="F", transactions=8, keys=400, theta=0.99, seed=1)
+
+        def rank_sum(wl):
+            optimum = optimal_allocation(wl)
+            return sum(level.rank for _t, level in optimum.items())
+
+        assert rank_sum(skewed) >= rank_sum(flat)
