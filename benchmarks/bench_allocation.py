@@ -7,12 +7,36 @@ resulting allocation mixes are reported (visible with ``-s``).
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from conftest import print_table
 from repro.core.allocation import optimal_allocation
-from repro.core.isolation import ORACLE_LEVELS, POSTGRES_LEVELS
+from repro.core.context import AnalysisContext, ConflictIndex
+from repro.core.isolation import Allocation, ORACLE_LEVELS, POSTGRES_LEVELS
+from repro.core.robustness import check_robustness
 from repro.workloads.generator import random_workload
+
+
+def _cold_optimal_allocation(wl, levels=POSTGRES_LEVELS):
+    """The seed Algorithm 2 loop: a fresh conflict index per robustness check.
+
+    Ablation baseline for the shared :class:`AnalysisContext` — identical
+    decisions, but every ``check_robustness`` call rebuilds the
+    allocation-independent structure from scratch.
+    """
+    ordered = tuple(sorted(set(levels)))
+    current = Allocation.uniform(wl, ordered[-1])
+    for tid in wl.tids:
+        for level in ordered:
+            if level >= current[tid]:
+                break
+            candidate = current.with_level(tid, level)
+            if check_robustness(wl, candidate).robust:
+                current = candidate
+                break
+    return current
 
 
 @pytest.mark.parametrize("transactions", [5, 10, 20, 40])
@@ -76,5 +100,70 @@ def test_allocation_mix_report(benchmark, capsys):
         print_table(
             "A2: optimal allocation mixes",
             ["workload", "RC", "SI", "SSI", "{RC,SI} exists"],
+            rows,
+        )
+
+
+@pytest.mark.parametrize("mode", ["cold", "context"])
+def test_refinement_mode(benchmark, mode):
+    """Algorithm 2 with a fresh index per check vs one shared context."""
+    wl = random_workload(transactions=24, objects=30, min_ops=2, max_ops=4, seed=13)
+
+    if mode == "cold":
+        result = benchmark(lambda: _cold_optimal_allocation(wl))
+    else:
+        result = benchmark(lambda: optimal_allocation(wl, context=AnalysisContext(wl)))
+    assert result is not None
+    benchmark.extra_info["mode"] = mode
+
+
+def test_context_speedup_report(benchmark, capsys):
+    """CTX table: context-backed vs cold-start refinement, with counters.
+
+    Asserts identical allocations and exactly one conflict-index build
+    for the context-backed run (the acceptance criterion of the shared
+    analysis context).
+    """
+
+    def compute():
+        rows = []
+        for transactions in (10, 20, 30):
+            wl = random_workload(
+                transactions=transactions,
+                objects=transactions + 6,
+                min_ops=2,
+                max_ops=4,
+                seed=13,
+            )
+            t0 = time.perf_counter()
+            cold = _cold_optimal_allocation(wl)
+            cold_s = time.perf_counter() - t0
+
+            builds_before = ConflictIndex.total_builds
+            t0 = time.perf_counter()
+            ctx = AnalysisContext(wl)
+            warm = optimal_allocation(wl, context=ctx)
+            warm_s = time.perf_counter() - t0
+            builds = ConflictIndex.total_builds - builds_before
+
+            assert warm == cold, "context-backed optimum diverged from seed"
+            assert builds == 1, "context rebuilt the conflict index"
+            rows.append(
+                (
+                    transactions,
+                    f"{cold_s * 1000:.1f}ms",
+                    f"{warm_s * 1000:.1f}ms",
+                    f"{cold_s / warm_s:.1f}x",
+                    ctx.stats.checks,
+                    ctx.stats.witness_hits,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table(
+            "CTX: shared analysis context vs cold start (Algorithm 2)",
+            ["|T|", "cold", "context", "speedup", "checks", "witness hits"],
             rows,
         )

@@ -25,6 +25,7 @@ from .core import (
     Allocation,
     AllocationManager,
     AllowedReport,
+    AnalysisContext,
     ConflictQuadruple,
     Counterexample,
     DangerousStructure,
@@ -70,6 +71,7 @@ __all__ = [
     "Allocation",
     "AllocationManager",
     "AllowedReport",
+    "AnalysisContext",
     "ConflictQuadruple",
     "Counterexample",
     "DangerousStructure",

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..core.allocation import optimal_allocation
+from ..core.context import AnalysisContext, ContextStats
 from ..core.isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
 from ..core.robustness import Counterexample, RobustnessResult, check_robustness
 from ..core.serialization import SerializationGraph
@@ -126,13 +127,26 @@ def full_report(workload: Workload) -> str:
     return "\n".join(lines)
 
 
+def analysis_stats_report(stats: ContextStats) -> str:
+    """Render the :class:`~repro.core.context.ContextStats` counters."""
+    lines = ["Analysis statistics:"]
+    for name, value in stats.as_dict().items():
+        lines.append(f"  {name.replace('_', ' ')}: {value}")
+    return "\n".join(lines)
+
+
 def allocation_report(
     workload: Workload,
     levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
+    context: Optional[AnalysisContext] = None,
 ) -> str:
-    """A report on the optimal robust allocation of a workload."""
+    """A report on the optimal robust allocation of a workload.
+
+    Pass a shared :class:`~repro.core.context.AnalysisContext` to amortize
+    the conflict index with other checks (and to read the counters back).
+    """
     lines = ["Workload:", render_workload(workload), ""]
-    optimum = optimal_allocation(workload, levels)
+    optimum = optimal_allocation(workload, levels, context=context)
     class_name = "{" + ", ".join(level.name for level in sorted(set(levels))) + "}"
     if optimum is None:
         lines.append(

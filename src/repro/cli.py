@@ -6,7 +6,9 @@ Subcommands:
   decide robustness against an allocation (Algorithm 1) and, on
   non-robustness, print the counterexample split schedule.
 * ``allocate <workload-file> [--levels RC,SI | RC,SI,SSI]`` — compute the
-  optimal robust allocation (Algorithm 2 / Theorem 5.5).
+  optimal robust allocation (Algorithm 2 / Theorem 5.5).  Both ``check``
+  and ``allocate`` accept ``--stats`` to print the shared analysis
+  context's counters (checks executed, cache and witness hits).
 * ``simulate <workload-file> [--uniform SI] [--seed N] [--runs N]`` — run
   the workload on the MVCC engine and report commits/aborts and whether
   the executions were serializable.
@@ -30,8 +32,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .analysis.report import allocation_report, robustness_report
+from .analysis.report import (
+    allocation_report,
+    analysis_stats_report,
+    robustness_report,
+)
 from .core.allocation import optimal_allocation
+from .core.context import AnalysisContext
 from .core.isolation import Allocation, IsolationLevel
 from .core.robustness import check_robustness
 from .core.serialization import is_conflict_serializable
@@ -72,7 +79,8 @@ def _parse_levels(spec: str) -> List[IsolationLevel]:
 def _cmd_check(args: argparse.Namespace) -> int:
     workload = _load_workload(args.workload)
     allocation = _parse_allocation(workload, args.allocation, args.uniform)
-    result = check_robustness(workload, allocation)
+    context = AnalysisContext(workload)
+    result = check_robustness(workload, allocation, context=context)
     print(robustness_report(workload, allocation, result))
     if not result.robust:
         from .analysis.anomalies import classify_counterexample
@@ -88,6 +96,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 serialization_graph_dot(graph), encoding="utf-8"
             )
             print(f"Serialization graph written to {args.dot}")
+    if args.stats:
+        print()
+        print(analysis_stats_report(context.stats))
     return 0 if result.robust else 1
 
 
@@ -189,8 +200,14 @@ def _cmd_templates(args: argparse.Namespace) -> int:
 def _cmd_allocate(args: argparse.Namespace) -> int:
     workload = _load_workload(args.workload)
     levels = _parse_levels(args.levels)
-    print(allocation_report(workload, levels))
-    return 0 if optimal_allocation(workload, levels) is not None else 1
+    # One shared context for the report's Algorithm 2 run and the final
+    # existence probe: the conflict index is built exactly once.
+    context = AnalysisContext(workload)
+    print(allocation_report(workload, levels, context=context))
+    if args.stats:
+        print()
+        print(analysis_stats_report(context.stats))
+    return 0 if optimal_allocation(workload, levels, context=context) is not None else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -234,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--allocation", help="per-transaction levels, e.g. T1=RC,T2=SSI")
     check.add_argument("--uniform", help="one level for all transactions (default SI)")
     check.add_argument("--dot", help="write the counterexample's SeG(s) as DOT here")
+    check.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analysis-context counters (checks, cache hits)",
+    )
     check.set_defaults(func=_cmd_check)
 
     stats = sub.add_parser("stats", help="structural contention statistics")
@@ -283,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--levels",
         default="RC,SI,SSI",
         help="class of levels, e.g. RC,SI (Oracle) or RC,SI,SSI (Postgres)",
+    )
+    allocate.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analysis-context counters (checks, cache hits)",
     )
     allocate.set_defaults(func=_cmd_allocate)
 

@@ -12,19 +12,32 @@ For the Oracle class {RC, SI} (Section 5) no serializable level exists, so
 a robust allocation may not exist.  Proposition 5.4 reduces existence to
 robustness against ``A_SI``; when it holds, the optimal {RC, SI} allocation
 is computed by the same refinement starting from ``A_SI`` (Theorem 5.5).
+
+Every entry point accepts an optional
+:class:`~repro.core.context.AnalysisContext` so the allocation-independent
+structure (conflict index, reachability oracles) is built exactly once per
+workload across the ``O(|T| * levels)`` robustness checks a full run
+issues.  The refinement additionally keeps a *witness cache* on the
+context: counterexample chains discovered while probing one candidate are
+revalidated (cheap Definition 3.1 condition check) against later
+candidates, skipping the full Algorithm 1 search whenever a cached chain
+still applies.  Both are pure accelerations — the returned allocations
+are identical to the uncached computation (asserted by the property
+suite).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Tuple
 
+from .context import AnalysisContext
 from .isolation import (
     Allocation,
     IsolationLevel,
     ORACLE_LEVELS,
     POSTGRES_LEVELS,
 )
-from .robustness import is_robust
+from .robustness import check_robustness, is_robust
 from .workload import Workload
 
 
@@ -38,11 +51,45 @@ def _normalized_levels(
     return tuple(unique)
 
 
+def _resolve_context(
+    workload: Workload, context: Optional[AnalysisContext]
+) -> AnalysisContext:
+    """The caller's context (validated) or a fresh one for ``workload``."""
+    if context is None:
+        return AnalysisContext(workload)
+    context.ensure(workload)
+    return context
+
+
+def _robust_with_warm_start(
+    workload: Workload,
+    candidate: Allocation,
+    method: str,
+    ctx: AnalysisContext,
+) -> bool:
+    """Robustness of ``candidate``, trying cached witness chains first.
+
+    A cached chain whose Definition 3.1 conditions all hold under
+    ``candidate`` is a multiversion split schedule, hence (Theorem 3.2) a
+    proof of non-robustness — the full Algorithm 1 search is skipped.
+    Otherwise the full check runs, and a fresh counterexample (if any) is
+    added to the cache for later candidates.
+    """
+    if ctx.known_witness(candidate) is not None:
+        return False
+    result = check_robustness(workload, candidate, method=method, context=ctx)
+    if not result.robust:
+        assert result.counterexample is not None
+        ctx.add_witness(result.counterexample.spec)
+    return result.robust
+
+
 def refine_allocation(
     workload: Workload,
     start: Allocation,
     levels: Sequence[IsolationLevel],
     method: str = "components",
+    context: Optional[AnalysisContext] = None,
 ) -> Allocation:
     """Refine a robust allocation to the optimum below it (Algorithm 2 core).
 
@@ -51,21 +98,29 @@ def refine_allocation(
     independent of the iteration order and equals the unique optimal robust
     allocation below ``start`` (the test suite checks order invariance).
 
+    Failed lowerings warm-start later probes: each counterexample chain is
+    recorded on the context and revalidated against subsequent candidate
+    allocations before falling back to the full search (see
+    :meth:`~repro.core.context.AnalysisContext.known_witness`).
+
     Args:
         workload: the set of transactions.
         start: a *robust* allocation to refine (not re-verified here).
         levels: the class of levels, in any order.
         method: robustness engine, forwarded to
             :func:`repro.core.robustness.check_robustness`.
+        context: shared :class:`~repro.core.context.AnalysisContext`;
+            built fresh when omitted.
     """
     ordered = _normalized_levels(levels)
+    ctx = _resolve_context(workload, context)
     current = start
     for tid in workload.tids:
         for level in ordered:
             if level >= current[tid]:
                 break
             candidate = current.with_level(tid, level)
-            if is_robust(workload, candidate, method=method):
+            if _robust_with_warm_start(workload, candidate, method, ctx):
                 current = candidate
                 break
     return current
@@ -75,6 +130,7 @@ def optimal_allocation(
     workload: Workload,
     levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
     method: str = "components",
+    context: Optional[AnalysisContext] = None,
 ) -> Optional[Allocation]:
     """The unique optimal robust allocation over ``levels``, if one exists.
 
@@ -82,6 +138,11 @@ def optimal_allocation(
     exists and this is Algorithm 2 (Theorem 4.3).  For {RC, SI} the result
     is ``None`` when the workload is not robustly allocatable
     (Proposition 5.4 / Theorem 5.5).
+
+    The whole run shares one :class:`~repro.core.context.AnalysisContext`
+    (the caller's, or a private one), so the conflict index is built
+    exactly once regardless of how many robustness checks the refinement
+    issues.
 
     Examples:
         >>> from repro.core.workload import workload
@@ -92,17 +153,21 @@ def optimal_allocation(
         'T1:RC, T2:RC'
     """
     ordered = _normalized_levels(levels)
+    ctx = _resolve_context(workload, context)
     top = ordered[-1]
     start = Allocation.uniform(workload, top)
-    if top is not IsolationLevel.SSI and not is_robust(workload, start, method=method):
+    if top is not IsolationLevel.SSI and not is_robust(
+        workload, start, method=method, context=ctx
+    ):
         return None
-    return refine_allocation(workload, start, ordered, method=method)
+    return refine_allocation(workload, start, ordered, method=method, context=ctx)
 
 
 def is_robustly_allocatable(
     workload: Workload,
     levels: Sequence[IsolationLevel] = ORACLE_LEVELS,
     method: str = "components",
+    context: Optional[AnalysisContext] = None,
 ) -> bool:
     """Whether some allocation over ``levels`` is robust (Definition 5.3).
 
@@ -113,7 +178,9 @@ def is_robustly_allocatable(
     top = ordered[-1]
     if top is IsolationLevel.SSI:
         return True
-    return is_robust(workload, Allocation.uniform(workload, top), method=method)
+    return is_robust(
+        workload, Allocation.uniform(workload, top), method=method, context=context
+    )
 
 
 def upgrade_to_robust(
@@ -121,25 +188,36 @@ def upgrade_to_robust(
     allocation: Allocation,
     levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
     method: str = "components",
+    context: Optional[AnalysisContext] = None,
 ) -> Optional[Allocation]:
     """The least robust allocation pointwise above ``allocation``, if any.
 
     Practical companion to Algorithm 2: given a desired (possibly
     non-robust) allocation, raise levels as little as possible until the
-    workload is robust.  Returns ``None`` when even the top level of
-    ``levels`` everywhere-above ``allocation`` is not robust.
+    workload is robust.  Returns ``None`` only when no robust allocation
+    over ``levels`` exists at all (i.e. :func:`optimal_allocation` returns
+    ``None``; impossible when SSI is in the class).
 
     The result is the pointwise maximum of ``allocation`` and the optimal
     robust allocation; minimality among robust allocations above
-    ``allocation`` follows from Proposition 4.1(2).
+    ``allocation`` follows from Proposition 4.1(2).  The maximum itself is
+    robust by Proposition 4.1(1) — robustness propagates upward from the
+    optimum — so, unlike earlier revisions, this function never returns
+    ``None`` once an optimum exists (a debug assertion documents the
+    invariant instead of a dead error branch).
     """
-    optimum = optimal_allocation(workload, levels, method=method)
+    ctx = _resolve_context(workload, context)
+    optimum = optimal_allocation(workload, levels, method=method, context=ctx)
     if optimum is None:
         return None
     lifted = {
         tid: max(allocation[tid], optimum[tid]) for tid in workload.tids
     }
     candidate = Allocation(lifted)
-    if not is_robust(workload, candidate, method=method):
-        return None
+    # By Proposition 4.1(1) any allocation pointwise above a robust one is
+    # robust; ``candidate >= optimum``, so a failure here can only mean a
+    # bug in the robustness engine, never a caller-visible condition.
+    assert is_robust(workload, candidate, method=method, context=ctx), (
+        "pointwise max of a robust optimum must be robust (Proposition 4.1)"
+    )
     return candidate

@@ -94,8 +94,13 @@ def transactions_conflict(ti: Transaction, tj: Transaction) -> bool:
 def conflicting_pairs(
     ti: Transaction, tj: Transaction
 ) -> Iterator[Tuple[Operation, Operation]]:
-    """All pairs ``(b, a)`` with ``b`` in ``ti`` conflicting with ``a`` in ``tj``."""
-    if ti.tid == tj.tid:
+    """All pairs ``(b, a)`` with ``b`` in ``ti`` conflicting with ``a`` in ``tj``.
+
+    Screens with the transaction-level read/write sets first, so the
+    quadratic operation scan only runs for pairs that actually conflict
+    (the common case in sparse workloads is an immediate empty result).
+    """
+    if not transactions_conflict(ti, tj):
         return
     for b in ti.body:
         for a in tj.body:

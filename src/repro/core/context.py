@@ -1,0 +1,336 @@
+"""Shared, allocation-independent analysis structure for Algorithm 1/2.
+
+Algorithm 2 (and the incremental :class:`~repro.core.incremental.AllocationManager`)
+decide optimality by issuing ``O(|T| * levels)`` robustness checks.  The
+expensive parts of each check — the transaction-level conflict index
+(``O(|T|^2)`` pairwise conflict tests), the mixed-iso-graph connected
+components of every ``T_1``, the candidate-partner lists and the
+per-pair conflicting-operation tables — depend only on the *workload*,
+never on the allocation being probed.  :class:`AnalysisContext`
+precomputes them once per workload and is threaded through
+:func:`~repro.core.robustness.check_robustness`,
+:func:`~repro.core.allocation.refine_allocation`,
+:func:`~repro.core.allocation.optimal_allocation` and friends, so a full
+Algorithm 2 run builds the structure exactly once.
+
+The context additionally carries a *witness cache* for
+counterexample-guided warm starts: when lowering a transaction's level
+produces a counterexample, the witness chain is recorded, and later
+candidate allocations that leave the chain's conditions intact are
+rejected by re-running the cheap Definition 3.1 condition check
+(:func:`~repro.core.split_schedule.condition_failures`) instead of the
+full Algorithm 1 search.  This is sound by Theorem 3.2: a chain
+satisfying all conditions *is* a multiversion split schedule, hence a
+proof of non-robustness, for any allocation.
+
+All counters (checks issued, cache hits, index builds) are exposed on
+the context, replacing ad-hoc per-caller accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from .conflicts import conflicting_pairs, transactions_conflict
+from .isolation import Allocation
+from .operations import Operation
+from .transactions import Transaction
+from .workload import Workload, WorkloadError
+
+
+class ConflictIndex:
+    """Precomputed transaction-level conflict structure for a workload.
+
+    Allocation-independent: depends only on the read/write sets of the
+    transactions.  The class attribute :attr:`total_builds` counts every
+    construction process-wide, so tests can assert that a full
+    Algorithm 2 run builds exactly one index per workload.
+    """
+
+    #: Process-wide construction counter (for redundancy assertions).
+    total_builds: int = 0
+
+    def __init__(self, workload: Workload):
+        type(self).total_builds += 1
+        self.workload = workload
+        self.transactions = workload.transactions
+        self._conflicts: Dict[int, Set[int]] = {t.tid: set() for t in self.transactions}
+        txns = self.transactions
+        for i, ti in enumerate(txns):
+            for tj in txns[i + 1 :]:
+                if transactions_conflict(ti, tj):
+                    self._conflicts[ti.tid].add(tj.tid)
+                    self._conflicts[tj.tid].add(ti.tid)
+
+    def conflict_neighbours(self, tid: int) -> Set[int]:
+        """Transactions having an operation conflicting with one of ``tid``."""
+        return self._conflicts[tid]
+
+    def conflict(self, tid_i: int, tid_j: int) -> bool:
+        """Whether the two transactions have conflicting operations."""
+        return tid_j in self._conflicts[tid_i]
+
+
+def mixed_iso_graph(t1: Transaction, others) -> nx.Graph:
+    """The mixed-iso-graph of ``T_1`` over ``others`` (Section 3).
+
+    Nodes are the transactions of ``others`` having no operation conflicting
+    with an operation of ``t1``; transactions with conflicting operations
+    are connected by an edge.  Conflict existence is symmetric, so an
+    undirected graph captures the paper's reachability exactly.
+    """
+    nodes = [t for t in others if not transactions_conflict(t1, t)]
+    graph = nx.Graph()
+    graph.add_nodes_from(t.tid for t in nodes)
+    for i, ti in enumerate(nodes):
+        for tj in nodes[i + 1 :]:
+            if transactions_conflict(ti, tj):
+                graph.add_edge(ti.tid, tj.tid)
+    return graph
+
+
+class ReachabilityOracle:
+    """Reachability through the mixed-iso-graph of a fixed ``T_1``.
+
+    Precomputes the connected components of ``mixed-iso-graph(T_1, ...)``
+    and, for every candidate ``T_2``/``T_m`` (which conflict with ``T_1``
+    and are therefore not graph nodes), the components they are attached
+    to.  ``reachable(T_2, T_m)`` then reduces to equality, a direct
+    conflict, or a shared attached component.  Allocation-independent.
+    """
+
+    def __init__(self, index: ConflictIndex, t1: Transaction):
+        self.index = index
+        self.t1 = t1
+        others = [t for t in index.transactions if t.tid != t1.tid]
+        self.graph = mixed_iso_graph(t1, others)
+        self._component_of: Dict[int, int] = {}
+        self._components: List[Set[int]] = []
+        for comp_id, nodes in enumerate(nx.connected_components(self.graph)):
+            self._components.append(set(nodes))
+            for tid in nodes:
+                self._component_of[tid] = comp_id
+
+    def attached_components(self, tid: int):
+        """Components containing a transaction conflicting with ``tid``."""
+        attached = {
+            self._component_of[other]
+            for other in self.index.conflict_neighbours(tid)
+            if other in self._component_of
+        }
+        return frozenset(attached)
+
+    def reachable(self, tid_2: int, tid_m: int) -> bool:
+        """The ``reachable(T_2, T_m, T_1)`` predicate of Algorithm 1."""
+        if tid_2 == tid_m:
+            return True
+        if self.index.conflict(tid_2, tid_m):
+            return True
+        return bool(self.attached_components(tid_2) & self.attached_components(tid_m))
+
+    def connecting_path(self, tid_2: int, tid_m: int) -> Optional[List[int]]:
+        """Intermediate transactions ``T_3 ... T_{m-1}`` linking the pair.
+
+        Returns an empty list for a direct conflict (or ``tid_2 == tid_m``)
+        and ``None`` when the pair is not reachable.
+        """
+        if tid_2 == tid_m or self.index.conflict(tid_2, tid_m):
+            return []
+        shared = self.attached_components(tid_2) & self.attached_components(tid_m)
+        if not shared:
+            return None
+        comp_id = min(shared)
+        component = self._components[comp_id]
+        starts = [
+            t for t in self.index.conflict_neighbours(tid_2) if t in component
+        ]
+        ends = {
+            t for t in self.index.conflict_neighbours(tid_m) if t in component
+        }
+        # Multi-source BFS inside the component from T_2's neighbours to
+        # any of T_m's neighbours.
+        parents: Dict[int, Optional[int]] = {s: None for s in starts}
+        frontier = list(starts)
+        goal: Optional[int] = next((s for s in starts if s in ends), None)
+        while frontier and goal is None:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbour in self.graph.neighbors(node):
+                    if neighbour in parents:
+                        continue
+                    parents[neighbour] = node
+                    if neighbour in ends:
+                        goal = neighbour
+                        break
+                    next_frontier.append(neighbour)
+                if goal is not None:
+                    break
+            frontier = next_frontier
+        if goal is None:  # pragma: no cover - shared component guarantees a path
+            return None
+        path = [goal]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+
+@dataclass
+class ContextStats:
+    """Counters exposed by :class:`AnalysisContext`.
+
+    Attributes:
+        checks: robustness checks executed through the context.
+        index_builds: conflict indexes built (always 1 per context).
+        oracle_builds: reachability oracles built (at most one per ``T_1``).
+        oracle_hits: oracle requests served from the cache.
+        pair_builds: conflicting-operation tables built (per ordered pair).
+        pair_hits: conflicting-operation tables served from the cache.
+        witness_hits: candidate allocations rejected by revalidating a
+            cached counterexample chain instead of a full search.
+    """
+
+    checks: int = 0
+    index_builds: int = 0
+    oracle_builds: int = 0
+    oracle_hits: int = 0
+    pair_builds: int = 0
+    pair_hits: int = 0
+    witness_hits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for reports and benchmarks)."""
+        return {
+            "checks": self.checks,
+            "index_builds": self.index_builds,
+            "oracle_builds": self.oracle_builds,
+            "oracle_hits": self.oracle_hits,
+            "pair_builds": self.pair_builds,
+            "pair_hits": self.pair_hits,
+            "witness_hits": self.witness_hits,
+        }
+
+
+class AnalysisContext:
+    """Cached allocation-independent analysis structure for one workload.
+
+    Build once per workload, pass to every robustness/allocation call
+    probing that workload::
+
+        ctx = AnalysisContext(wl)
+        optimum = optimal_allocation(wl, context=ctx)
+        ctx.stats.checks        # robustness checks actually executed
+        ctx.stats.witness_hits  # candidates rejected by cached witnesses
+
+    The context is *read-only with respect to the workload*: it must not
+    be reused after the workload changes (``check_robustness`` raises
+    :class:`~repro.core.workload.WorkloadError` on a mismatch).
+    """
+
+    def __init__(self, workload: Workload):
+        self.workload = workload
+        self.index = ConflictIndex(workload)
+        self.stats = ContextStats(index_builds=1)
+        self._oracles: Dict[int, ReachabilityOracle] = {}
+        self._candidates: Dict[Tuple[int, str], Tuple[Transaction, ...]] = {}
+        self._pairs: Dict[Tuple[int, int], Tuple[Tuple[Operation, Operation], ...]] = {}
+        self._witnesses: List = []  # SplitScheduleSpec, kept untyped to avoid a cycle
+
+    # -- validation ----------------------------------------------------
+    def matches(self, workload: Workload) -> bool:
+        """Whether the context was built for (an equal copy of) ``workload``."""
+        return self.workload is workload or self.workload == workload
+
+    def ensure(self, workload: Workload) -> None:
+        """Raise :class:`WorkloadError` unless :meth:`matches` holds."""
+        if not self.matches(workload):
+            raise WorkloadError(
+                "AnalysisContext was built for a different workload;"
+                " build a fresh context after the workload changes"
+            )
+
+    # -- cached structure ----------------------------------------------
+    def oracle(self, t1: Transaction) -> ReachabilityOracle:
+        """The (cached) reachability oracle for split transaction ``t1``."""
+        cached = self._oracles.get(t1.tid)
+        if cached is not None:
+            self.stats.oracle_hits += 1
+            return cached
+        oracle = ReachabilityOracle(self.index, t1)
+        self._oracles[t1.tid] = oracle
+        self.stats.oracle_builds += 1
+        return oracle
+
+    def candidates(self, t1: Transaction, method: str) -> Tuple[Transaction, ...]:
+        """Candidate ``T_2``/``T_m`` partners for ``t1`` under ``method``.
+
+        The paper iterates over all of ``T \\ {T_1}``; the optimized engine
+        restricts to transactions conflicting with ``T_1``, which is sound
+        because ``b_1``/``a_2`` and ``b_m``/``a_1`` require such conflicts.
+        """
+        key = (t1.tid, method)
+        cached = self._candidates.get(key)
+        if cached is not None:
+            return cached
+        if method == "paper":
+            result = tuple(t for t in self.index.transactions if t.tid != t1.tid)
+        else:
+            result = tuple(
+                self.workload[tid]
+                for tid in sorted(self.index.conflict_neighbours(t1.tid))
+            )
+        self._candidates[key] = result
+        return result
+
+    def conflicting_pairs(
+        self, tid_b: int, tid_a: int
+    ) -> Tuple[Tuple[Operation, Operation], ...]:
+        """Cached ``(b, a)`` conflicting-operation pairs from ``tid_b`` into ``tid_a``."""
+        key = (tid_b, tid_a)
+        cached = self._pairs.get(key)
+        if cached is not None:
+            self.stats.pair_hits += 1
+            return cached
+        pairs = tuple(
+            conflicting_pairs(self.workload[tid_b], self.workload[tid_a])
+        )
+        self._pairs[key] = pairs
+        self.stats.pair_builds += 1
+        return pairs
+
+    # -- check accounting ----------------------------------------------
+    def record_check(self) -> None:
+        """Count one full robustness check executed through the context."""
+        self.stats.checks += 1
+
+    # -- counterexample-guided warm starts -----------------------------
+    def add_witness(self, spec) -> None:
+        """Remember a counterexample chain for warm-start revalidation."""
+        if spec not in self._witnesses:
+            self._witnesses.append(spec)
+
+    @property
+    def witnesses(self) -> Tuple:
+        """The recorded counterexample chains, oldest first."""
+        return tuple(self._witnesses)
+
+    def known_witness(self, allocation: Allocation):
+        """A cached chain proving ``allocation`` non-robust, if one revalidates.
+
+        Re-runs the Definition 3.1 condition check for every cached chain
+        against the *new* allocation; a chain whose conditions all hold is
+        a multiversion split schedule for ``(workload, allocation)`` and
+        hence (Theorem 3.2) a proof of non-robustness — no full Algorithm 1
+        search is needed.  Returns ``None`` when no cached chain applies,
+        in which case the caller must fall back to the full search.
+        """
+        from .split_schedule import condition_failures
+
+        for spec in self._witnesses:
+            if not condition_failures(spec, self.workload, allocation):
+                self.stats.witness_hits += 1
+                return spec
+        return None

@@ -21,13 +21,19 @@ than recomputation:
   needs to try levels *below* a transaction's old optimum.
 
 :class:`AllocationManager` packages both facts behind add/remove calls.
+Every mutation builds one :class:`~repro.core.context.AnalysisContext`
+for the new workload and runs *all* of its robustness checks through it,
+so the conflict index is built once per mutation and
+:attr:`AllocationManager.last_check_count` reports the exact number of
+checks executed (it reads the context's counter — no estimates).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from .allocation import refine_allocation
+from .allocation import _robust_with_warm_start, refine_allocation
+from .context import AnalysisContext, ContextStats
 from .isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
 from .robustness import Counterexample, check_robustness
 from .transactions import Transaction
@@ -64,8 +70,8 @@ class AllocationManager:
         self._method = method
         self._transactions: Dict[int, Transaction] = {}
         self._allocation = Allocation({})
-        #: statistics: robustness checks spent on the last operation.
-        self.last_check_count = 0
+        self._context: Optional[AnalysisContext] = None
+        self._last_check_count = 0
 
     # ------------------------------------------------------------------
     @property
@@ -78,10 +84,33 @@ class AllocationManager:
         """The current optimal robust allocation."""
         return self._allocation
 
+    @property
+    def context(self) -> Optional[AnalysisContext]:
+        """The analysis context of the last add/remove (``None`` initially)."""
+        return self._context
+
+    @property
+    def last_check_count(self) -> int:
+        """Robustness checks actually executed by the last add/remove.
+
+        An exact count read off the mutation's shared context — every
+        check of a mutation runs through one context, so no estimates.
+        Later :meth:`check` probes reuse the context (and show up in
+        :attr:`last_stats`) but do not disturb this snapshot.
+        """
+        return self._last_check_count
+
+    @property
+    def last_stats(self) -> ContextStats:
+        """Full counters of the last operation's analysis context."""
+        return self._context.stats if self._context is not None else ContextStats()
+
     # ------------------------------------------------------------------
-    def _counting_is_robust(self, workload: Workload, allocation: Allocation) -> bool:
-        self.last_check_count += 1
-        return check_robustness(workload, allocation, method=self._method).robust
+    def _fresh_context(self, workload: Workload) -> AnalysisContext:
+        """One context per mutation: built for, and kept with, ``workload``."""
+        ctx = AnalysisContext(workload)
+        self._context = ctx
+        return ctx
 
     def add(self, transaction: Transaction) -> Allocation:
         """Add a transaction; returns the new optimal allocation.
@@ -90,27 +119,30 @@ class AllocationManager:
         suffice with the newcomer at the top level, only the newcomer is
         refined; otherwise the full refinement reruns, but with each old
         transaction's search floored at its previous optimal level
-        (pointwise monotonicity).
+        (pointwise monotonicity).  Counterexamples discovered along the
+        way are cached on the context and revalidated against later
+        candidates before any full search.
         """
         if transaction.tid in self._transactions:
             raise WorkloadError(f"transaction {transaction.tid} already present")
-        self.last_check_count = 0
         self._transactions[transaction.tid] = transaction
         workload = self.workload
+        ctx = self._fresh_context(workload)
         top = self._levels[-1]
         old = self._allocation
         candidate = Allocation(
             {**{tid: old[tid] for tid in old}, transaction.tid: top}
         )
-        if self._counting_is_robust(workload, candidate):
+        if _robust_with_warm_start(workload, candidate, self._method, ctx):
             # Old levels still optimal; refine only the newcomer.
             current = candidate
             for level in self._levels[:-1]:
                 lowered = current.with_level(transaction.tid, level)
-                if self._counting_is_robust(workload, lowered):
+                if _robust_with_warm_start(workload, lowered, self._method, ctx):
                     current = lowered
                     break
             self._allocation = current
+            self._last_check_count = ctx.stats.checks
             return current
         # Some old transaction must rise: rerun the refinement with the
         # old optimum as per-transaction floor.
@@ -124,10 +156,11 @@ class AllocationManager:
                 if level >= current[tid]:
                     break
                 lowered = current.with_level(tid, level)
-                if self._counting_is_robust(workload, lowered):
+                if _robust_with_warm_start(workload, lowered, self._method, ctx):
                     current = lowered
                     break
         self._allocation = current
+        self._last_check_count = ctx.stats.checks
         return current
 
     def remove(self, tid: int) -> Allocation:
@@ -135,24 +168,36 @@ class AllocationManager:
 
         Removal preserves robustness, so the remaining levels are still
         robust — but possibly no longer minimal; they serve as the
-        starting point of a (downward-only) refinement.
+        starting point of a (downward-only) refinement.  The refinement
+        shares this mutation's context, so :attr:`last_check_count` is
+        the exact number of robustness checks it executed.
         """
         if tid not in self._transactions:
             raise WorkloadError(f"no transaction with id {tid}")
-        self.last_check_count = 0
         del self._transactions[tid]
         workload = self.workload
+        ctx = self._fresh_context(workload)
         start = Allocation({t: self._allocation[t] for t in workload.tids})
         self._allocation = refine_allocation(
-            workload, start, self._levels, method=self._method
+            workload, start, self._levels, method=self._method, context=ctx
         )
-        # refine_allocation does not count through our wrapper; estimate:
-        self.last_check_count += len(workload) * (len(self._levels) - 1)
+        self._last_check_count = ctx.stats.checks
         return self._allocation
 
     def check(self, allocation: Allocation) -> bool:
-        """Robustness of the current workload against an arbitrary allocation."""
-        return check_robustness(self.workload, allocation, method=self._method).robust
+        """Robustness of the current workload against an arbitrary allocation.
+
+        Reuses the last mutation's context when it still matches the
+        current workload (checks against many allocations share one
+        conflict index); falls back to a one-shot check otherwise.
+        """
+        workload = self.workload
+        ctx = self._context
+        if ctx is None or not ctx.matches(workload):
+            ctx = self._fresh_context(workload)
+        return check_robustness(
+            workload, allocation, method=self._method, context=ctx
+        ).robust
 
 
 def incremental_counterexample(
@@ -160,13 +205,20 @@ def incremental_counterexample(
     workload: Workload,
     allocation: Allocation,
     method: str = "components",
+    context: Optional[AnalysisContext] = None,
 ) -> Optional[Counterexample]:
     """Re-decide non-robustness, reusing a previous counterexample when valid.
 
-    A cached counterexample remains a counterexample as long as (a) every
-    chain transaction is still in the workload with the same operations
-    and (b) no chain transaction's level changed.  Otherwise Algorithm 1
-    reruns from scratch.
+    A cached counterexample is reused only if (a) every chain transaction
+    is still in the workload with the same operations and (b) no chain
+    transaction's isolation level changed.  Both conditions are checked
+    explicitly: (b) compares the levels the witness was found against
+    (:attr:`~repro.core.robustness.Counterexample.allocation`) with the
+    new allocation, transaction by transaction along the chain; a witness
+    that does not record its allocation is conservatively treated as
+    level-changed.  Under (a) + (b) the Definition 3.1 conditions are
+    untouched, so the chain is still a multiversion split schedule.
+    Otherwise Algorithm 1 reruns from scratch.
 
     Returns the (possibly reused) counterexample, or ``None`` if the
     workload is now robust.
@@ -179,11 +231,18 @@ def incremental_counterexample(
             and workload[tid] == previous.schedule.workload[tid]
             for tid in chain_tids
         )
-        if intact:
+        levels_unchanged = intact and previous.allocation is not None and all(
+            tid in previous.allocation
+            and previous.allocation[tid] is allocation[tid]
+            for tid in chain_tids
+        )
+        if intact and levels_unchanged:
             from .split_schedule import condition_failures, materialize
 
-            if not condition_failures(previous.spec, workload, allocation):
-                schedule = materialize(previous.spec, workload, allocation)
-                return Counterexample(previous.spec, schedule)
-    result = check_robustness(workload, allocation, method=method)
+            # Unchanged operations + unchanged chain levels imply the
+            # Definition 3.1 conditions still hold; assert, then reuse.
+            assert not condition_failures(previous.spec, workload, allocation)
+            schedule = materialize(previous.spec, workload, allocation)
+            return Counterexample(previous.spec, schedule, allocation)
+    result = check_robustness(workload, allocation, method=method, context=context)
     return result.counterexample

@@ -19,20 +19,28 @@ Two interchangeable engines are provided:
   for the ablation benchmark.
 
 Both return the same decisions (asserted by the test suite).
+
+All allocation-independent structure (conflict index, reachability
+oracles, candidate-partner lists, conflicting-pair tables) lives in
+:class:`~repro.core.context.AnalysisContext`.  Pass an existing context
+to amortize it across many checks of the same workload (Algorithm 2
+issues ``O(|T| * levels)`` of them); without one, each call builds a
+private context, reproducing the one-shot behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from .conflicts import (
-    ConflictQuadruple,
-    conflicting_pairs,
-    rw_conflicting,
-    transactions_conflict,
+from .conflicts import ConflictQuadruple, rw_conflicting
+from .context import (
+    AnalysisContext,
+    ConflictIndex,
+    ReachabilityOracle,
+    mixed_iso_graph,
 )
 from .isolation import Allocation, IsolationLevel
 from .operations import Operation
@@ -40,6 +48,19 @@ from .schedules import MVSchedule, canonical_schedule
 from .split_schedule import SplitScheduleSpec, materialize, operation_order
 from .transactions import Transaction
 from .workload import Workload, WorkloadError
+
+# Backwards-compatible aliases: these classes moved to repro.core.context.
+_ConflictIndex = ConflictIndex
+_ReachabilityOracle = ReachabilityOracle
+
+__all__ = [
+    "Counterexample",
+    "RobustnessResult",
+    "check_robustness",
+    "enumerate_counterexamples",
+    "is_robust",
+    "mixed_iso_graph",
+]
 
 
 @dataclass(frozen=True)
@@ -50,10 +71,14 @@ class Counterexample:
         spec: the quadruple chain ``C`` of the multiversion split schedule.
         schedule: the materialized schedule — allowed under the allocation
             and not conflict serializable.
+        allocation: the allocation the witness was found against (used by
+            :func:`~repro.core.incremental.incremental_counterexample` to
+            decide whether a chain transaction's level changed).
     """
 
     spec: SplitScheduleSpec
     schedule: MVSchedule
+    allocation: Optional[Allocation] = None
 
     def __str__(self) -> str:
         return f"split schedule based on {self.spec}"
@@ -70,131 +95,14 @@ class RobustnessResult:
         return self.robust
 
 
-def mixed_iso_graph(t1: Transaction, others: Iterable[Transaction]) -> nx.Graph:
-    """The mixed-iso-graph of ``T_1`` over ``others`` (Section 3).
-
-    Nodes are the transactions of ``others`` having no operation conflicting
-    with an operation of ``t1``; transactions with conflicting operations
-    are connected by an edge.  Conflict existence is symmetric, so an
-    undirected graph captures the paper's reachability exactly.
-    """
-    nodes = [t for t in others if not transactions_conflict(t1, t)]
-    graph = nx.Graph()
-    graph.add_nodes_from(t.tid for t in nodes)
-    for i, ti in enumerate(nodes):
-        for tj in nodes[i + 1 :]:
-            if transactions_conflict(ti, tj):
-                graph.add_edge(ti.tid, tj.tid)
-    return graph
-
-
-class _ConflictIndex:
-    """Precomputed transaction-level conflict structure for a workload."""
-
-    def __init__(self, workload: Workload):
-        self.workload = workload
-        self.transactions = workload.transactions
-        self._conflicts: Dict[int, Set[int]] = {t.tid: set() for t in self.transactions}
-        txns = self.transactions
-        for i, ti in enumerate(txns):
-            for tj in txns[i + 1 :]:
-                if transactions_conflict(ti, tj):
-                    self._conflicts[ti.tid].add(tj.tid)
-                    self._conflicts[tj.tid].add(ti.tid)
-
-    def conflict_neighbours(self, tid: int) -> Set[int]:
-        """Transactions having an operation conflicting with one of ``tid``."""
-        return self._conflicts[tid]
-
-    def conflict(self, tid_i: int, tid_j: int) -> bool:
-        """Whether the two transactions have conflicting operations."""
-        return tid_j in self._conflicts[tid_i]
-
-
-class _ReachabilityOracle:
-    """Reachability through the mixed-iso-graph of a fixed ``T_1``.
-
-    Precomputes the connected components of ``mixed-iso-graph(T_1, ...)``
-    and, for every candidate ``T_2``/``T_m`` (which conflict with ``T_1``
-    and are therefore not graph nodes), the components they are attached
-    to.  ``reachable(T_2, T_m)`` then reduces to equality, a direct
-    conflict, or a shared attached component.
-    """
-
-    def __init__(self, index: _ConflictIndex, t1: Transaction):
-        self.index = index
-        self.t1 = t1
-        others = [t for t in index.transactions if t.tid != t1.tid]
-        self.graph = mixed_iso_graph(t1, others)
-        self._component_of: Dict[int, int] = {}
-        self._components: List[Set[int]] = []
-        for comp_id, nodes in enumerate(nx.connected_components(self.graph)):
-            self._components.append(set(nodes))
-            for tid in nodes:
-                self._component_of[tid] = comp_id
-
-    def attached_components(self, tid: int) -> FrozenSet[int]:
-        """Components containing a transaction conflicting with ``tid``."""
-        attached = {
-            self._component_of[other]
-            for other in self.index.conflict_neighbours(tid)
-            if other in self._component_of
-        }
-        return frozenset(attached)
-
-    def reachable(self, tid_2: int, tid_m: int) -> bool:
-        """The ``reachable(T_2, T_m, T_1)`` predicate of Algorithm 1."""
-        if tid_2 == tid_m:
-            return True
-        if self.index.conflict(tid_2, tid_m):
-            return True
-        return bool(self.attached_components(tid_2) & self.attached_components(tid_m))
-
-    def connecting_path(self, tid_2: int, tid_m: int) -> Optional[List[int]]:
-        """Intermediate transactions ``T_3 ... T_{m-1}`` linking the pair.
-
-        Returns an empty list for a direct conflict (or ``tid_2 == tid_m``)
-        and ``None`` when the pair is not reachable.
-        """
-        if tid_2 == tid_m or self.index.conflict(tid_2, tid_m):
-            return []
-        shared = self.attached_components(tid_2) & self.attached_components(tid_m)
-        if not shared:
-            return None
-        comp_id = min(shared)
-        component = self._components[comp_id]
-        starts = [
-            t for t in self.index.conflict_neighbours(tid_2) if t in component
-        ]
-        ends = {
-            t for t in self.index.conflict_neighbours(tid_m) if t in component
-        }
-        # Multi-source BFS inside the component from T_2's neighbours to
-        # any of T_m's neighbours.
-        parents: Dict[int, Optional[int]] = {s: None for s in starts}
-        frontier = list(starts)
-        goal: Optional[int] = next((s for s in starts if s in ends), None)
-        while frontier and goal is None:
-            next_frontier: List[int] = []
-            for node in frontier:
-                for neighbour in self.graph.neighbors(node):
-                    if neighbour in parents:
-                        continue
-                    parents[neighbour] = node
-                    if neighbour in ends:
-                        goal = neighbour
-                        break
-                    next_frontier.append(neighbour)
-                if goal is not None:
-                    break
-            frontier = next_frontier
-        if goal is None:  # pragma: no cover - shared component guarantees a path
-            return None
-        path = [goal]
-        while parents[path[-1]] is not None:
-            path.append(parents[path[-1]])  # type: ignore[arg-type]
-        path.reverse()
-        return path
+def _resolve_context(
+    workload: Workload, context: Optional[AnalysisContext]
+) -> AnalysisContext:
+    """The caller's context (validated against ``workload``) or a fresh one."""
+    if context is None:
+        return AnalysisContext(workload)
+    context.ensure(workload)
+    return context
 
 
 def _ww_conflict_free(
@@ -233,7 +141,11 @@ def _triple_passes_ssi_conditions(
 
 
 def _search_operations(
-    allocation: Allocation, t1: Transaction, t2: Transaction, tm: Transaction
+    ctx: AnalysisContext,
+    allocation: Allocation,
+    t1: Transaction,
+    t2: Transaction,
+    tm: Transaction,
 ) -> Optional[Tuple[Operation, Operation, Operation, Operation]]:
     """The inner loop of Algorithm 1: find ``(b_1, a_2, b_m, a_1)`` if any."""
     level1 = allocation[t1.tid]
@@ -245,15 +157,15 @@ def _search_operations(
             continue
         a2 = t2.write_op(b1.obj)
         assert a2 is not None
-        for bm, a1 in conflicting_pairs(tm, t1):
+        for bm, a1 in ctx.conflicting_pairs(tm.tid, t1.tid):
             if rw_conflicting(bm, a1) or (rc_split and t1.before(b1, a1)):
                 return (b1, a2, bm, a1)
     return None
 
 
 def _build_chain(
-    index: _ConflictIndex,
-    oracle: _ReachabilityOracle,
+    ctx: AnalysisContext,
+    oracle: ReachabilityOracle,
     t1: Transaction,
     t2: Transaction,
     tm: Transaction,
@@ -261,14 +173,13 @@ def _build_chain(
 ) -> SplitScheduleSpec:
     """Assemble the quadruple chain ``C`` for a discovered counterexample."""
     b1, a2, bm, a1 = ops
-    workload = index.workload
     chain: List[ConflictQuadruple] = [ConflictQuadruple(t1.tid, b1, a2, t2.tid)]
     if t2.tid != tm.tid:
         path = oracle.connecting_path(t2.tid, tm.tid)
         assert path is not None
         hops = [t2.tid, *path, tm.tid]
         for left, right in zip(hops, hops[1:]):
-            b, a = next(conflicting_pairs(workload[left], workload[right]))
+            b, a = ctx.conflicting_pairs(left, right)[0]
             chain.append(ConflictQuadruple(left, b, a, right))
     chain.append(ConflictQuadruple(tm.tid, bm, a1, t1.tid))
     return SplitScheduleSpec(tuple(chain))
@@ -278,6 +189,7 @@ def check_robustness(
     workload: Workload,
     allocation: Allocation,
     method: str = "components",
+    context: Optional[AnalysisContext] = None,
 ) -> RobustnessResult:
     """Decide robustness of ``workload`` against ``allocation`` (Algorithm 1).
 
@@ -290,15 +202,21 @@ def check_robustness(
         allocation: an isolation level for every transaction.
         method: ``"components"`` (default, cached reachability) or
             ``"paper"`` (verbatim Algorithm 1 loop structure).
+        context: an :class:`~repro.core.context.AnalysisContext` built for
+            ``workload``; sharing one across checks amortizes the conflict
+            index and per-``T_1`` reachability structure, which are
+            allocation-independent.  Built fresh when omitted.
     """
     if not allocation.covers(workload):
         raise WorkloadError("allocation does not cover the workload")
     if method not in ("components", "paper"):
         raise ValueError(f"unknown method {method!r}")
-    index = _ConflictIndex(workload)
+    ctx = _resolve_context(workload, context)
+    ctx.record_check()
+    index = ctx.index
     for t1 in workload:
-        candidates = _candidate_partners(index, t1, method)
-        oracle = _ReachabilityOracle(index, t1)
+        candidates = ctx.candidates(t1, method)
+        oracle = ctx.oracle(t1)
         for t2 in candidates:
             for tm in candidates:
                 if method == "paper":
@@ -309,31 +227,19 @@ def check_robustness(
                     continue
                 if not _triple_passes_ssi_conditions(allocation, t1, t2, tm):
                     continue
-                ops = _search_operations(allocation, t1, t2, tm)
+                ops = _search_operations(ctx, allocation, t1, t2, tm)
                 if ops is None:
                     continue
-                spec = _build_chain(index, oracle, t1, t2, tm, ops)
+                spec = _build_chain(ctx, oracle, t1, t2, tm, ops)
                 schedule = materialize(spec, workload, allocation)
-                return RobustnessResult(False, Counterexample(spec, schedule))
+                return RobustnessResult(
+                    False, Counterexample(spec, schedule, allocation)
+                )
     return RobustnessResult(True)
 
 
-def _candidate_partners(
-    index: _ConflictIndex, t1: Transaction, method: str
-) -> List[Transaction]:
-    """Candidate ``T_2``/``T_m`` transactions for a given ``T_1``.
-
-    The paper iterates over all of ``T \\ {T_1}``; the optimized engine
-    restricts to transactions conflicting with ``T_1``, which is sound
-    because ``b_1``/``a_2`` and ``b_m``/``a_1`` require such conflicts.
-    """
-    if method == "paper":
-        return [t for t in index.transactions if t.tid != t1.tid]
-    return [index.workload[tid] for tid in sorted(index.conflict_neighbours(t1.tid))]
-
-
 def _paper_reachable(
-    index: _ConflictIndex, t1: Transaction, t2: Transaction, tm: Transaction
+    index: ConflictIndex, t1: Transaction, t2: Transaction, tm: Transaction
 ) -> bool:
     """The verbatim ``reachable(T_2, T_m, T_1)`` of Algorithm 1."""
     if t2.tid == tm.tid:
@@ -359,16 +265,22 @@ def _paper_reachable(
 
 
 def is_robust(
-    workload: Workload, allocation: Allocation, method: str = "components"
+    workload: Workload,
+    allocation: Allocation,
+    method: str = "components",
+    context: Optional[AnalysisContext] = None,
 ) -> bool:
     """Boolean shorthand for :func:`check_robustness`."""
-    return check_robustness(workload, allocation, method=method).robust
+    return check_robustness(
+        workload, allocation, method=method, context=context
+    ).robust
 
 
 def enumerate_counterexamples(
     workload: Workload,
     allocation: Allocation,
     materialize_schedules: bool = True,
+    context: Optional[AnalysisContext] = None,
 ) -> Iterable[Counterexample]:
     """Yield one counterexample per problematic triple ``(T_1, T_2, T_m)``.
 
@@ -383,23 +295,26 @@ def enumerate_counterexamples(
         allocation: an isolation level for every transaction.
         materialize_schedules: build (and re-verify) the concrete schedule
             for each witness; disable for cheap surveys of large spaces.
+        context: an :class:`~repro.core.context.AnalysisContext` built for
+            ``workload``, shared across calls; built fresh when omitted.
     """
     if not allocation.covers(workload):
         raise WorkloadError("allocation does not cover the workload")
-    index = _ConflictIndex(workload)
+    ctx = _resolve_context(workload, context)
+    ctx.record_check()
     for t1 in workload:
-        candidates = _candidate_partners(index, t1, "components")
-        oracle = _ReachabilityOracle(index, t1)
+        candidates = ctx.candidates(t1, "components")
+        oracle = ctx.oracle(t1)
         for t2 in candidates:
             for tm in candidates:
                 if not oracle.reachable(t2.tid, tm.tid):
                     continue
                 if not _triple_passes_ssi_conditions(allocation, t1, t2, tm):
                     continue
-                ops = _search_operations(allocation, t1, t2, tm)
+                ops = _search_operations(ctx, allocation, t1, t2, tm)
                 if ops is None:
                     continue
-                spec = _build_chain(index, oracle, t1, t2, tm, ops)
+                spec = _build_chain(ctx, oracle, t1, t2, tm, ops)
                 if materialize_schedules:
                     schedule = materialize(spec, workload, allocation)
                 else:
@@ -408,4 +323,4 @@ def enumerate_counterexamples(
                         operation_order(spec, workload),
                         allocation,
                     )
-                yield Counterexample(spec, schedule)
+                yield Counterexample(spec, schedule, allocation)

@@ -1,7 +1,9 @@
 """Unit tests for repro.core.allocation (Algorithm 2, Section 5)."""
 
 import pytest
+from hypothesis import HealthCheck, given, settings
 
+import strategies as sts
 from repro.core.allocation import (
     is_robustly_allocatable,
     optimal_allocation,
@@ -131,3 +133,22 @@ class TestUpgrade:
     def test_upgrade_none_without_serializable_level(self, write_skew):
         desired = Allocation.rc(write_skew)
         assert upgrade_to_robust(write_skew, desired, ORACLE_LEVELS) is None
+
+    @given(sts.workloads(min_transactions=1, max_transactions=4))
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_upgrade_never_none_over_postgres_class(self, wl):
+        """Proposition 4.1: with SSI in the class the lift is always robust.
+
+        The former ``return None`` after lifting was unreachable (the
+        pointwise max of a robust optimum is robust); callers over
+        {RC, SI, SSI} never need a ``None`` code path.
+        """
+        desired = Allocation.rc(wl)
+        upgraded = upgrade_to_robust(wl, desired)
+        assert upgraded is not None
+        assert is_robust(wl, upgraded)
+        optimum = optimal_allocation(wl)
+        for tid in wl.tids:
+            assert upgraded[tid] == max(desired[tid], optimum[tid])

@@ -1,0 +1,154 @@
+"""Unit tests for repro.core.context (shared analysis structure)."""
+
+import pytest
+
+from repro.core.allocation import optimal_allocation, refine_allocation
+from repro.core.context import AnalysisContext, ConflictIndex
+from repro.core.isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
+from repro.core.robustness import check_robustness, is_robust
+from repro.core.workload import WorkloadError, workload
+from repro.workloads.paper_examples import example26_workload, figure2_workload
+from repro.workloads.smallbank import smallbank_one_of_each
+from repro.workloads.tpcc import tpcc_one_of_each
+
+
+class TestConflictIndexAccounting:
+    def test_exactly_one_index_per_optimal_allocation(self):
+        """A full Algorithm 2 run builds the conflict index exactly once."""
+        wl = workload("R1[x] W1[y]", "R2[y] W2[x]", "R3[x] W3[x]", "R4[q]")
+        before = ConflictIndex.total_builds
+        ctx = AnalysisContext(wl)
+        optimal_allocation(wl, context=ctx)
+        assert ConflictIndex.total_builds - before == 1
+        assert ctx.stats.index_builds == 1
+        assert ctx.stats.checks > 1  # many checks, one index
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            smallbank_one_of_each,
+            tpcc_one_of_each,
+            figure2_workload,
+            example26_workload,
+        ],
+    )
+    def test_one_index_on_real_workloads(self, factory):
+        wl = factory()
+        before = ConflictIndex.total_builds
+        ctx = AnalysisContext(wl)
+        assert optimal_allocation(wl, context=ctx) is not None
+        assert ConflictIndex.total_builds - before == 1
+
+    def test_uncontexted_check_builds_private_index(self, write_skew):
+        before = ConflictIndex.total_builds
+        check_robustness(write_skew, Allocation.si(write_skew))
+        check_robustness(write_skew, Allocation.ssi(write_skew))
+        assert ConflictIndex.total_builds - before == 2  # one per cold check
+
+
+class TestContextCaching:
+    def test_oracle_cached_per_t1(self, write_skew):
+        ctx = AnalysisContext(write_skew)
+        t1 = write_skew[1]
+        first = ctx.oracle(t1)
+        assert ctx.oracle(t1) is first
+        assert ctx.stats.oracle_builds == 1
+        assert ctx.stats.oracle_hits == 1
+
+    def test_candidates_match_methods(self, write_skew):
+        ctx = AnalysisContext(write_skew)
+        t1 = write_skew[1]
+        assert [t.tid for t in ctx.candidates(t1, "paper")] == [2]
+        assert [t.tid for t in ctx.candidates(t1, "components")] == [2]
+        # Cached: same tuple object returned.
+        assert ctx.candidates(t1, "paper") is ctx.candidates(t1, "paper")
+
+    def test_candidates_restrict_to_conflicting(self):
+        wl = workload("R1[x] W1[y]", "R2[y] W2[x]", "R3[q]")
+        ctx = AnalysisContext(wl)
+        t1 = wl[1]
+        assert [t.tid for t in ctx.candidates(t1, "paper")] == [2, 3]
+        assert [t.tid for t in ctx.candidates(t1, "components")] == [2]
+
+    def test_conflicting_pairs_cached(self, write_skew):
+        ctx = AnalysisContext(write_skew)
+        pairs = ctx.conflicting_pairs(1, 2)
+        assert pairs  # write skew: R1[x] conflicts W2[x], W1[y] with R2[y]
+        assert ctx.conflicting_pairs(1, 2) is pairs
+        assert ctx.stats.pair_builds == 1
+        assert ctx.stats.pair_hits == 1
+
+    def test_context_rejects_other_workload(self, write_skew, lost_update):
+        ctx = AnalysisContext(write_skew)
+        with pytest.raises(WorkloadError):
+            check_robustness(lost_update, Allocation.si(lost_update), context=ctx)
+
+    def test_context_accepts_equal_workload_copy(self, write_skew):
+        from repro.core.workload import Workload
+
+        ctx = AnalysisContext(write_skew)
+        copy = Workload(list(write_skew))
+        assert not is_robust(copy, Allocation.si(copy), context=ctx)
+
+
+class TestWitnessCache:
+    def test_witness_recorded_and_revalidated(self, write_skew):
+        ctx = AnalysisContext(write_skew)
+        si = Allocation.si(write_skew)
+        result = check_robustness(write_skew, si, context=ctx)
+        assert not result.robust
+        ctx.add_witness(result.counterexample.spec)
+        # RC everywhere also admits the same chain: revalidation hits.
+        assert ctx.known_witness(Allocation.rc(write_skew)) is not None
+        assert ctx.stats.witness_hits == 1
+        # All-SSI kills the chain (condition 6): no witness applies.
+        assert ctx.known_witness(Allocation.ssi(write_skew)) is None
+
+    def test_refinement_uses_witnesses(self, write_skew):
+        ctx = AnalysisContext(write_skew)
+        start = Allocation.ssi(write_skew)
+        refined = refine_allocation(write_skew, start, POSTGRES_LEVELS, context=ctx)
+        assert refined == Allocation.ssi(write_skew)
+        # T1's failed RC and SI probes seed the cache; T2's probes are
+        # answered from it without a full search.
+        assert ctx.stats.witness_hits >= 1
+        assert len(ctx.witnesses) >= 1
+
+    def test_warm_start_does_not_change_result(self):
+        wl = workload("R1[x] W1[y]", "R2[y] W2[x]", "R3[x] W3[x]", "R4[q]")
+        ctx = AnalysisContext(wl)
+        with_cache = optimal_allocation(wl, context=ctx)
+        cold = optimal_allocation(wl)  # private context per call
+        assert with_cache == cold
+
+    def test_duplicate_witness_not_stored_twice(self, write_skew):
+        ctx = AnalysisContext(write_skew)
+        result = check_robustness(write_skew, Allocation.si(write_skew), context=ctx)
+        ctx.add_witness(result.counterexample.spec)
+        ctx.add_witness(result.counterexample.spec)
+        assert len(ctx.witnesses) == 1
+
+
+class TestCounterexampleAllocation:
+    def test_counterexample_records_allocation(self, write_skew):
+        si = Allocation.si(write_skew)
+        result = check_robustness(write_skew, si)
+        assert result.counterexample.allocation == si
+
+
+class TestStats:
+    def test_stats_as_dict_round_trip(self, write_skew):
+        ctx = AnalysisContext(write_skew)
+        is_robust(write_skew, Allocation.ssi(write_skew), context=ctx)
+        stats = ctx.stats.as_dict()
+        assert stats["checks"] == 1
+        assert stats["index_builds"] == 1
+        assert set(stats) == {
+            "checks",
+            "index_builds",
+            "oracle_builds",
+            "oracle_hits",
+            "pair_builds",
+            "pair_hits",
+            "witness_hits",
+        }

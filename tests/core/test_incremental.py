@@ -4,10 +4,12 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 
 import strategies as sts
-from repro.core.allocation import optimal_allocation
+from repro.core import incremental as incremental_module
+from repro.core.allocation import optimal_allocation, refine_allocation
+from repro.core.context import AnalysisContext
 from repro.core.incremental import AllocationManager, incremental_counterexample
 from repro.core.isolation import Allocation, IsolationLevel, ORACLE_LEVELS
-from repro.core.robustness import check_robustness, is_robust
+from repro.core.robustness import Counterexample, check_robustness, is_robust
 from repro.core.transactions import parse_transaction
 from repro.core.workload import Workload, WorkloadError, workload
 
@@ -66,6 +68,54 @@ class TestAllocationManager:
         # so only the newcomer is refined (at most 1 + levels-1 checks).
         manager.add(parse_transaction("R3[c] W3[c]"))
         assert manager.last_check_count <= 3
+
+    def test_remove_reports_exact_check_count(self):
+        """remove() counts real checks, not the old ``|T| * (levels-1)`` estimate."""
+        manager = AllocationManager()
+        manager.add(parse_transaction("R1[x] W1[y]"))
+        manager.add(parse_transaction("R2[y] W2[x]"))
+        manager.remove(1)
+        # Lone T2 starts at SSI; lowering straight to RC succeeds on the
+        # first (and only) robustness check.  The old estimate said 2.
+        assert manager.last_check_count == 1
+
+    def test_remove_count_matches_independent_refinement(self):
+        """remove()'s counter equals an independently instrumented refinement."""
+        texts = ["R1[x] W1[y]", "R2[y] W2[x]", "R3[x] W3[x]", "R4[q]"]
+        manager = AllocationManager()
+        for text in texts:
+            manager.add(parse_transaction(text))
+        before_remove = manager.allocation
+        manager.remove(2)
+        remaining = Workload(
+            [parse_transaction(t) for t in texts if not t.startswith("R2")]
+        )
+        start = Allocation({tid: before_remove[tid] for tid in remaining.tids})
+        ctx = AnalysisContext(remaining)
+        expected = refine_allocation(
+            remaining, start, manager._levels, context=ctx
+        )
+        assert manager.allocation == expected
+        assert manager.last_check_count == ctx.stats.checks
+        assert manager.last_stats.checks == ctx.stats.checks
+
+    def test_mutation_builds_one_context(self):
+        from repro.core.context import ConflictIndex
+
+        manager = AllocationManager()
+        manager.add(parse_transaction("R1[x] W1[y]"))
+        manager.add(parse_transaction("R2[y] W2[x]"))
+        before = ConflictIndex.total_builds
+        manager.remove(1)
+        assert ConflictIndex.total_builds - before == 1
+
+    def test_check_probes_do_not_disturb_last_check_count(self, write_skew):
+        manager = AllocationManager()
+        for txn in write_skew:
+            manager.add(txn)
+        count = manager.last_check_count
+        manager.check(Allocation.si(manager.workload))
+        assert manager.last_check_count == count
 
 
 @given(sts.workloads(min_transactions=1, max_transactions=4))
@@ -134,3 +184,52 @@ class TestIncrementalCounterexample:
         alloc = Allocation.si(write_skew)
         found = incremental_counterexample(None, write_skew, alloc)
         assert found is not None
+
+    def _count_full_checks(self, monkeypatch):
+        calls = []
+        original = incremental_module.check_robustness
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(incremental_module, "check_robustness", spy)
+        return calls
+
+    def test_level_change_invalidates_cached_witness(self, write_skew, monkeypatch):
+        """Condition (b): a chain level change forces a full re-check.
+
+        The chain's Definition 3.1 conditions happen to hold under the new
+        allocation too, so a conditions-only recheck (the old, buggy
+        behaviour) would have reused the witness without running
+        Algorithm 1.  The docstring requires an explicit level comparison.
+        """
+        si = Allocation.si(write_skew)
+        first = check_robustness(write_skew, si).counterexample
+        changed = si.with_level(1, IsolationLevel.RC)
+        assert not is_robust(write_skew, changed)  # still non-robust
+        calls = self._count_full_checks(monkeypatch)
+        found = incremental_counterexample(first, write_skew, changed)
+        assert found is not None
+        assert len(calls) == 1  # full Algorithm 1 rerun, no blind reuse
+
+    def test_unchanged_levels_reuse_without_full_check(self, write_skew, monkeypatch):
+        si = Allocation.si(write_skew)
+        first = check_robustness(write_skew, si).counterexample
+        grown = Workload(list(write_skew) + [parse_transaction("R3[q] W3[q]")])
+        grown_alloc = Allocation({1: "SI", 2: "SI", 3: "RC"})
+        calls = self._count_full_checks(monkeypatch)
+        reused = incremental_counterexample(first, grown, grown_alloc)
+        assert reused is not None
+        assert reused.spec == first.spec
+        assert len(calls) == 0  # chain untouched: no full search
+
+    def test_witness_without_allocation_is_not_trusted(self, write_skew, monkeypatch):
+        """Legacy witnesses (no recorded allocation) trigger a full re-check."""
+        si = Allocation.si(write_skew)
+        first = check_robustness(write_skew, si).counterexample
+        legacy = Counterexample(first.spec, first.schedule)  # allocation=None
+        calls = self._count_full_checks(monkeypatch)
+        found = incremental_counterexample(legacy, write_skew, si)
+        assert found is not None
+        assert len(calls) == 1

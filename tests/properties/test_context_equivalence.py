@@ -1,0 +1,102 @@
+"""Property tests: the context-backed engines equal the seed implementations.
+
+Three implementations must agree everywhere:
+
+* ``check_robustness(method="components")`` — cached reachability;
+* ``check_robustness(method="paper")`` — verbatim Algorithm 1;
+* either of the above driven through a shared
+  :class:`~repro.core.context.AnalysisContext` (caching + warm starts).
+
+And the warm-started :func:`~repro.core.allocation.refine_allocation`
+must return the identical allocation as the seed refinement loop (no
+witness cache, a fresh conflict index per robustness check).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import strategies as sts
+from repro.core.allocation import optimal_allocation, refine_allocation
+from repro.core.context import AnalysisContext
+from repro.core.isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
+from repro.core.robustness import check_robustness
+from repro.core.split_schedule import is_valid_split_schedule
+
+
+@st.composite
+def workload_and_allocation(draw):
+    wl = draw(sts.workloads(min_transactions=1, max_transactions=4))
+    levels = {
+        tid: draw(st.sampled_from(list(IsolationLevel))) for tid in wl.tids
+    }
+    return wl, Allocation(levels)
+
+
+@given(workload_and_allocation())
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_engines_agree(pair):
+    """components ≡ paper ≡ context-backed on random (workload, allocation)."""
+    wl, alloc = pair
+    ctx = AnalysisContext(wl)
+    components = check_robustness(wl, alloc, method="components")
+    paper = check_robustness(wl, alloc, method="paper")
+    cached = check_robustness(wl, alloc, method="components", context=ctx)
+    assert components.robust == paper.robust == cached.robust
+    for result in (components, paper, cached):
+        if not result.robust:
+            # Every engine's witness is a genuine split schedule.
+            assert is_valid_split_schedule(result.counterexample.spec, wl, alloc)
+
+
+@given(workload_and_allocation())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_shared_context_is_stateless_across_allocations(pair):
+    """Probing other allocations through the context never changes answers."""
+    wl, alloc = pair
+    ctx = AnalysisContext(wl)
+    # Warm the caches (and the witness list) with unrelated allocations.
+    for level in IsolationLevel:
+        result = check_robustness(wl, Allocation.uniform(wl, level), context=ctx)
+        if not result.robust:
+            ctx.add_witness(result.counterexample.spec)
+    fresh = check_robustness(wl, alloc)
+    via_ctx = check_robustness(wl, alloc, context=ctx)
+    assert fresh.robust == via_ctx.robust
+
+
+def _seed_refine(workload, start, levels, method="components"):
+    """The pre-context refinement loop, verbatim (no caching, no warm starts)."""
+    from repro.core.robustness import is_robust
+
+    ordered = tuple(sorted(set(levels)))
+    current = start
+    for tid in workload.tids:
+        for level in ordered:
+            if level >= current[tid]:
+                break
+            candidate = current.with_level(tid, level)
+            if is_robust(workload, candidate, method=method):
+                current = candidate
+                break
+    return current
+
+
+@given(sts.workloads(min_transactions=1, max_transactions=4))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_warm_started_refinement_matches_seed(wl):
+    """refine_allocation with witness warm starts ≡ the seed refinement."""
+    start = Allocation.ssi(wl)
+    ctx = AnalysisContext(wl)
+    warm = refine_allocation(wl, start, POSTGRES_LEVELS, context=ctx)
+    seed = _seed_refine(wl, start, POSTGRES_LEVELS)
+    assert warm == seed
+
+
+@given(sts.workloads(min_transactions=1, max_transactions=4))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_context_backed_optimum_matches_seed(wl):
+    """optimal_allocation through one context ≡ seed Algorithm 2."""
+    ctx = AnalysisContext(wl)
+    assert optimal_allocation(wl, context=ctx) == _seed_refine(
+        wl, Allocation.ssi(wl), POSTGRES_LEVELS
+    )
