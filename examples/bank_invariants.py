@@ -20,6 +20,7 @@ pair's optimal allocation is SI, the skew pair's is SSI.
 """
 
 from repro import Allocation, optimal_allocation, workload
+from repro.core.context import AnalysisContext
 from repro.core.isolation import IsolationLevel
 from repro.mvcc.procedures import ProcedureCall, run_procedures
 from repro.workloads.smallbank_app import (
@@ -73,8 +74,14 @@ def main() -> None:
     deposits = workload(*[f"R{i}[c1] W{i}[c1]" for i in range(1, 5)])
     skew = workload("R1[s] R1[c] W1[c]", "R2[s] R2[c] W2[s]")
     print("Algorithm 2 agrees:")
-    print(f"  deposit footprints -> {optimal_allocation(deposits)}")
-    print(f"  skew footprints    -> {optimal_allocation(skew)}")
+    print(
+        "  deposit footprints -> "
+        f"{optimal_allocation(deposits, context=AnalysisContext(deposits))}"
+    )
+    print(
+        "  skew footprints    -> "
+        f"{optimal_allocation(skew, context=AnalysisContext(skew))}"
+    )
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ with the serialization-graph cycle it realizes.
 
 from repro import Allocation, check_robustness, workload
 from repro.analysis.report import explain_counterexample
+from repro.core.context import AnalysisContext
 
 GALLERY = [
     (
@@ -58,7 +59,9 @@ def main() -> None:
         print(title)
         print(f"Allocation: {alloc}")
         print("-" * 72)
-        result = check_robustness(wl, alloc)
+        # One shared context per workload (the idiom every caller should
+        # use; here it also backs any further probes on the same workload).
+        result = check_robustness(wl, alloc, context=AnalysisContext(wl))
         if result.robust:
             print("robust — no split schedule exists")
             continue

@@ -13,6 +13,7 @@ non-serializable histories; traces under the optimal allocation never do.
 
 from repro import Allocation, is_conflict_serializable, optimal_allocation, workload
 from repro.core.allowed import allowed_under
+from repro.core.context import AnalysisContext
 from repro.mvcc import run_workload, trace_to_schedule
 
 
@@ -64,7 +65,7 @@ def main() -> None:
         )
 
     # Algorithm 2's optimum: serializability at the lowest cost.
-    optimum = optimal_allocation(hot)
+    optimum = optimal_allocation(hot, context=AnalysisContext(hot))
     print(f"\nOptimal allocation for the storm: {optimum}")
     anomalies = audit(hot, optimum, "optimal (robust)", seeds=10)
     assert anomalies == 0

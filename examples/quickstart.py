@@ -17,6 +17,7 @@ from repro import (
     workload,
 )
 from repro.analysis.report import explain_counterexample
+from repro.core.context import AnalysisContext
 
 
 def main() -> None:
@@ -26,8 +27,12 @@ def main() -> None:
     for txn in skew:
         print(f"  T{txn.tid}: {txn}")
 
+    # One analysis context per workload: every check below shares the
+    # conflict index and reachability caches instead of rebuilding them.
+    ctx = AnalysisContext(skew)
+
     # Is it safe to run everything at snapshot isolation?
-    result = check_robustness(skew, Allocation.si(skew))
+    result = check_robustness(skew, Allocation.si(skew), context=ctx)
     print(f"\nRobust against A_SI? {result.robust}")
 
     # No: the checker hands back a concrete counterexample schedule,
@@ -39,7 +44,9 @@ def main() -> None:
 
     # Algorithm 2 computes the unique optimal robust allocation: the
     # cheapest isolation levels that still guarantee serializability.
-    optimum = optimal_allocation(skew)
+    # The shared context makes its many robustness probes reuse the
+    # structure the check above already built.
+    optimum = optimal_allocation(skew, context=ctx)
     print(f"\nOptimal robust allocation: {optimum}")
 
     # Write skew needs SSI on both sides; a third, unrelated transaction

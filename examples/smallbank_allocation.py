@@ -13,6 +13,7 @@ engines offer.
 """
 
 from repro import Allocation, check_robustness, is_robustly_allocatable, optimal_allocation
+from repro.core.context import AnalysisContext
 from repro.core.isolation import ORACLE_LEVELS
 from repro.analysis.report import explain_counterexample
 from repro.workloads.smallbank import (
@@ -31,7 +32,10 @@ def main() -> None:
     for txn in triple:
         print(f"  T{txn.tid}: {txn}")
 
-    result = check_robustness(triple, Allocation.si(triple))
+    # All three probes below interrogate the same workload — one shared
+    # context means one conflict index and shared reachability caches.
+    ctx = AnalysisContext(triple)
+    result = check_robustness(triple, Allocation.si(triple), context=ctx)
     print(f"\nRobust against A_SI?  {result.robust}")
     print()
     print(explain_counterexample(result.counterexample))
@@ -39,14 +43,14 @@ def main() -> None:
     # Section 5: no robust {RC, SI} allocation exists (Proposition 5.4)...
     print(
         f"\nRobustly allocatable over Oracle's {{RC, SI}}? "
-        f"{is_robustly_allocatable(triple, ORACLE_LEVELS)}"
+        f"{is_robustly_allocatable(triple, ORACLE_LEVELS, context=ctx)}"
     )
     # ... but over Postgres's {RC, SI, SSI} Algorithm 2 always succeeds.
-    print(f"Optimal {{RC, SI, SSI}} allocation: {optimal_allocation(triple)}")
+    print(f"Optimal {{RC, SI, SSI}} allocation: {optimal_allocation(triple, context=ctx)}")
 
     # The full five-program workload.
     wl = smallbank_one_of_each(SmallBankConfig(customers=2), seed=1)
-    optimum = optimal_allocation(wl)
+    optimum = optimal_allocation(wl, context=AnalysisContext(wl))
     print("\nFull SmallBank (one instance of each program):")
     for (tid, level), name in zip(optimum.items(), SMALLBANK_PROGRAMS):
         print(f"  T{tid} {name:16s} -> {level}")

@@ -14,6 +14,7 @@ the read-only programs safely down at read committed.
 """
 
 from repro import Allocation, is_robust, optimal_allocation
+from repro.core.context import AnalysisContext
 from repro.workloads.tpcc import TPCC_PROGRAMS, TpccConfig, tpcc_one_of_each, tpcc_workload
 
 
@@ -24,22 +25,28 @@ def main() -> None:
     for txn, name in zip(wl, TPCC_PROGRAMS):
         print(f"  T{txn.tid} {name:13s} {txn}")
 
+    # One shared context: the three probes below reuse one conflict index.
+    ctx = AnalysisContext(wl)
+
     # The folklore: robust against A_SI.
-    print(f"\nRobust against A_SI?  {is_robust(wl, Allocation.si(wl))}")
+    print(f"\nRobust against A_SI?  {is_robust(wl, Allocation.si(wl), context=ctx)}")
     # ... but not against A_RC: the read-only queries can be split.
-    print(f"Robust against A_RC?  {is_robust(wl, Allocation.rc(wl))}")
+    print(f"Robust against A_RC?  {is_robust(wl, Allocation.rc(wl), context=ctx)}")
 
     # The optimal allocation never needs SSI, and puts the read-only
     # programs (OrderStatus, StockLevel) at RC when safe.
-    optimum = optimal_allocation(wl)
+    optimum = optimal_allocation(wl, context=ctx)
     print("\nOptimal robust allocation:")
     for (tid, level), name in zip(optimum.items(), TPCC_PROGRAMS):
         print(f"  T{tid} {name:13s} -> {level}")
 
-    # The result is stable across larger randomized mixes.
+    # The result is stable across larger randomized mixes.  At this size
+    # the analysis is also worth fanning out: n_jobs=2 runs Algorithm 2's
+    # probes on the process pool (identical result, see repro.parallel).
     big = tpcc_workload(20, seed=4)
-    print(f"\n20-transaction TPC-C mix: robust vs A_SI? {is_robust(big, Allocation.si(big))}")
-    mix = optimal_allocation(big)
+    big_ctx = AnalysisContext(big)
+    print(f"\n20-transaction TPC-C mix: robust vs A_SI? {is_robust(big, Allocation.si(big), context=big_ctx)}")
+    mix = optimal_allocation(big, context=big_ctx, n_jobs=2)
     counts = {name: len(mix.tids_at(name)) for name in ("RC", "SI", "SSI")}
     print(f"Optimal mix: {counts}")
 

@@ -139,14 +139,16 @@ def allocation_report(
     workload: Workload,
     levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
     context: Optional[AnalysisContext] = None,
+    n_jobs: Optional[int] = 1,
 ) -> str:
     """A report on the optimal robust allocation of a workload.
 
     Pass a shared :class:`~repro.core.context.AnalysisContext` to amortize
     the conflict index with other checks (and to read the counters back).
+    ``n_jobs`` is forwarded to Algorithm 2 (the CLI's ``--jobs`` flag).
     """
     lines = ["Workload:", render_workload(workload), ""]
-    optimum = optimal_allocation(workload, levels, context=context)
+    optimum = optimal_allocation(workload, levels, context=context, n_jobs=n_jobs)
     class_name = "{" + ", ".join(level.name for level in sorted(set(levels))) + "}"
     if optimum is None:
         lines.append(

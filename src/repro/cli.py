@@ -8,7 +8,10 @@ Subcommands:
 * ``allocate <workload-file> [--levels RC,SI | RC,SI,SSI]`` — compute the
   optimal robust allocation (Algorithm 2 / Theorem 5.5).  Both ``check``
   and ``allocate`` accept ``--stats`` to print the shared analysis
-  context's counters (checks executed, cache and witness hits).
+  context's counters (checks executed, cache and witness hits) and
+  ``--jobs N`` to fan the analysis out over N worker processes
+  (``--jobs auto`` picks by workload size; results are identical to the
+  sequential engine).
 * ``simulate <workload-file> [--uniform SI] [--seed N] [--runs N]`` — run
   the workload on the MVCC engine and report commits/aborts and whether
   the executions were serializable.
@@ -76,11 +79,26 @@ def _parse_levels(spec: str) -> List[IsolationLevel]:
     return [IsolationLevel.parse(part) for part in spec.split(",")]
 
 
+def _parse_jobs(value: str) -> Optional[int]:
+    """``--jobs`` argument: a positive worker count or ``auto``."""
+    if value.strip().lower() == "auto":
+        return None  # the engine's size-based heuristic
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad --jobs value {value!r}; use a positive integer or 'auto'"
+        ) from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("--jobs must be >= 1 (or 'auto')")
+    return jobs
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     workload = _load_workload(args.workload)
     allocation = _parse_allocation(workload, args.allocation, args.uniform)
     context = AnalysisContext(workload)
-    result = check_robustness(workload, allocation, context=context)
+    result = check_robustness(workload, allocation, context=context, n_jobs=args.jobs)
     print(robustness_report(workload, allocation, result))
     if not result.robust:
         from .analysis.anomalies import classify_counterexample
@@ -203,11 +221,16 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     # One shared context for the report's Algorithm 2 run and the final
     # existence probe: the conflict index is built exactly once.
     context = AnalysisContext(workload)
-    print(allocation_report(workload, levels, context=context))
+    print(allocation_report(workload, levels, context=context, n_jobs=args.jobs))
     if args.stats:
         print()
         print(analysis_stats_report(context.stats))
-    return 0 if optimal_allocation(workload, levels, context=context) is not None else 1
+    return (
+        0
+        if optimal_allocation(workload, levels, context=context, n_jobs=args.jobs)
+        is not None
+        else 1
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -255,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print analysis-context counters (checks, cache hits)",
+    )
+    check.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=1,
+        metavar="N|auto",
+        help="worker processes for the T1 scan (default 1: in-process)",
     )
     check.set_defaults(func=_cmd_check)
 
@@ -310,6 +340,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print analysis-context counters (checks, cache hits)",
+    )
+    allocate.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=1,
+        metavar="N|auto",
+        help="worker processes for Algorithm 2's probes (default 1: in-process)",
     )
     allocate.set_defaults(func=_cmd_allocate)
 

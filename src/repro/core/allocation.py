@@ -24,6 +24,15 @@ candidates, skipping the full Algorithm 1 search whenever a cached chain
 still applies.  Both are pure accelerations — the returned allocations
 are identical to the uncached computation (asserted by the property
 suite).
+
+Every entry point also accepts ``n_jobs``: with a value other than ``1``
+the independent downgrade probes run on the process pool of
+:mod:`repro.parallel` using the delta-restricted scan of
+:func:`repro.core.robustness.check_robustness_delta`.  The result is
+again identical — the optimum is unique (Proposition 4.2) and each
+transaction's final level depends only on the robust start allocation
+(Proposition 4.1) — as asserted by the parallel-equivalence property
+suite.
 """
 
 from __future__ import annotations
@@ -66,6 +75,7 @@ def _robust_with_warm_start(
     candidate: Allocation,
     method: str,
     ctx: AnalysisContext,
+    n_jobs: Optional[int] = 1,
 ) -> bool:
     """Robustness of ``candidate``, trying cached witness chains first.
 
@@ -77,7 +87,9 @@ def _robust_with_warm_start(
     """
     if ctx.known_witness(candidate) is not None:
         return False
-    result = check_robustness(workload, candidate, method=method, context=ctx)
+    result = check_robustness(
+        workload, candidate, method=method, context=ctx, n_jobs=n_jobs
+    )
     if not result.robust:
         assert result.counterexample is not None
         ctx.add_witness(result.counterexample.spec)
@@ -90,6 +102,7 @@ def refine_allocation(
     levels: Sequence[IsolationLevel],
     method: str = "components",
     context: Optional[AnalysisContext] = None,
+    n_jobs: Optional[int] = 1,
 ) -> Allocation:
     """Refine a robust allocation to the optimum below it (Algorithm 2 core).
 
@@ -111,9 +124,27 @@ def refine_allocation(
             :func:`repro.core.robustness.check_robustness`.
         context: shared :class:`~repro.core.context.AnalysisContext`;
             built fresh when omitted.
+        n_jobs: ``1`` (default) runs in-process; ``>= 2`` fans the
+            independent per-transaction downgrade probes out over the
+            process pool of :mod:`repro.parallel` (delta-restricted
+            checks, same result — Propositions 4.1/4.2); ``None`` or
+            negative picks automatically by workload size.
     """
     ordered = _normalized_levels(levels)
     ctx = _resolve_context(workload, context)
+    if n_jobs != 1:
+        from ..parallel.engine import refine_allocation_parallel, resolve_jobs
+
+        jobs = resolve_jobs(n_jobs, len(workload))
+        if jobs > 1:
+            if method == "paper":
+                raise ValueError(
+                    "the verbatim paper engine is sequential-only; use "
+                    "method='components' with n_jobs > 1"
+                )
+            return refine_allocation_parallel(
+                workload, start, ordered, n_jobs=jobs, context=ctx
+            )
     current = start
     for tid in workload.tids:
         for level in ordered:
@@ -131,6 +162,7 @@ def optimal_allocation(
     levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
     method: str = "components",
     context: Optional[AnalysisContext] = None,
+    n_jobs: Optional[int] = 1,
 ) -> Optional[Allocation]:
     """The unique optimal robust allocation over ``levels``, if one exists.
 
@@ -142,7 +174,9 @@ def optimal_allocation(
     The whole run shares one :class:`~repro.core.context.AnalysisContext`
     (the caller's, or a private one), so the conflict index is built
     exactly once regardless of how many robustness checks the refinement
-    issues.
+    issues.  With ``n_jobs`` other than ``1`` the refinement probes run
+    on the process pool of :mod:`repro.parallel` (identical result, per
+    the uniqueness of the optimum — Proposition 4.2).
 
     Examples:
         >>> from repro.core.workload import workload
@@ -157,10 +191,12 @@ def optimal_allocation(
     top = ordered[-1]
     start = Allocation.uniform(workload, top)
     if top is not IsolationLevel.SSI and not is_robust(
-        workload, start, method=method, context=ctx
+        workload, start, method=method, context=ctx, n_jobs=n_jobs
     ):
         return None
-    return refine_allocation(workload, start, ordered, method=method, context=ctx)
+    return refine_allocation(
+        workload, start, ordered, method=method, context=ctx, n_jobs=n_jobs
+    )
 
 
 def is_robustly_allocatable(
@@ -168,6 +204,7 @@ def is_robustly_allocatable(
     levels: Sequence[IsolationLevel] = ORACLE_LEVELS,
     method: str = "components",
     context: Optional[AnalysisContext] = None,
+    n_jobs: Optional[int] = 1,
 ) -> bool:
     """Whether some allocation over ``levels`` is robust (Definition 5.3).
 
@@ -179,7 +216,11 @@ def is_robustly_allocatable(
     if top is IsolationLevel.SSI:
         return True
     return is_robust(
-        workload, Allocation.uniform(workload, top), method=method, context=context
+        workload,
+        Allocation.uniform(workload, top),
+        method=method,
+        context=context,
+        n_jobs=n_jobs,
     )
 
 
@@ -189,6 +230,7 @@ def upgrade_to_robust(
     levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
     method: str = "components",
     context: Optional[AnalysisContext] = None,
+    n_jobs: Optional[int] = 1,
 ) -> Optional[Allocation]:
     """The least robust allocation pointwise above ``allocation``, if any.
 
@@ -207,7 +249,9 @@ def upgrade_to_robust(
     invariant instead of a dead error branch).
     """
     ctx = _resolve_context(workload, context)
-    optimum = optimal_allocation(workload, levels, method=method, context=ctx)
+    optimum = optimal_allocation(
+        workload, levels, method=method, context=ctx, n_jobs=n_jobs
+    )
     if optimum is None:
         return None
     lifted = {

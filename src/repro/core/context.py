@@ -213,6 +213,22 @@ class ContextStats:
             "witness_hits": self.witness_hits,
         }
 
+    def merge(self, delta: Dict[str, int]) -> None:
+        """Add another stats snapshot (a worker's delta) into these counters.
+
+        The parallel engine collects each worker task's before/after
+        counter difference and folds it in here, so ``--stats`` totals
+        stay truthful — they report work actually done, wherever it ran.
+
+        Examples:
+            >>> stats = ContextStats(checks=2)
+            >>> stats.merge({"checks": 3, "oracle_builds": 1})
+            >>> stats.checks, stats.oracle_builds
+            (5, 1)
+        """
+        for name, value in delta.items():
+            setattr(self, name, getattr(self, name) + value)
+
 
 class AnalysisContext:
     """Cached allocation-independent analysis structure for one workload.

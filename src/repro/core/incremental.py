@@ -43,6 +43,11 @@ from .workload import Workload, WorkloadError
 class AllocationManager:
     """Maintains the optimal robust allocation of an evolving workload.
 
+    ``n_jobs`` (default ``1``) is forwarded to every robustness check and
+    refinement the manager issues; values other than ``1`` fan the work
+    out over the process pool of :mod:`repro.parallel` (identical
+    allocations — the optimum is unique per Proposition 4.2).
+
     Examples:
         >>> from repro.core.transactions import parse_transaction
         >>> manager = AllocationManager()
@@ -58,6 +63,7 @@ class AllocationManager:
         self,
         levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
         method: str = "components",
+        n_jobs: Optional[int] = 1,
     ):
         self._levels = tuple(sorted(set(levels)))
         if not self._levels:
@@ -67,7 +73,13 @@ class AllocationManager:
                 "AllocationManager requires SSI in the class (an optimum must"
                 " always exist); use optimal_allocation() for {RC, SI}"
             )
+        if method == "paper" and n_jobs != 1:
+            raise ValueError(
+                "the verbatim paper engine is sequential-only; use "
+                "method='components' with n_jobs > 1"
+            )
         self._method = method
+        self._n_jobs = n_jobs
         self._transactions: Dict[int, Transaction] = {}
         self._allocation = Allocation({})
         self._context: Optional[AnalysisContext] = None
@@ -112,6 +124,14 @@ class AllocationManager:
         self._context = ctx
         return ctx
 
+    def _resolve_jobs(self, workload_size: int) -> int:
+        """The effective worker count for this manager's ``n_jobs``."""
+        if self._n_jobs == 1:
+            return 1
+        from ..parallel.engine import resolve_jobs
+
+        return resolve_jobs(self._n_jobs, workload_size)
+
     def add(self, transaction: Transaction) -> Allocation:
         """Add a transaction; returns the new optimal allocation.
 
@@ -133,7 +153,9 @@ class AllocationManager:
         candidate = Allocation(
             {**{tid: old[tid] for tid in old}, transaction.tid: top}
         )
-        if _robust_with_warm_start(workload, candidate, self._method, ctx):
+        if _robust_with_warm_start(
+            workload, candidate, self._method, ctx, n_jobs=self._n_jobs
+        ):
             # Old levels still optimal; refine only the newcomer.
             current = candidate
             for level in self._levels[:-1]:
@@ -149,16 +171,31 @@ class AllocationManager:
         floors = {tid: old[tid] for tid in old}
         floors[transaction.tid] = self._levels[0]
         current = Allocation.uniform(workload, top)
-        for tid in workload.tids:
-            for level in self._levels:
-                if level < floors[tid]:
-                    continue
-                if level >= current[tid]:
-                    break
-                lowered = current.with_level(tid, level)
-                if _robust_with_warm_start(workload, lowered, self._method, ctx):
-                    current = lowered
-                    break
+        jobs = self._resolve_jobs(len(workload))
+        if jobs > 1:
+            from ..parallel.engine import refine_allocation_parallel
+
+            current = refine_allocation_parallel(
+                workload,
+                current,
+                self._levels,
+                n_jobs=jobs,
+                context=ctx,
+                floors=floors,
+            )
+        else:
+            for tid in workload.tids:
+                for level in self._levels:
+                    if level < floors[tid]:
+                        continue
+                    if level >= current[tid]:
+                        break
+                    lowered = current.with_level(tid, level)
+                    if _robust_with_warm_start(
+                        workload, lowered, self._method, ctx
+                    ):
+                        current = lowered
+                        break
         self._allocation = current
         self._last_check_count = ctx.stats.checks
         return current
@@ -179,7 +216,12 @@ class AllocationManager:
         ctx = self._fresh_context(workload)
         start = Allocation({t: self._allocation[t] for t in workload.tids})
         self._allocation = refine_allocation(
-            workload, start, self._levels, method=self._method, context=ctx
+            workload,
+            start,
+            self._levels,
+            method=self._method,
+            context=ctx,
+            n_jobs=self._n_jobs,
         )
         self._last_check_count = ctx.stats.checks
         return self._allocation
@@ -196,7 +238,11 @@ class AllocationManager:
         if ctx is None or not ctx.matches(workload):
             ctx = self._fresh_context(workload)
         return check_robustness(
-            workload, allocation, method=self._method, context=ctx
+            workload,
+            allocation,
+            method=self._method,
+            context=ctx,
+            n_jobs=self._n_jobs,
         ).robust
 
 

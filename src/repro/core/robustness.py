@@ -26,12 +26,28 @@ oracles, candidate-partner lists, conflicting-pair tables) lives in
 to amortize it across many checks of the same workload (Algorithm 2
 issues ``O(|T| * levels)`` of them); without one, each call builds a
 private context, reproducing the one-shot behaviour.
+
+Two further accelerations live here:
+
+* :func:`check_robustness_delta` — a restricted check for allocations
+  that differ from a *known-robust* base at exactly one transaction.
+  Every side condition of Definition 3.1 that mentions isolation levels
+  mentions only the levels of the triple ``(T_1, T_2, T_m)``, so a
+  witness for the candidate that avoids the changed transaction would
+  already have been a witness for the robust base — contradiction.  The
+  scan therefore only visits triples involving the changed transaction,
+  an ``O(|T|^2)`` sweep instead of ``O(|T|^3)``.  This is the unit of
+  work of the parallel allocation engine (:mod:`repro.parallel`).
+* ``n_jobs`` — :func:`check_robustness` and
+  :func:`enumerate_counterexamples` fan the outer per-``T_1`` loop out
+  across a process pool when ``n_jobs > 1``, with results bit-identical
+  to the sequential scan (see :mod:`repro.parallel.engine`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -57,6 +73,7 @@ __all__ = [
     "Counterexample",
     "RobustnessResult",
     "check_robustness",
+    "check_robustness_delta",
     "enumerate_counterexamples",
     "is_robust",
     "mixed_iso_graph",
@@ -185,17 +202,89 @@ def _build_chain(
     return SplitScheduleSpec(tuple(chain))
 
 
+def _scan_t1(
+    ctx: AnalysisContext,
+    allocation: Allocation,
+    t1: Transaction,
+    method: str = "components",
+) -> Iterator[SplitScheduleSpec]:
+    """Algorithm 1's inner loops for a fixed split candidate ``T_1``.
+
+    Yields one :class:`~repro.core.split_schedule.SplitScheduleSpec` per
+    problematic triple ``(T_1, T_2, T_m)``, in the deterministic
+    ``(T_2, T_m)`` candidate order.  This generator is the single source
+    of truth for the per-``T_1`` search: :func:`check_robustness` takes
+    its first element, :func:`enumerate_counterexamples` drains it, and
+    the process-pool workers of :mod:`repro.parallel` run it remotely —
+    which is what makes the parallel engine's results bit-identical to
+    the sequential ones.
+    """
+    candidates = ctx.candidates(t1, method)
+    oracle = ctx.oracle(t1)
+    index = ctx.index
+    for t2 in candidates:
+        for tm in candidates:
+            if method == "paper":
+                reachable = _paper_reachable(index, t1, t2, tm)
+            else:
+                reachable = oracle.reachable(t2.tid, tm.tid)
+            if not reachable:
+                continue
+            if not _triple_passes_ssi_conditions(allocation, t1, t2, tm):
+                continue
+            ops = _search_operations(ctx, allocation, t1, t2, tm)
+            if ops is None:
+                continue
+            yield _build_chain(ctx, oracle, t1, t2, tm, ops)
+
+
+def _scan_t1_delta(
+    ctx: AnalysisContext,
+    allocation: Allocation,
+    t1: Transaction,
+    delta_tid: int,
+) -> Iterator[SplitScheduleSpec]:
+    """:func:`_scan_t1` restricted to triples involving ``delta_tid``.
+
+    Sound for allocations differing from a robust base only at
+    ``delta_tid`` (see :func:`check_robustness_delta`): the yielded specs
+    are exactly the subsequence of ``_scan_t1``'s output whose triple
+    mentions the changed transaction — and by the delta lemma that
+    subsequence is everything ``_scan_t1`` would yield.
+    """
+    if t1.tid == delta_tid:
+        yield from _scan_t1(ctx, allocation, t1, "components")
+        return
+    candidates = ctx.candidates(t1, "components")
+    oracle = ctx.oracle(t1)
+    for t2 in candidates:
+        t2_is_delta = t2.tid == delta_tid
+        for tm in candidates:
+            if not (t2_is_delta or tm.tid == delta_tid):
+                continue
+            if not oracle.reachable(t2.tid, tm.tid):
+                continue
+            if not _triple_passes_ssi_conditions(allocation, t1, t2, tm):
+                continue
+            ops = _search_operations(ctx, allocation, t1, t2, tm)
+            if ops is None:
+                continue
+            yield _build_chain(ctx, oracle, t1, t2, tm, ops)
+
+
 def check_robustness(
     workload: Workload,
     allocation: Allocation,
     method: str = "components",
     context: Optional[AnalysisContext] = None,
+    n_jobs: Optional[int] = 1,
 ) -> RobustnessResult:
     """Decide robustness of ``workload`` against ``allocation`` (Algorithm 1).
 
     Returns a :class:`RobustnessResult`; when not robust, the result carries
     a :class:`Counterexample` whose materialized schedule is allowed under
-    the allocation and not conflict serializable (Theorem 3.2).
+    the allocation and not conflict serializable (Theorem 3.2).  The check
+    runs in time polynomial in the workload size (Theorem 3.3).
 
     Args:
         workload: the set of transactions.
@@ -206,35 +295,106 @@ def check_robustness(
             ``workload``; sharing one across checks amortizes the conflict
             index and per-``T_1`` reachability structure, which are
             allocation-independent.  Built fresh when omitted.
+        n_jobs: ``1`` (default) runs fully in-process; an integer ``> 1``
+            fans the per-``T_1`` searches out across that many worker
+            processes (``components`` method only); ``None`` picks
+            automatically — sequential below a workload-size threshold,
+            one worker per CPU otherwise (see
+            :func:`repro.parallel.engine.resolve_jobs`).  The verdict and
+            the counterexample are bit-identical for every setting.
+
+    Examples:
+        >>> from repro.core.workload import workload
+        >>> from repro.core.isolation import Allocation
+        >>> skew = workload("R1[x] W1[y]", "R2[y] W2[x]")
+        >>> check_robustness(skew, Allocation.si(skew)).robust
+        False
+        >>> check_robustness(skew, Allocation.ssi(skew)).robust
+        True
     """
     if not allocation.covers(workload):
         raise WorkloadError("allocation does not cover the workload")
     if method not in ("components", "paper"):
         raise ValueError(f"unknown method {method!r}")
+    if n_jobs != 1:
+        from ..parallel.engine import check_robustness_parallel, resolve_jobs
+
+        jobs = resolve_jobs(n_jobs, len(workload))
+        if jobs > 1:
+            if method == "paper":
+                raise ValueError(
+                    "the verbatim paper engine is sequential-only; use"
+                    " method='components' with n_jobs > 1"
+                )
+            return check_robustness_parallel(
+                workload, allocation, n_jobs=jobs, context=context
+            )
     ctx = _resolve_context(workload, context)
     ctx.record_check()
-    index = ctx.index
     for t1 in workload:
-        candidates = ctx.candidates(t1, method)
-        oracle = ctx.oracle(t1)
-        for t2 in candidates:
-            for tm in candidates:
-                if method == "paper":
-                    reachable = _paper_reachable(index, t1, t2, tm)
-                else:
-                    reachable = oracle.reachable(t2.tid, tm.tid)
-                if not reachable:
-                    continue
-                if not _triple_passes_ssi_conditions(allocation, t1, t2, tm):
-                    continue
-                ops = _search_operations(ctx, allocation, t1, t2, tm)
-                if ops is None:
-                    continue
-                spec = _build_chain(ctx, oracle, t1, t2, tm, ops)
-                schedule = materialize(spec, workload, allocation)
-                return RobustnessResult(
-                    False, Counterexample(spec, schedule, allocation)
-                )
+        for spec in _scan_t1(ctx, allocation, t1, method):
+            schedule = materialize(spec, workload, allocation)
+            return RobustnessResult(
+                False, Counterexample(spec, schedule, allocation)
+            )
+    return RobustnessResult(True)
+
+
+def check_robustness_delta(
+    workload: Workload,
+    allocation: Allocation,
+    delta_tid: int,
+    context: Optional[AnalysisContext] = None,
+) -> RobustnessResult:
+    """Robustness of an allocation one step away from a robust one.
+
+    Precondition: some allocation that is *robust* for ``workload``
+    agrees with ``allocation`` everywhere except possibly at
+    ``delta_tid`` (callers typically lower one transaction of a robust
+    allocation, as Algorithm 2's refinement does).  Under that
+    precondition the verdict equals :func:`check_robustness`, but the
+    scan only visits triples involving ``delta_tid`` — ``O(|T|^2)``
+    instead of ``O(|T|^3)`` triples.
+
+    Why this is sound (the *delta lemma*): every condition of
+    Definition 3.1 that mentions isolation levels — (2)/(3) via the RC
+    split, (5)'s RC escape, and the SSI conditions (6)-(8) — mentions
+    only the levels of ``T_1``, ``T_2`` and ``T_m``; the intermediate
+    transactions ``T_3 ... T_{m-1}`` contribute no level conditions.  A
+    witness triple avoiding ``delta_tid`` therefore satisfies the exact
+    same conditions under the robust base allocation, contradicting
+    Theorem 3.2 for the base.  Hence every witness involves
+    ``delta_tid`` in one of the three roles, and ``T_1`` ranges over
+    ``delta_tid`` and its conflict neighbours only (``T_2``/``T_m`` must
+    conflict with ``T_1``).
+
+    Examples:
+        >>> from repro.core.workload import workload
+        >>> from repro.core.isolation import Allocation
+        >>> skew = workload("R1[x] W1[y]", "R2[y] W2[x]")
+        >>> base = Allocation.ssi(skew)          # robust
+        >>> check_robustness_delta(skew, base.with_level(1, "RC"), 1).robust
+        False
+        >>> private = workload("R1[x] W1[y]", "R2[a] W2[b]")
+        >>> lowered = Allocation.ssi(private).with_level(2, "RC")
+        >>> check_robustness_delta(private, lowered, 2).robust
+        True
+    """
+    if not allocation.covers(workload):
+        raise WorkloadError("allocation does not cover the workload")
+    if delta_tid not in workload:
+        raise WorkloadError(f"no transaction with id {delta_tid}")
+    ctx = _resolve_context(workload, context)
+    ctx.record_check()
+    neighbours = ctx.index.conflict_neighbours(delta_tid)
+    for t1 in workload:
+        if t1.tid != delta_tid and t1.tid not in neighbours:
+            continue
+        for spec in _scan_t1_delta(ctx, allocation, t1, delta_tid):
+            schedule = materialize(spec, workload, allocation)
+            return RobustnessResult(
+                False, Counterexample(spec, schedule, allocation)
+            )
     return RobustnessResult(True)
 
 
@@ -269,11 +429,38 @@ def is_robust(
     allocation: Allocation,
     method: str = "components",
     context: Optional[AnalysisContext] = None,
+    n_jobs: Optional[int] = 1,
 ) -> bool:
-    """Boolean shorthand for :func:`check_robustness`."""
+    """Boolean shorthand for :func:`check_robustness` (Algorithm 1).
+
+    Examples:
+        >>> from repro.core.workload import workload
+        >>> from repro.core.isolation import Allocation
+        >>> w = workload("R1[x] W1[y]", "R2[y] W2[x]")
+        >>> is_robust(w, Allocation.si(w)), is_robust(w, Allocation.ssi(w))
+        (False, True)
+    """
     return check_robustness(
-        workload, allocation, method=method, context=context
+        workload, allocation, method=method, context=context, n_jobs=n_jobs
     ).robust
+
+
+def _spec_to_counterexample(
+    spec: SplitScheduleSpec,
+    workload: Workload,
+    allocation: Allocation,
+    materialize_schedules: bool,
+) -> Counterexample:
+    """Build the :class:`Counterexample` for a discovered spec."""
+    if materialize_schedules:
+        schedule = materialize(spec, workload, allocation)
+    else:
+        schedule = canonical_schedule(
+            workload,
+            operation_order(spec, workload),
+            allocation,
+        )
+    return Counterexample(spec, schedule, allocation)
 
 
 def enumerate_counterexamples(
@@ -281,6 +468,7 @@ def enumerate_counterexamples(
     allocation: Allocation,
     materialize_schedules: bool = True,
     context: Optional[AnalysisContext] = None,
+    n_jobs: Optional[int] = 1,
 ) -> Iterable[Counterexample]:
     """Yield one counterexample per problematic triple ``(T_1, T_2, T_m)``.
 
@@ -290,6 +478,13 @@ def enumerate_counterexamples(
     (:func:`repro.analysis.blame.blame_report`) aggregates.  The number of
     yielded counterexamples is at most ``|T|^3``.
 
+    The enumeration order is deterministic: ascending ``T_1`` id, then
+    the nested ``(T_2, T_m)`` candidate order of Algorithm 1.  Running
+    with ``n_jobs > 1`` distributes the per-``T_1`` scans over worker
+    processes and re-assembles the results in that exact order, so the
+    yielded sequence is identical for every ``n_jobs`` (asserted by
+    ``tests/parallel/test_parallel_engine.py`` and the property suite).
+
     Args:
         workload: the set of transactions.
         allocation: an isolation level for every transaction.
@@ -297,30 +492,29 @@ def enumerate_counterexamples(
             for each witness; disable for cheap surveys of large spaces.
         context: an :class:`~repro.core.context.AnalysisContext` built for
             ``workload``, shared across calls; built fresh when omitted.
+        n_jobs: ``1`` (default) in-process; ``> 1`` fans the per-``T_1``
+            scans out; ``None`` picks automatically.
     """
     if not allocation.covers(workload):
         raise WorkloadError("allocation does not cover the workload")
+    if n_jobs != 1:
+        from ..parallel.engine import enumerate_specs_parallel, resolve_jobs
+
+        jobs = resolve_jobs(n_jobs, len(workload))
+        if jobs > 1:
+            ctx = _resolve_context(workload, context)
+            ctx.record_check()
+            for spec in enumerate_specs_parallel(
+                workload, allocation, n_jobs=jobs, context=ctx
+            ):
+                yield _spec_to_counterexample(
+                    spec, workload, allocation, materialize_schedules
+                )
+            return
     ctx = _resolve_context(workload, context)
     ctx.record_check()
     for t1 in workload:
-        candidates = ctx.candidates(t1, "components")
-        oracle = ctx.oracle(t1)
-        for t2 in candidates:
-            for tm in candidates:
-                if not oracle.reachable(t2.tid, tm.tid):
-                    continue
-                if not _triple_passes_ssi_conditions(allocation, t1, t2, tm):
-                    continue
-                ops = _search_operations(ctx, allocation, t1, t2, tm)
-                if ops is None:
-                    continue
-                spec = _build_chain(ctx, oracle, t1, t2, tm, ops)
-                if materialize_schedules:
-                    schedule = materialize(spec, workload, allocation)
-                else:
-                    schedule = canonical_schedule(
-                        workload,
-                        operation_order(spec, workload),
-                        allocation,
-                    )
-                yield Counterexample(spec, schedule, allocation)
+        for spec in _scan_t1(ctx, allocation, t1, "components"):
+            yield _spec_to_counterexample(
+                spec, workload, allocation, materialize_schedules
+            )

@@ -188,11 +188,16 @@ class MVCCEngine:
                 of ``obj`` committed after this transaction's snapshot.
         """
         txn = self._state(tid)
-        event = self._tick()
-        self._ensure_started(txn, event)
         holder = self._intents.get(obj)
         if holder is not None and holder != tid:
+            # A blocked attempt must not start the transaction: the snapshot
+            # belongs to ``first(T)``, the first operation that actually
+            # executes (and lands in the trace), not to a failed try — else
+            # a commit arriving while we wait would be invisible to the
+            # snapshot yet precede first(T) in the formal schedule.
             raise TransactionBlocked(tid, holder, obj)
+        event = self._tick()
+        self._ensure_started(txn, event)
         if txn.level is not IsolationLevel.RC and self.store.has_newer_than(
             obj, txn.snapshot_seq or 0
         ):

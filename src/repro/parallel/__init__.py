@@ -1,0 +1,50 @@
+"""Process-pool execution layer for Algorithm 1/2 (see ``docs/architecture.md``).
+
+Algorithm 1's outer loop over split candidates ``T_1`` and Algorithm 2's
+per-transaction downgrade probes are independent pieces of work; this
+package fans them out across worker processes while keeping every result
+bit-identical to the sequential engines in :mod:`repro.core`.
+
+The public surface is deliberately thin — ``n_jobs=`` arguments on
+:func:`repro.core.robustness.check_robustness`,
+:func:`repro.core.robustness.enumerate_counterexamples`,
+:func:`repro.core.allocation.refine_allocation`,
+:func:`repro.core.allocation.optimal_allocation` and
+:class:`repro.core.incremental.AllocationManager`, plus the CLI's
+``--jobs`` flag — but the engine functions here can also be called
+directly.
+"""
+
+from .encoding import (
+    decode_allocation,
+    decode_spec,
+    decode_workload,
+    encode_allocation,
+    encode_spec,
+    encode_workload,
+)
+from .engine import (
+    PARALLEL_AUTO_THRESHOLD,
+    check_robustness_parallel,
+    enumerate_specs_parallel,
+    optimal_allocation_parallel,
+    refine_allocation_parallel,
+    resolve_jobs,
+    shutdown_pool,
+)
+
+__all__ = [
+    "PARALLEL_AUTO_THRESHOLD",
+    "check_robustness_parallel",
+    "decode_allocation",
+    "decode_spec",
+    "decode_workload",
+    "encode_allocation",
+    "encode_spec",
+    "encode_workload",
+    "enumerate_specs_parallel",
+    "optimal_allocation_parallel",
+    "refine_allocation_parallel",
+    "resolve_jobs",
+    "shutdown_pool",
+]

@@ -1,0 +1,86 @@
+"""Compact picklable encodings for the worker handshake.
+
+An :class:`~repro.core.context.AnalysisContext` holds ``networkx`` graphs,
+memoized closures and operation tables — shipping it to a worker process
+would serialize far more bytes than rebuilding it costs.  The parallel
+engine therefore ships the *workload* in a minimal text form (the paper's
+own notation, which every object here round-trips through), and each
+worker rebuilds its private context exactly once per workload (see
+:mod:`repro.parallel.worker`).
+
+Encodings are plain tuples of ints and strings: cheap to pickle, stable
+across processes (no interning or identity tricks), and independent of
+the start method (``fork`` or ``spawn``).
+
+Examples:
+    >>> from repro.core.workload import workload
+    >>> wl = workload("R1[x] W1[y]", "R2[y] W2[x]")
+    >>> encode_workload(wl)
+    ((1, 'R1[x] W1[y] C1'), (2, 'R2[y] W2[x] C2'))
+    >>> decode_workload(encode_workload(wl)) == wl
+    True
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.conflicts import ConflictQuadruple
+from ..core.isolation import Allocation
+from ..core.split_schedule import SplitScheduleSpec
+from ..core.transactions import parse_schedule_operations, parse_transaction
+from ..core.workload import Workload
+
+#: A workload as ``(tid, "R1[x] W1[y] C1")`` pairs, ascending tid order.
+WorkloadEncoding = Tuple[Tuple[int, str], ...]
+
+#: An allocation as ``(tid, "RC"|"SI"|"SSI")`` pairs, ascending tid order.
+AllocationEncoding = Tuple[Tuple[int, str], ...]
+
+#: A split-schedule chain as ``(tid_i, b, a, tid_j)`` quadruples.
+SpecEncoding = Tuple[Tuple[int, str, str, int], ...]
+
+
+def encode_workload(workload: Workload) -> WorkloadEncoding:
+    """The workload as ``(tid, text)`` pairs in the paper's notation."""
+    return tuple((txn.tid, str(txn)) for txn in workload)
+
+
+def decode_workload(encoding: WorkloadEncoding) -> Workload:
+    """Rebuild the workload from :func:`encode_workload` output."""
+    return Workload(
+        parse_transaction(text, tid=tid) for tid, text in encoding
+    )
+
+
+def encode_allocation(allocation: Allocation) -> AllocationEncoding:
+    """The allocation as ``(tid, level-name)`` pairs."""
+    return tuple((tid, level.name) for tid, level in allocation.items())
+
+
+def decode_allocation(encoding: AllocationEncoding) -> Allocation:
+    """Rebuild the allocation from :func:`encode_allocation` output."""
+    return Allocation({tid: name for tid, name in encoding})
+
+
+def encode_spec(spec: SplitScheduleSpec) -> SpecEncoding:
+    """The quadruple chain as ``(tid_i, b, a, tid_j)`` text quadruples."""
+    return tuple(
+        (quad.tid_i, str(quad.b), str(quad.a), quad.tid_j)
+        for quad in spec.chain
+    )
+
+
+def decode_spec(encoding: SpecEncoding) -> SplitScheduleSpec:
+    """Rebuild the chain from :func:`encode_spec` output.
+
+    Operations are parsed from the paper notation (``R1[x]``, ``W2[y]``),
+    whose explicit subscripts carry the owning transaction — the
+    round-trip is exact because operations are value objects.
+    """
+    chain = []
+    for tid_i, b_text, a_text, tid_j in encoding:
+        b = parse_schedule_operations(b_text)[0]
+        a = parse_schedule_operations(a_text)[0]
+        chain.append(ConflictQuadruple(tid_i, b, a, tid_j))
+    return SplitScheduleSpec(tuple(chain))

@@ -1,0 +1,159 @@
+"""Worker-process entry points of the parallel engine.
+
+Each worker process keeps a small cache of
+:class:`~repro.core.context.AnalysisContext` objects keyed by the
+*workload encoding* it receives with every task (the context-rebuild
+handshake): the first task for a workload pays one context build, every
+later task for the same workload reuses the warm caches — oracles,
+candidate lists, conflicting-pair tables and witness chains accumulate
+across tasks exactly as they do in a sequential run.
+
+Every task returns its *stats delta* — the worker context's counters
+before/after difference — so the parent can merge truthful totals into
+the caller-visible context (``--stats`` reports work actually done,
+wherever it ran).
+
+All functions here are top-level and take only picklable encodings, so
+they work under both ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..core.context import AnalysisContext
+from ..core.robustness import _scan_t1, _scan_t1_delta
+from ..core.split_schedule import SplitScheduleSpec
+from .encoding import (
+    AllocationEncoding,
+    WorkloadEncoding,
+    decode_allocation,
+    decode_workload,
+    encode_spec,
+)
+
+#: Contexts kept per worker process (LRU by workload encoding).
+_CONTEXT_CACHE_SIZE = 8
+
+_contexts: "OrderedDict[WorkloadEncoding, AnalysisContext]" = OrderedDict()
+
+
+def _context_for(
+    encoding: WorkloadEncoding,
+) -> Tuple[AnalysisContext, Dict[str, int]]:
+    """This worker's context for the encoded workload, plus the stats
+    baseline for the current task's delta.
+
+    On a cache hit the baseline is the counters as they stand; on a miss
+    it is all zeros, so the context build itself (the conflict-index
+    construction) lands in the first task's delta and the parent's merged
+    ``--stats`` totals stay truthful.
+    """
+    ctx = _contexts.get(encoding)
+    if ctx is None:
+        ctx = AnalysisContext(decode_workload(encoding))
+        _contexts[encoding] = ctx
+        while len(_contexts) > _CONTEXT_CACHE_SIZE:
+            _contexts.popitem(last=False)
+        baseline = {name: 0 for name in ctx.stats.as_dict()}
+    else:
+        _contexts.move_to_end(encoding)
+        baseline = ctx.stats.as_dict()
+    return ctx, baseline
+
+
+def _stats_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    return {name: after[name] - before[name] for name in after}
+
+
+def scan_chunk(
+    workload_enc: WorkloadEncoding,
+    allocation_enc: AllocationEncoding,
+    t1_tids: Tuple[int, ...],
+    find_all: bool,
+) -> Tuple[object, Dict[str, int]]:
+    """Run Algorithm 1's per-``T_1`` search for a chunk of candidates.
+
+    With ``find_all`` the full survey of every ``T_1`` in the chunk is
+    returned as ``((t1_tid, (spec_enc, ...)), ...)`` preserving scan
+    order; otherwise the scan stops at the chunk's first witness and
+    returns ``(t1_tid, spec_enc)`` or ``None``.
+    """
+    ctx, before = _context_for(workload_enc)
+    allocation = decode_allocation(allocation_enc)
+    wl = ctx.workload
+    result: object
+    if find_all:
+        found = []
+        for tid in t1_tids:
+            specs = tuple(
+                encode_spec(spec)
+                for spec in _scan_t1(ctx, allocation, wl[tid], "components")
+            )
+            if specs:
+                found.append((tid, specs))
+        result = tuple(found)
+    else:
+        result = None
+        for tid in t1_tids:
+            spec = next(_scan_t1(ctx, allocation, wl[tid], "components"), None)
+            if spec is not None:
+                result = (tid, encode_spec(spec))
+                break
+    return result, _stats_delta(before, ctx.stats.as_dict())
+
+
+def _first_delta_witness(
+    ctx: AnalysisContext, allocation, delta_tid: int
+) -> Optional[SplitScheduleSpec]:
+    """First witness of the delta-restricted scan, or ``None`` if robust.
+
+    The lean (no materialization) core of
+    :func:`~repro.core.robustness.check_robustness_delta`; sound under
+    the same precondition (``allocation`` one step below a robust base).
+    """
+    ctx.record_check()
+    neighbours = ctx.index.conflict_neighbours(delta_tid)
+    for t1 in ctx.workload:
+        if t1.tid != delta_tid and t1.tid not in neighbours:
+            continue
+        for spec in _scan_t1_delta(ctx, allocation, t1, delta_tid):
+            return spec
+    return None
+
+
+def probe_chunk(
+    workload_enc: WorkloadEncoding,
+    start_enc: AllocationEncoding,
+    probes: Tuple[Tuple[int, Tuple[str, ...]], ...],
+) -> Tuple[Dict[int, str], Dict[str, int]]:
+    """Algorithm 2's independent downgrade probes for a chunk of transactions.
+
+    Each probe ``(tid, levels)`` finds the lowest of ``levels`` (ascending,
+    all below ``start[tid]``) such that ``start[tid -> level]`` stays
+    robust, using the delta-restricted check; ``start`` must be robust
+    (Algorithm 2 starts from ``A_SSI`` / a previously verified ``A_SI``).
+    Witness chains found by failed probes are cached on the worker
+    context and revalidated against later candidates (cheap Definition
+    3.1 condition scan) before any full search — the same
+    counterexample-guided warm start the sequential refinement uses.
+
+    Returns ``{tid: chosen-level-name}`` for the chunk.
+    """
+    ctx, before = _context_for(workload_enc)
+    start = decode_allocation(start_enc)
+    chosen: Dict[int, str] = {}
+    for tid, level_names in probes:
+        final = start[tid].name
+        for name in level_names:
+            candidate = start.with_level(tid, name)
+            if ctx.known_witness(candidate) is not None:
+                continue  # cached chain proves the candidate non-robust
+            witness = _first_delta_witness(ctx, candidate, tid)
+            if witness is None:
+                final = name
+                break
+            ctx.add_witness(witness)
+        chosen[tid] = final
+    return chosen, _stats_delta(before, ctx.stats.as_dict())

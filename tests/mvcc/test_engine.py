@@ -191,3 +191,31 @@ class TestSsiDetection:
             engine.read(tid, r)
             engine.write(tid, w, tid)
             engine.commit(tid)
+
+
+class TestBlockedFirstOperation:
+    def test_blocked_first_write_does_not_pin_the_snapshot(self):
+        """A blocked attempt is not ``first(T)``; the snapshot starts later.
+
+        T3 holds the write intent on ``x``; T5's first operation ``W5[x]``
+        blocks, T2 commits a version of ``u`` while T5 waits, T3 aborts,
+        and T5's retried write finally executes.  The formal ``first(T5)``
+        is that successful write, so T5's snapshot must include T2's
+        ``u`` — pinning it at the blocked attempt made the trace
+        disallowed under Definition 2.4 (read-last-committed relative to
+        first(T5)).
+        """
+        engine = MVCCEngine()
+        engine.begin(2, RC)
+        engine.begin(3, SI)
+        engine.begin(5, SI)
+        engine.write(3, "x", 3)
+        with pytest.raises(TransactionBlocked):
+            engine.write(5, "x", 5)  # must not start T5
+        engine.write(2, "u", 2)
+        engine.commit(2)
+        engine.abort(3)  # releases the intent on x
+        engine.write(5, "x", 5)  # first(T5) happens here
+        version = engine.read(5, "u")
+        assert version.writer_tid == 2, "snapshot predates C2"
+        engine.commit(5)

@@ -1,0 +1,45 @@
+"""Round-trip tests for the worker-handshake encodings."""
+
+from hypothesis import given, settings
+
+import strategies as sts
+from repro.core.isolation import Allocation, IsolationLevel
+from repro.core.robustness import enumerate_counterexamples
+from repro.core.workload import workload
+from repro.parallel import (
+    decode_allocation,
+    decode_spec,
+    decode_workload,
+    encode_allocation,
+    encode_spec,
+    encode_workload,
+)
+
+
+@given(sts.workloads(min_transactions=1, max_transactions=4))
+@settings(max_examples=50, deadline=None)
+def test_workload_round_trip(wl):
+    assert decode_workload(encode_workload(wl)) == wl
+
+
+@given(sts.allocated_workloads(min_transactions=1, max_transactions=4))
+@settings(max_examples=50, deadline=None)
+def test_allocation_round_trip(pair):
+    _, alloc = pair
+    assert decode_allocation(encode_allocation(alloc)) == alloc
+
+
+def test_encoding_is_picklable_primitives():
+    wl = workload("R1[x] W1[y]", "R2[y] W2[x]")
+    enc = encode_workload(wl)
+    assert enc == ((1, "R1[x] W1[y] C1"), (2, "R2[y] W2[x] C2"))
+    alloc_enc = encode_allocation(Allocation.uniform(wl, IsolationLevel.SI))
+    assert alloc_enc == ((1, "SI"), (2, "SI"))
+
+
+def test_spec_round_trip_on_real_counterexamples(write_skew):
+    alloc = Allocation.uniform(write_skew, IsolationLevel.SI)
+    specs = [c.spec for c in enumerate_counterexamples(write_skew, alloc)]
+    assert specs
+    for spec in specs:
+        assert decode_spec(encode_spec(spec)) == spec

@@ -1,0 +1,58 @@
+"""Every intra-repo markdown link must point at a file that exists.
+
+Scans all tracked ``*.md`` files for inline links and validates the
+repo-relative targets (external URLs and pure ``#fragment`` links are
+skipped; a ``path#fragment`` target is checked for the file part).  CI
+runs exactly this module in its docs job, so a broken cross-reference in
+README/docs fails the build.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target), ignoring images' leading "!".
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_DIRS = {".git", ".hypothesis", "__pycache__", ".pytest_cache", "htmlcov"}
+
+
+def _markdown_files():
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not _SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def _intra_repo_targets(path: Path):
+    for match in _LINK.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize(
+    "md_path",
+    list(_markdown_files()),
+    ids=lambda p: str(p.relative_to(REPO_ROOT)),
+)
+def test_intra_repo_links_resolve(md_path):
+    broken = []
+    for target in _intra_repo_targets(md_path):
+        resolved = (md_path.parent / target).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, (
+        f"{md_path.relative_to(REPO_ROOT)} has broken intra-repo links: {broken}"
+    )
+
+
+def test_required_docs_exist_and_are_linked_from_readme():
+    """The documentation set the README promises actually ships."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for doc in ("docs/architecture.md", "docs/benchmarks.md", "docs/usage.md"):
+        assert (REPO_ROOT / doc).exists(), f"{doc} is missing"
+        assert doc in readme, f"README does not link {doc}"

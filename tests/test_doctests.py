@@ -13,9 +13,13 @@ import pytest
 
 MODULE_NAMES = [
     "repro.core.allocation",
+    "repro.core.context",
     "repro.core.incremental",
+    "repro.core.robustness",
     "repro.core.transactions",
     "repro.core.workload",
+    "repro.parallel.encoding",
+    "repro.parallel.engine",
     "repro.templates.allocation",
     "repro.templates.robustness",
     "repro.templates.template",
