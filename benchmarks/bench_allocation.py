@@ -11,11 +11,12 @@ import time
 
 import pytest
 
-from conftest import print_table
+from conftest import PHASE_HEADERS, phase_rows, print_table
 from repro.core.allocation import optimal_allocation
 from repro.core.context import AnalysisContext, ConflictIndex
 from repro.core.isolation import Allocation, ORACLE_LEVELS, POSTGRES_LEVELS
 from repro.core.robustness import check_robustness
+from repro.observability import Tracer, use_tracer
 from repro.parallel import shutdown_pool
 from repro.workloads.generator import random_workload
 
@@ -168,6 +169,36 @@ def test_context_speedup_report(benchmark, capsys):
             ["|T|", "cold", "context", "speedup", "checks", "witness hits"],
             rows,
         )
+
+
+def test_phase_timing_report(benchmark, capsys):
+    """OBS table: where Algorithm 2 spends its time, per phase.
+
+    Runs the |T|=24 refinement once untraced and once under a live
+    :class:`~repro.observability.Tracer`, asserts the allocations are
+    identical (tracing must not change behaviour), and prints the
+    per-phase breakdown the tracer aggregated — the profiling hook of
+    the benchmark suite (EXPERIMENTS.md, OBS section).
+    """
+    wl = random_workload(transactions=24, objects=30, min_ops=2, max_ops=4, seed=13)
+
+    def compute():
+        baseline = optimal_allocation(wl, context=AnalysisContext(wl))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            traced = optimal_allocation(wl, context=AnalysisContext(wl))
+        assert traced == baseline, "tracing changed the computed optimum"
+        return tracer
+
+    tracer = benchmark.pedantic(compute, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table(
+            "OBS: Algorithm 2 phase timings (|T|=24, traced run)",
+            PHASE_HEADERS,
+            phase_rows(tracer.registry),
+        )
+    assert "allocation.optimal" in tracer.registry.timers
+    assert "robustness.scan_t1" in tracer.registry.timers
 
 
 def test_jobs_sweep_report(benchmark, capsys):

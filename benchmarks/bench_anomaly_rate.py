@@ -17,11 +17,32 @@ from repro.core.isolation import Allocation
 from repro.core.robustness import is_robust
 from repro.core.serialization import is_conflict_serializable
 from repro.core.workload import workload
-from repro.enumeration.sampling import estimate_anomaly_rate
+from repro.enumeration.sampling import estimate_anomaly_rate, sample_interleaving
 from repro.mvcc import run_workload, trace_to_schedule
+from repro.workloads.generator import random_workload
 
 SKEW = workload("R1[x] W1[y]", "R2[y] W2[x]")
 SKEW_PLUS_READER = workload("R1[x] W1[y]", "R2[y] W2[x]", "R3[x] R3[y]")
+
+
+@pytest.mark.parametrize("transactions", [10, 30, 60])
+def test_sampling_scaling(benchmark, transactions):
+    """Uniform interleaving draws over workload size.
+
+    The 30- and 60-transaction points exceed the ~170-total-operation
+    ceiling the old float-weighted sampler crashed at (``random.choices``
+    casts factorial weights to double); the integer sampler's cost per
+    draw is O(total ops x transactions) with small constants.
+    """
+    import random
+
+    wl = random_workload(
+        transactions=transactions, objects=transactions, min_ops=6, max_ops=6, seed=3
+    )
+    rng = random.Random(11)
+    order = benchmark(lambda: sample_interleaving(wl, rng))
+    assert len(order) == sum(len(txn.operations) for txn in wl)
+    benchmark.extra_info["total_ops"] = sum(len(t.operations) for t in wl)
 
 
 @pytest.mark.parametrize("level", ["RC", "SI", "SSI"])

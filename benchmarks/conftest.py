@@ -24,3 +24,28 @@ def print_table(title, headers, rows):
     print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
     for row in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def phase_rows(registry):
+    """A tracer registry as ``print_table`` rows, one per span name.
+
+    The profiling hook of the benches: run the workload under a
+    :class:`repro.observability.Tracer` and feed ``tracer.registry`` here
+    to see where the time went (columns: phase, count, total, mean, max).
+    """
+    rows = []
+    for name in sorted(registry.timers):
+        stat = registry.timers[name]
+        rows.append(
+            (
+                name,
+                stat.count,
+                f"{stat.total_s * 1e3:.2f}ms",
+                f"{stat.mean_s * 1e3:.3f}ms",
+                f"{stat.max_s * 1e3:.3f}ms",
+            )
+        )
+    return rows
+
+
+PHASE_HEADERS = ["phase", "count", "total", "mean", "max"]

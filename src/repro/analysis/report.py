@@ -15,6 +15,7 @@ from ..core.isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
 from ..core.robustness import Counterexample, RobustnessResult, check_robustness
 from ..core.serialization import SerializationGraph
 from ..core.workload import Workload
+from ..observability import MetricsRegistry
 from .render import render_schedule, render_serialization_graph, render_workload
 
 
@@ -132,6 +133,37 @@ def analysis_stats_report(stats: ContextStats) -> str:
     lines = ["Analysis statistics:"]
     for name, value in stats.as_dict().items():
         lines.append(f"  {name.replace('_', ' ')}: {value}")
+    return "\n".join(lines)
+
+
+def phase_timing_report(registry: "MetricsRegistry") -> str:
+    """Render a tracer's :class:`~repro.observability.MetricsRegistry`.
+
+    One line per span name (count / total / mean / max, in milliseconds)
+    plus the event counters — the per-phase breakdown ``--stats`` prints
+    when tracing is on.  Worker time is included: the parent re-records
+    absorbed worker spans into its registry, so totals reflect work done
+    wherever it ran (and can exceed wall-clock time under ``--jobs``).
+    """
+    lines = ["Phase timings:"]
+    timers = registry.timers
+    if not timers:
+        lines.append("  (no spans recorded)")
+    else:
+        width = max(len(name) for name in timers)
+        for name in sorted(timers):
+            stat = timers[name]
+            lines.append(
+                f"  {name:<{width}}  count={stat.count:<6}"
+                f" total={stat.total_s * 1e3:10.3f}ms"
+                f" mean={stat.mean_s * 1e3:9.3f}ms"
+                f" max={stat.max_s * 1e3:9.3f}ms"
+            )
+    counters = registry.counters
+    if counters:
+        lines.append("Event counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name}: {counters[name]}")
     return "\n".join(lines)
 
 

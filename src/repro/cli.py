@@ -38,6 +38,7 @@ from typing import List, Optional, Sequence
 from .analysis.report import (
     allocation_report,
     analysis_stats_report,
+    phase_timing_report,
     robustness_report,
 )
 from .core.allocation import optimal_allocation
@@ -46,6 +47,7 @@ from .core.isolation import Allocation, IsolationLevel
 from .core.robustness import check_robustness
 from .core.serialization import is_conflict_serializable
 from .core.workload import Workload, parse_workload
+from .observability import Tracer, current_tracer, use_tracer
 
 
 def _load_workload(path: str) -> Workload:
@@ -94,6 +96,19 @@ def _parse_jobs(value: str) -> Optional[int]:
     return jobs
 
 
+def _print_phase_timings() -> None:
+    """Append the per-phase breakdown to ``--stats`` output when tracing.
+
+    Without ``--trace`` the tracer is the no-op default and nothing is
+    printed, keeping ``--stats`` output byte-identical to earlier
+    releases.
+    """
+    tracer = current_tracer()
+    if tracer.enabled:
+        print()
+        print(phase_timing_report(tracer.registry))
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     workload = _load_workload(args.workload)
     allocation = _parse_allocation(workload, args.allocation, args.uniform)
@@ -117,6 +132,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.stats:
         print()
         print(analysis_stats_report(context.stats))
+        _print_phase_timings()
     return 0 if result.robust else 1
 
 
@@ -225,6 +241,7 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     if args.stats:
         print()
         print(analysis_stats_report(context.stats))
+        _print_phase_timings()
     return (
         0
         if optimal_allocation(workload, levels, context=context, n_jobs=args.jobs)
@@ -258,6 +275,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_trace_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "write a JSON span trace of the run to FILE (see"
+            " repro.observability.validate_trace for the schema)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -286,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N|auto",
         help="worker processes for the T1 scan (default 1: in-process)",
     )
+    _add_trace_flag(check)
     check.set_defaults(func=_cmd_check)
 
     stats = sub.add_parser("stats", help="structural contention statistics")
@@ -315,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     rate.add_argument("--uniform", help="one level for all transactions")
     rate.add_argument("--samples", type=int, default=300, help="interleavings drawn")
     rate.add_argument("--seed", type=int, default=0, help="RNG seed")
+    _add_trace_flag(rate)
     rate.set_defaults(func=_cmd_rate)
 
     templates = sub.add_parser(
@@ -348,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N|auto",
         help="worker processes for Algorithm 2's probes (default 1: in-process)",
     )
+    _add_trace_flag(allocate)
     allocate.set_defaults(func=_cmd_allocate)
 
     simulate = sub.add_parser("simulate", help="run the workload on the MVCC engine")
@@ -356,15 +387,32 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--uniform", help="one level for all transactions")
     simulate.add_argument("--seed", type=int, default=0, help="base RNG seed")
     simulate.add_argument("--runs", type=int, default=5, help="number of executions")
+    _add_trace_flag(simulate)
     simulate.set_defaults(func=_cmd_simulate)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    With ``--trace FILE`` the whole subcommand runs under a live
+    :class:`~repro.observability.Tracer` and the span trace is written to
+    ``FILE`` as JSON afterwards (even when the subcommand exits non-zero,
+    e.g. ``check`` finding a counterexample — the trace of a failing run
+    is usually the interesting one).  Without the flag the no-op tracer
+    stays installed and all output is byte-identical to a build without
+    tracing.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.func(args)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        status = args.func(args)
+    tracer.write(trace_path)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Tuple
 
+from ..observability import current_tracer
 from .context import AnalysisContext
 from .isolation import (
     Allocation,
@@ -145,15 +146,25 @@ def refine_allocation(
             return refine_allocation_parallel(
                 workload, start, ordered, n_jobs=jobs, context=ctx
             )
+    tracer = current_tracer()
     current = start
-    for tid in workload.tids:
-        for level in ordered:
-            if level >= current[tid]:
-                break
-            candidate = current.with_level(tid, level)
-            if _robust_with_warm_start(workload, candidate, method, ctx):
-                current = candidate
-                break
+    with tracer.span(
+        "allocation.refine", transactions=len(workload), jobs=1
+    ):
+        for tid in workload.tids:
+            with tracer.span("allocation.refine_txn", tid=tid) as txn_span:
+                for level in ordered:
+                    if level >= current[tid]:
+                        break
+                    candidate = current.with_level(tid, level)
+                    with tracer.span("allocation.probe", tid=tid, level=level.name):
+                        lowered = _robust_with_warm_start(
+                            workload, candidate, method, ctx
+                        )
+                    if lowered:
+                        current = candidate
+                        break
+                txn_span.set(level=current[tid].name)
     return current
 
 
@@ -190,13 +201,18 @@ def optimal_allocation(
     ctx = _resolve_context(workload, context)
     top = ordered[-1]
     start = Allocation.uniform(workload, top)
-    if top is not IsolationLevel.SSI and not is_robust(
-        workload, start, method=method, context=ctx, n_jobs=n_jobs
+    with current_tracer().span(
+        "allocation.optimal",
+        transactions=len(workload),
+        levels=[level.name for level in ordered],
     ):
-        return None
-    return refine_allocation(
-        workload, start, ordered, method=method, context=ctx, n_jobs=n_jobs
-    )
+        if top is not IsolationLevel.SSI and not is_robust(
+            workload, start, method=method, context=ctx, n_jobs=n_jobs
+        ):
+            return None
+        return refine_allocation(
+            workload, start, ordered, method=method, context=ctx, n_jobs=n_jobs
+        )
 
 
 def is_robustly_allocatable(

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from ..observability import current_tracer
 from .conflicts import conflicting_pairs, transactions_conflict
 from .isolation import Allocation
 from .operations import Operation
@@ -248,7 +249,8 @@ class AnalysisContext:
 
     def __init__(self, workload: Workload):
         self.workload = workload
-        self.index = ConflictIndex(workload)
+        with current_tracer().span("context.index_build", transactions=len(workload)):
+            self.index = ConflictIndex(workload)
         self.stats = ContextStats(index_builds=1)
         self._oracles: Dict[int, ReachabilityOracle] = {}
         self._candidates: Dict[Tuple[int, str], Tuple[Transaction, ...]] = {}
@@ -275,7 +277,8 @@ class AnalysisContext:
         if cached is not None:
             self.stats.oracle_hits += 1
             return cached
-        oracle = ReachabilityOracle(self.index, t1)
+        with current_tracer().span("context.oracle_build", t1=t1.tid):
+            oracle = ReachabilityOracle(self.index, t1)
         self._oracles[t1.tid] = oracle
         self.stats.oracle_builds += 1
         return oracle
@@ -321,6 +324,7 @@ class AnalysisContext:
     def record_check(self) -> None:
         """Count one full robustness check executed through the context."""
         self.stats.checks += 1
+        current_tracer().count("robustness.checks")
 
     # -- counterexample-guided warm starts -----------------------------
     def add_witness(self, spec) -> None:
@@ -348,5 +352,6 @@ class AnalysisContext:
         for spec in self._witnesses:
             if not condition_failures(spec, self.workload, allocation):
                 self.stats.witness_hits += 1
+                current_tracer().count("context.witness_hits")
                 return spec
         return None

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from ..observability import current_tracer
 from .allocation import _robust_with_warm_start, refine_allocation
 from .context import AnalysisContext, ContextStats
 from .isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
@@ -146,6 +147,15 @@ class AllocationManager:
         if transaction.tid in self._transactions:
             raise WorkloadError(f"transaction {transaction.tid} already present")
         self._transactions[transaction.tid] = transaction
+        with current_tracer().span(
+            "incremental.add", tid=transaction.tid, size=len(self._transactions)
+        ) as add_span:
+            allocation = self._add(transaction)
+            add_span.set(checks=self._last_check_count)
+        return allocation
+
+    def _add(self, transaction: Transaction) -> Allocation:
+        """The :meth:`add` refinement body (spanned by the wrapper)."""
         workload = self.workload
         ctx = self._fresh_context(workload)
         top = self._levels[-1]
@@ -212,18 +222,22 @@ class AllocationManager:
         if tid not in self._transactions:
             raise WorkloadError(f"no transaction with id {tid}")
         del self._transactions[tid]
-        workload = self.workload
-        ctx = self._fresh_context(workload)
-        start = Allocation({t: self._allocation[t] for t in workload.tids})
-        self._allocation = refine_allocation(
-            workload,
-            start,
-            self._levels,
-            method=self._method,
-            context=ctx,
-            n_jobs=self._n_jobs,
-        )
-        self._last_check_count = ctx.stats.checks
+        with current_tracer().span(
+            "incremental.remove", tid=tid, size=len(self._transactions)
+        ) as remove_span:
+            workload = self.workload
+            ctx = self._fresh_context(workload)
+            start = Allocation({t: self._allocation[t] for t in workload.tids})
+            self._allocation = refine_allocation(
+                workload,
+                start,
+                self._levels,
+                method=self._method,
+                context=ctx,
+                n_jobs=self._n_jobs,
+            )
+            self._last_check_count = ctx.stats.checks
+            remove_span.set(checks=self._last_check_count)
         return self._allocation
 
     def check(self, allocation: Allocation) -> bool:

@@ -51,6 +51,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from ..observability import current_tracer
 from .conflicts import ConflictQuadruple, rw_conflicting
 from .context import (
     AnalysisContext,
@@ -331,12 +332,20 @@ def check_robustness(
             )
     ctx = _resolve_context(workload, context)
     ctx.record_check()
-    for t1 in workload:
-        for spec in _scan_t1(ctx, allocation, t1, method):
-            schedule = materialize(spec, workload, allocation)
-            return RobustnessResult(
-                False, Counterexample(spec, schedule, allocation)
-            )
+    tracer = current_tracer()
+    with tracer.span(
+        "robustness.check", transactions=len(workload), method=method, jobs=1
+    ) as check_span:
+        for t1 in workload:
+            with tracer.span("robustness.scan_t1", t1=t1.tid):
+                spec = next(_scan_t1(ctx, allocation, t1, method), None)
+            if spec is not None:
+                check_span.set(robust=False)
+                schedule = materialize(spec, workload, allocation)
+                return RobustnessResult(
+                    False, Counterexample(spec, schedule, allocation)
+                )
+        check_span.set(robust=True)
     return RobustnessResult(True)
 
 
@@ -386,15 +395,20 @@ def check_robustness_delta(
         raise WorkloadError(f"no transaction with id {delta_tid}")
     ctx = _resolve_context(workload, context)
     ctx.record_check()
-    neighbours = ctx.index.conflict_neighbours(delta_tid)
-    for t1 in workload:
-        if t1.tid != delta_tid and t1.tid not in neighbours:
-            continue
-        for spec in _scan_t1_delta(ctx, allocation, t1, delta_tid):
-            schedule = materialize(spec, workload, allocation)
-            return RobustnessResult(
-                False, Counterexample(spec, schedule, allocation)
-            )
+    with current_tracer().span(
+        "robustness.check_delta", transactions=len(workload), delta_tid=delta_tid
+    ) as check_span:
+        neighbours = ctx.index.conflict_neighbours(delta_tid)
+        for t1 in workload:
+            if t1.tid != delta_tid and t1.tid not in neighbours:
+                continue
+            for spec in _scan_t1_delta(ctx, allocation, t1, delta_tid):
+                check_span.set(robust=False)
+                schedule = materialize(spec, workload, allocation)
+                return RobustnessResult(
+                    False, Counterexample(spec, schedule, allocation)
+                )
+        check_span.set(robust=True)
     return RobustnessResult(True)
 
 
@@ -513,8 +527,17 @@ def enumerate_counterexamples(
             return
     ctx = _resolve_context(workload, context)
     ctx.record_check()
+    tracer = current_tracer()
     for t1 in workload:
-        for spec in _scan_t1(ctx, allocation, t1, "components"):
+        if tracer.enabled:
+            # Drain the scan inside its span so the recorded duration is
+            # scan time, not consumer time between yields.  The yielded
+            # sequence is identical either way.
+            with tracer.span("robustness.scan_t1", t1=t1.tid, survey=True):
+                specs = list(_scan_t1(ctx, allocation, t1, "components"))
+        else:
+            specs = _scan_t1(ctx, allocation, t1, "components")
+        for spec in specs:
             yield _spec_to_counterexample(
                 spec, workload, allocation, materialize_schedules
             )

@@ -10,14 +10,19 @@ MVCC simulator's observations.
 Sampling is uniform over interleavings: at each step the next operation is
 drawn among the transactions with remaining operations, weighted by the
 number of completions each choice admits (the exact uniform measure, via
-multinomial counting).
+multinomial counting).  The weights collapse to the remaining operation
+counts themselves — see :func:`sample_interleaving` — so the draw uses
+exact small-integer arithmetic at any workload size.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
+from functools import lru_cache
+from itertools import accumulate
 from typing import List, Tuple
 
 from ..core.allowed import is_allowed
@@ -26,36 +31,58 @@ from ..core.operations import Operation
 from ..core.schedules import canonical_schedule
 from ..core.serialization import is_conflict_serializable
 from ..core.workload import Workload
+from ..observability import current_tracer
+
+
+_factorial = lru_cache(maxsize=None)(math.factorial)
 
 
 def _completions(remaining: List[int]) -> int:
-    """Number of interleavings of sequences with the given remaining lengths."""
-    total = math.factorial(sum(remaining))
+    """Number of interleavings of sequences with the given remaining lengths.
+
+    The multinomial coefficient ``(sum r_i)! / prod r_i!``, on memoized
+    factorials.  Kept as the reference count the tests cross-check the
+    sampling weights against; :func:`sample_interleaving` itself never
+    computes it.
+    """
+    total = _factorial(sum(remaining))
     for count in remaining:
-        total //= math.factorial(count)
+        total //= _factorial(count)
     return total
 
 
 def sample_interleaving(
     workload: Workload, rng: random.Random
 ) -> Tuple[Operation, ...]:
-    """One interleaving drawn uniformly from the interleaving space."""
+    """One interleaving drawn uniformly from the interleaving space.
+
+    At each step the uniform measure weights transaction ``i`` by the
+    number of completions admitted after emitting its next operation,
+    ``_completions(remaining - e_i)``.  That multinomial satisfies::
+
+        _completions(remaining - e_i) == _completions(remaining) * r_i / N
+
+    (``N = sum(remaining)``), so the weights are *proportional to the
+    remaining counts themselves* and the draw reduces to one exact
+    integer ``randrange(N)`` resolved against the cumulative counts.
+
+    Earlier revisions materialized the factorial weights and fed them to
+    ``random.choices``, which converts weights to ``float`` — an
+    ``OverflowError`` once the workload exceeds ~170 total operations
+    (``171!`` overflows a double) and O(steps x txns) bignum factorial
+    work below that.  The integer draw is exact at any size.
+    """
     sequences = [list(txn.operations) for txn in workload]
     remaining = [len(seq) for seq in sequences]
+    total = sum(remaining)
     order: List[Operation] = []
-    while any(remaining):
-        weights = []
-        for index, count in enumerate(remaining):
-            if count == 0:
-                weights.append(0)
-                continue
-            remaining[index] -= 1
-            weights.append(_completions(remaining))
-            remaining[index] += 1
-        choice = rng.choices(range(len(sequences)), weights)[0]
+    while total:
+        target = rng.randrange(total)
+        choice = bisect_right(list(accumulate(remaining)), target)
         position = len(sequences[choice]) - remaining[choice]
         order.append(sequences[choice][position])
         remaining[choice] -= 1
+        total -= 1
     return tuple(order)
 
 
@@ -105,12 +132,16 @@ def estimate_anomaly_rate(
     rng = random.Random(seed)
     allowed_count = 0
     anomalous = 0
-    for _ in range(samples):
-        order = sample_interleaving(workload, rng)
-        schedule = canonical_schedule(workload, order, allocation)
-        if not is_allowed(schedule, allocation):
-            continue
-        allowed_count += 1
-        if not is_conflict_serializable(schedule):
-            anomalous += 1
+    with current_tracer().span(
+        "sampling.estimate", transactions=len(workload), samples=samples
+    ) as estimate_span:
+        for _ in range(samples):
+            order = sample_interleaving(workload, rng)
+            schedule = canonical_schedule(workload, order, allocation)
+            if not is_allowed(schedule, allocation):
+                continue
+            allowed_count += 1
+            if not is_conflict_serializable(schedule):
+                anomalous += 1
+        estimate_span.set(allowed=allowed_count, anomalous=anomalous)
     return AnomalyEstimate(samples, allowed_count, anomalous)

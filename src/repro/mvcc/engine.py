@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
 from ..core.isolation import IsolationLevel
+from ..observability import current_tracer
 from .storage import Version, VersionedStore
 
 
@@ -240,6 +241,7 @@ class MVCCEngine:
                 del self._intents[obj]
         self._committed[tid] = candidate
         del self._active[tid]
+        current_tracer().count("mvcc.commits")
         return self._commit_clock
 
     def abort(self, tid: int) -> None:
@@ -253,6 +255,7 @@ class MVCCEngine:
         for obj in txn.writes:
             if self._intents.get(obj) == tid:
                 del self._intents[obj]
+        current_tracer().count("mvcc.aborts")
 
     # ------------------------------------------------------------------
     # SSI dangerous-structure detection

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.isolation import Allocation
 from ..core.transactions import Transaction
 from ..core.workload import Workload
+from ..observability import current_tracer
 from .engine import MVCCEngine, TransactionAborted, TransactionBlocked
 from .trace import Trace, TraceEvent
 
@@ -127,12 +128,22 @@ class InterleavingScheduler:
     # ------------------------------------------------------------------
     def run(self) -> Trace:
         """Run the workload to completion and return the execution trace."""
-        while not all(session.done for session in self._sessions):
-            session = self._pick_session()
-            if session is None:
-                self._break_deadlock()
-                continue
-            self._step(session)
+        with current_tracer().span(
+            "mvcc.run",
+            transactions=len(self.workload),
+            sessions=len(self._sessions),
+        ) as run_span:
+            while not all(session.done for session in self._sessions):
+                session = self._pick_session()
+                if session is None:
+                    self._break_deadlock()
+                    continue
+                self._step(session)
+            run_span.set(
+                commits=self.stats.commits,
+                aborts=self.stats.total_aborts,
+                ticks=self.stats.ticks,
+            )
         return self.trace
 
     # ------------------------------------------------------------------

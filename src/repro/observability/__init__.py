@@ -1,0 +1,53 @@
+"""Observability for the analysis engines: spans, metrics, trace export.
+
+Everything the ``--trace``/``--stats`` CLI flags and the benchmark
+profiling hooks build on:
+
+* :class:`Tracer` / :class:`NullTracer` — span recording with nesting,
+  a no-op stand-in installed by default (zero behavior change, near-zero
+  cost when disabled);
+* :class:`MetricsRegistry` — per-phase timers plus named counters,
+  aggregated from the span stream and from worker counter deltas;
+* :func:`use_tracer` / :func:`current_tracer` — the module-global
+  current tracer the instrumented hot paths record into;
+* :func:`validate_trace` / :func:`validate_trace_file` — the documented
+  JSON export schema, enforced by tests and CI's trace smoke step.
+
+See ``docs/architecture.md`` (Observability section) for the span model
+and the worker batch merge.
+"""
+
+from .metrics import MetricsRegistry, TimerStat
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanBatch,
+    SpanRecord,
+    SpanTuple,
+    TRACE_VERSION,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+    validate_trace,
+    validate_trace_file,
+    worker_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanBatch",
+    "SpanRecord",
+    "SpanTuple",
+    "TRACE_VERSION",
+    "TimerStat",
+    "Tracer",
+    "current_tracer",
+    "set_tracer",
+    "use_tracer",
+    "validate_trace",
+    "validate_trace_file",
+    "worker_tracer",
+]

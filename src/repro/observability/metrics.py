@@ -1,0 +1,131 @@
+"""Counters and timers aggregated per phase name.
+
+The registry is the *aggregate* view of the span stream: every finished
+span records its duration under its name, so ``--stats`` can print a
+per-phase breakdown (count / total / mean / max) without replaying the
+trace.  Counters are plain named integers — the tracer counts events
+(cache hits, MVCC commits, worker dispatches) that have no duration.
+
+Workers aggregate into their own registries; the parent folds them in
+via :meth:`MetricsRegistry.merge` when span batches come back with the
+results, so totals always report work actually done, wherever it ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+
+@dataclass
+class TimerStat:
+    """Aggregate timing of one phase (one span name).
+
+    Attributes:
+        count: completed spans with this name.
+        total_s: summed duration in seconds.
+        min_s: shortest single span.
+        max_s: longest single span.
+    """
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        """Mean span duration in seconds (0.0 when nothing recorded)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def record(self, seconds: float) -> None:
+        """Fold one span duration into the aggregate."""
+        if self.count == 0 or seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+        self.count += 1
+        self.total_s += seconds
+
+    def merge(self, other: "TimerStat") -> None:
+        """Fold another aggregate (a worker's) into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0 or other.min_s < self.min_s:
+            self.min_s = other.min_s
+        if other.max_s > self.max_s:
+            self.max_s = other.max_s
+        self.count += other.count
+        self.total_s += other.total_s
+
+    def as_dict(self) -> Dict[str, float]:
+        """The aggregate as a plain JSON-ready dict."""
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and per-phase timers.
+
+    Examples:
+        >>> registry = MetricsRegistry()
+        >>> registry.incr("cache.hits", 3)
+        >>> registry.record("scan", 0.25)
+        >>> registry.record("scan", 0.75)
+        >>> registry.counters["cache.hits"], registry.timers["scan"].count
+        (3, 2)
+        >>> registry.timers["scan"].mean_s
+        0.5
+    """
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, TimerStat] = {}
+        self._counters: Dict[str, int] = {}
+
+    @property
+    def timers(self) -> Dict[str, TimerStat]:
+        """Per-phase timing aggregates by span name."""
+        return self._timers
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Named event counters."""
+        return self._counters
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named counter (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def record(self, name: str, seconds: float) -> None:
+        """Fold one duration into the named timer (created empty)."""
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = TimerStat()
+        timer.record(seconds)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry (typically a worker's) into this one."""
+        for name, timer in other._timers.items():
+            mine = self._timers.get(name)
+            if mine is None:
+                mine = self._timers[name] = TimerStat()
+            mine.merge(timer)
+        self.merge_counters(other._counters)
+
+    def merge_counters(self, counters: Mapping[str, int]) -> None:
+        """Fold a plain counter mapping (a shipped worker delta) in."""
+        for name, value in counters.items():
+            self.incr(name, value)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Both tables as plain JSON-ready dicts (sorted by name)."""
+        return {
+            "counters": {name: self._counters[name] for name in sorted(self._counters)},
+            "timers": {
+                name: self._timers[name].as_dict() for name in sorted(self._timers)
+            },
+        }

@@ -1,0 +1,449 @@
+"""Span-based tracing for the analysis engines.
+
+A *span* is one timed phase of work — a robustness check, one ``T_1``
+split-schedule scan, one Algorithm 2 downgrade probe, one parallel chunk
+on a worker, one MVCC simulation run.  Spans nest (each records its
+parent), so an exported trace is a forest mirroring the call structure:
+
+    robustness.check
+      robustness.scan_t1 (t1=1)
+      robustness.scan_t1 (t1=2)
+      parallel.dispatch
+      parallel.merge
+      parallel.chunk (origin=worker-4711)
+        robustness.scan_t1 (t1=3)
+
+The module-global *current tracer* is a :class:`NullTracer` by default:
+every instrumentation point in the hot paths costs one attribute lookup
+and a no-op method call, and — the contract the equivalence tests pin —
+**no behavior changes whether tracing is on or off**.  Enable tracing by
+installing a recording :class:`Tracer` (the CLI's ``--trace`` flag does
+this via :func:`use_tracer`).
+
+Worker processes cannot share the parent's tracer.  Instead the parallel
+engine passes a ``trace`` flag with each task; the worker records into a
+private tracer and ships the finished spans back with its result as a
+compact picklable *batch* (see :mod:`repro.parallel.encoding`), which the
+parent re-parents under its own dispatching span via
+:meth:`Tracer.absorb`.  Worker clocks are monotonic per process, so span
+*starts* are only comparable within one ``origin``; durations always are.
+
+The exported JSON schema is documented on :data:`TRACE_VERSION` /
+:func:`validate_trace` and checked by CI's trace-export smoke step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .metrics import MetricsRegistry
+
+#: Version stamp of the exported JSON trace format (see :func:`validate_trace`).
+TRACE_VERSION = 1
+
+#: Wire form of one span: ``(span_id, parent_id, name, start_s,
+#: duration_s, origin, ((attr, value), ...))`` — plain ints, floats and
+#: strings, cheap to pickle across the worker handshake.
+SpanTuple = Tuple[int, Optional[int], str, float, float, str, tuple]
+
+#: A worker's shipped trace: its finished span tuples plus its counter
+#: table.  ``()`` when the task ran with tracing disabled.
+SpanBatch = Union[Tuple[()], Tuple[Tuple[SpanTuple, ...], Tuple[Tuple[str, int], ...]]]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span.
+
+    Attributes:
+        span_id: unique id within the owning tracer.
+        parent_id: enclosing span's id, ``None`` for a root.
+        name: phase name (dotted, e.g. ``"robustness.scan_t1"``).
+        start_s: start on the origin's monotonic clock (perf_counter).
+        duration_s: wall-clock duration in seconds.
+        origin: ``"main"`` or ``"worker-<pid>"`` — whose clock ``start_s``
+            belongs to.
+        attrs: scalar annotations (transaction ids, worker counts, ...).
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_s: float
+    duration_s: float
+    origin: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def as_tuple(self) -> SpanTuple:
+        """The compact picklable wire form (see :data:`SpanTuple`)."""
+        return (
+            self.span_id,
+            self.parent_id,
+            self.name,
+            self.start_s,
+            self.duration_s,
+            self.origin,
+            tuple(sorted(self.attrs.items())),
+        )
+
+    @classmethod
+    def from_tuple(cls, data: SpanTuple) -> "SpanRecord":
+        """Rebuild a record from :meth:`as_tuple` output."""
+        span_id, parent_id, name, start_s, duration_s, origin, attrs = data
+        return cls(span_id, parent_id, name, start_s, duration_s, origin, dict(attrs))
+
+    def as_event(self) -> Dict[str, object]:
+        """The JSON event object of the exported trace."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "origin": self.origin,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """The shared do-nothing span handle of :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    #: Null spans have no identity; ``absorb`` callers must not use this.
+    span_id: Optional[int] = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> None:
+        """Discard annotations (tracing is disabled)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Installed by default, so instrumentation points in hot code cost one
+    method call and never allocate.  ``enabled`` lets call sites with
+    non-trivial setup (building attribute dicts, restructuring a loop)
+    skip it entirely.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        """A no-op context manager (always the same shared instance)."""
+        return _NULL_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Discard the event count."""
+
+    def absorb(self, batch: SpanBatch, parent_id: Optional[int] = None) -> None:
+        """Discard a worker batch."""
+
+    def batch(self) -> SpanBatch:
+        """Nothing to ship."""
+        return ()
+
+
+#: The process-wide disabled tracer (also what workers use by default).
+NULL_TRACER = NullTracer()
+
+
+class _ActiveSpan:
+    """Context manager recording one span on a :class:`Tracer`."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "span_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self.span_id: Optional[int] = None
+        self._start = 0.0
+
+    def set(self, **attrs: object) -> None:
+        """Annotate the span (e.g. the outcome, once known)."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        tracer._stack.append(self.span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        end = time.perf_counter()
+        tracer = self._tracer
+        tracer._stack.pop()
+        parent = tracer._stack[-1] if tracer._stack else None
+        duration = end - self._start
+        assert self.span_id is not None
+        tracer.spans.append(
+            SpanRecord(
+                self.span_id,
+                parent,
+                self._name,
+                self._start,
+                duration,
+                tracer.origin,
+                self._attrs,
+            )
+        )
+        tracer.registry.record(self._name, duration)
+        return False
+
+
+class Tracer:
+    """A recording tracer: spans, plus the aggregate metrics registry.
+
+    Examples:
+        >>> tracer = Tracer(origin="doctest")
+        >>> with tracer.span("outer", size=2):
+        ...     with tracer.span("inner"):
+        ...         tracer.count("events")
+        >>> [s.name for s in tracer.spans]
+        ['inner', 'outer']
+        >>> tracer.spans[0].parent_id == tracer.spans[1].span_id
+        True
+        >>> tracer.registry.counters["events"]
+        1
+    """
+
+    enabled = True
+
+    def __init__(self, origin: Optional[str] = None):
+        self.origin = origin if origin is not None else "main"
+        self.spans: List[SpanRecord] = []
+        self.registry = MetricsRegistry()
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        """A context manager timing one phase; nests under the active span."""
+        return _ActiveSpan(self, name, attrs)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Count an event with no duration (cache hit, commit, dispatch)."""
+        self.registry.incr(name, n)
+
+    # -- the worker handshake ------------------------------------------
+    def batch(self) -> SpanBatch:
+        """The finished spans + counters in picklable wire form.
+
+        What a worker returns alongside its task result; the parent folds
+        it in with :meth:`absorb`.  Timer aggregates are *not* shipped —
+        the parent re-derives them from the span durations, so nothing is
+        double-counted.
+        """
+        return (
+            tuple(record.as_tuple() for record in self.spans),
+            tuple(sorted(self.registry.counters.items())),
+        )
+
+    def absorb(self, batch: SpanBatch, parent_id: Optional[int] = None) -> None:
+        """Fold a worker's shipped batch into this tracer.
+
+        Incoming spans are re-identified (ids are tracer-local), their
+        internal parent/child structure is preserved, and batch roots are
+        attached under ``parent_id`` (typically the span that dispatched
+        the chunk).  Durations land in the registry; counters merge.
+        """
+        if not batch:
+            return
+        span_tuples, counters = batch
+        records = [SpanRecord.from_tuple(data) for data in span_tuples]
+        # Two passes: spans arrive in completion order, so a child precedes
+        # its parent — all fresh ids must be assigned before any parent
+        # reference can be remapped.
+        id_map: Dict[int, int] = {}
+        for record in records:
+            id_map[record.span_id] = self._next_id
+            record.span_id = self._next_id
+            self._next_id += 1
+        for record in records:
+            if record.parent_id in id_map:
+                record.parent_id = id_map[record.parent_id]
+            else:
+                record.parent_id = parent_id
+            self.spans.append(record)
+            self.registry.record(record.name, record.duration_s)
+        self.registry.merge_counters(dict(counters))
+
+    # -- export --------------------------------------------------------
+    def export(self) -> Dict[str, object]:
+        """The full trace as a JSON-ready dict (see :func:`validate_trace`)."""
+        return {
+            "version": TRACE_VERSION,
+            "clock": "perf_counter",
+            "origin": self.origin,
+            "spans": [record.as_event() for record in self.spans],
+            "metrics": self.registry.as_dict(),
+        }
+
+    def write(self, path: Union[str, Path]) -> None:
+        """Write the exported trace as JSON to ``path``."""
+        Path(path).write_text(
+            json.dumps(self.export(), indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+
+# ---------------------------------------------------------------------------
+# The current tracer
+# ---------------------------------------------------------------------------
+
+_current: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def current_tracer() -> Union[Tracer, NullTracer]:
+    """The tracer instrumentation points record into (NullTracer by default)."""
+    return _current
+
+
+def set_tracer(tracer: Union[Tracer, NullTracer]) -> Union[Tracer, NullTracer]:
+    """Install ``tracer`` as current; returns the previous one."""
+    global _current
+    previous = _current
+    _current = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Union[Tracer, NullTracer]) -> Iterator[Union[Tracer, NullTracer]]:
+    """Install ``tracer`` for the duration of the block, then restore.
+
+    Examples:
+        >>> tracer = Tracer()
+        >>> with use_tracer(tracer):
+        ...     current_tracer() is tracer
+        True
+        >>> current_tracer() is NULL_TRACER
+        True
+    """
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def worker_tracer(trace: bool) -> Union[Tracer, NullTracer]:
+    """The tracer a worker task records into: per-pid origin, or the null one."""
+    if not trace:
+        return NULL_TRACER
+    return Tracer(origin=f"worker-{os.getpid()}")
+
+
+# ---------------------------------------------------------------------------
+# Trace validation (the documented export schema)
+# ---------------------------------------------------------------------------
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+_SPAN_FIELDS = {
+    "span_id": int,
+    "parent_id": (int, type(None)),
+    "name": str,
+    "start_s": (int, float),
+    "duration_s": (int, float),
+    "origin": str,
+    "attrs": dict,
+}
+
+_TIMER_FIELDS = {"count": int, "total_s": (int, float), "min_s": (int, float), "max_s": (int, float)}
+
+
+def _fail(message: str) -> None:
+    raise ValueError(f"invalid trace: {message}")
+
+
+def validate_trace(data: object) -> None:
+    """Validate an exported trace against the documented schema.
+
+    The schema (version :data:`TRACE_VERSION`):
+
+    * top level: ``{"version": 1, "clock": str, "origin": str,
+      "spans": [...], "metrics": {"counters": {...}, "timers": {...}}}``;
+    * each span: ``span_id`` (int, unique), ``parent_id`` (int id of
+      another span, or null for roots), ``name`` (non-empty str),
+      ``start_s``/``duration_s`` (numbers, duration >= 0), ``origin``
+      (str), ``attrs`` (object mapping str to scalars);
+    * metrics: ``counters`` maps str to int; ``timers`` maps str to
+      ``{"count", "total_s", "min_s", "max_s"}`` numbers.
+
+    Raises :class:`ValueError` on the first violation; returns ``None``
+    on success (used by tests and CI's trace-export smoke step).
+    """
+    if not isinstance(data, dict):
+        _fail("top level must be a JSON object")
+    if data.get("version") != TRACE_VERSION:
+        _fail(f"version must be {TRACE_VERSION}, got {data.get('version')!r}")
+    for key, kind in (("clock", str), ("origin", str), ("spans", list), ("metrics", dict)):
+        if not isinstance(data.get(key), kind):
+            _fail(f"{key!r} must be a {kind.__name__}")
+    seen_ids: set = set()
+    spans: Sequence = data["spans"]
+    for position, span in enumerate(spans):
+        if not isinstance(span, dict):
+            _fail(f"span #{position} must be an object")
+        for name, kind in _SPAN_FIELDS.items():
+            if name not in span:
+                _fail(f"span #{position} misses {name!r}")
+            if not isinstance(span[name], kind) or isinstance(span[name], bool):
+                _fail(f"span #{position} field {name!r} has wrong type")
+        if not span["name"]:
+            _fail(f"span #{position} has an empty name")
+        if span["duration_s"] < 0:
+            _fail(f"span #{position} has negative duration")
+        if span["span_id"] in seen_ids:
+            _fail(f"duplicate span_id {span['span_id']}")
+        seen_ids.add(span["span_id"])
+        for attr, value in span["attrs"].items():
+            if not isinstance(attr, str):
+                _fail(f"span #{position} attr keys must be strings")
+            if not isinstance(value, _SCALAR_TYPES) and not (
+                isinstance(value, list)
+                and all(isinstance(item, _SCALAR_TYPES) for item in value)
+            ):
+                _fail(f"span #{position} attr {attr!r} is not a scalar (or scalar list)")
+    for position, span in enumerate(spans):
+        parent = span["parent_id"]
+        if parent is not None and parent not in seen_ids:
+            _fail(f"span #{position} parent_id {parent} is not a span_id in the trace")
+    metrics = data["metrics"]
+    if not isinstance(metrics.get("counters"), dict):
+        _fail("'metrics.counters' must be an object")
+    for name, value in metrics["counters"].items():
+        if not isinstance(name, str) or not isinstance(value, int) or isinstance(value, bool):
+            _fail(f"counter {name!r} must map a string to an integer")
+    if not isinstance(metrics.get("timers"), dict):
+        _fail("'metrics.timers' must be an object")
+    for name, timer in metrics["timers"].items():
+        if not isinstance(timer, dict):
+            _fail(f"timer {name!r} must be an object")
+        for tfield, kind in _TIMER_FIELDS.items():
+            if not isinstance(timer.get(tfield), kind) or isinstance(timer.get(tfield), bool):
+                _fail(f"timer {name!r} field {tfield!r} has wrong type")
+
+
+def validate_trace_file(path: Union[str, Path]) -> Dict[str, object]:
+    """Load and validate a ``--trace`` JSON export; returns the parsed trace."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    validate_trace(data)
+    return data

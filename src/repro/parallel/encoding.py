@@ -23,8 +23,9 @@ Examples:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Tuple, Union
 
+from ..observability import NullTracer, SpanBatch, SpanRecord, Tracer
 from ..core.conflicts import ConflictQuadruple
 from ..core.isolation import Allocation
 from ..core.split_schedule import SplitScheduleSpec
@@ -84,3 +85,22 @@ def decode_spec(encoding: SpecEncoding) -> SplitScheduleSpec:
         a = parse_schedule_operations(a_text)[0]
         chain.append(ConflictQuadruple(tid_i, b, a, tid_j))
     return SplitScheduleSpec(tuple(chain))
+
+
+def encode_span_batch(tracer: Union[Tracer, NullTracer]) -> SpanBatch:
+    """A worker tracer's finished spans + counters in wire form.
+
+    Span ids in the batch are worker-local; the parent re-identifies and
+    re-parents them on :meth:`~repro.observability.Tracer.absorb`.  The
+    empty tuple (tracing disabled — the common case) pickles to a few
+    bytes, keeping the handshake overhead invisible.
+    """
+    return tracer.batch()
+
+
+def decode_span_batch(batch: SpanBatch) -> Tuple[SpanRecord, ...]:
+    """The batch's spans as records (diagnostics; ``absorb`` is the fast path)."""
+    if not batch:
+        return ()
+    span_tuples, _counters = batch
+    return tuple(SpanRecord.from_tuple(data) for data in span_tuples)

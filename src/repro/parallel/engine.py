@@ -35,6 +35,16 @@ If the pool breaks (a worker killed by the OS, an unpicklable object —
 never expected with our encodings), the engine falls back to the
 sequential path with a :class:`RuntimeWarning` instead of failing the
 analysis.
+
+When the parent traces (``current_tracer().enabled``), every task is
+submitted with ``trace=True``: workers record their chunk spans into
+per-task tracers and ship the batches back with their results; the
+parent :meth:`~repro.observability.Tracer.absorb`\\ s each batch under
+the span that dispatched it.  Worker spans keep their own origin
+(``worker-<pid>``), so their start offsets are only comparable within
+one worker — durations and parentage are origin-independent.  With
+tracing off the flag is ``False`` and workers ship empty batches; the
+results themselves are unaffected either way.
 """
 
 from __future__ import annotations
@@ -55,6 +65,7 @@ from ..core.robustness import (
 )
 from ..core.split_schedule import SplitScheduleSpec
 from ..core.workload import Workload, WorkloadError
+from ..observability import current_tracer
 from .encoding import decode_spec, encode_allocation, encode_workload
 from .worker import probe_chunk, scan_chunk
 
@@ -193,36 +204,57 @@ def check_robustness_parallel(
     tids = workload.tids
     if not tids:
         return RobustnessResult(True)
-    chunks = _contiguous_chunks(tids, max(2, n_jobs))
-    wl_enc = encode_workload(workload)
-    alloc_enc = encode_allocation(allocation)
-    try:
-        executor = _get_executor(n_jobs)
-        futures: Dict[Future, int] = {
-            executor.submit(scan_chunk, wl_enc, alloc_enc, chunk, False): i
-            for i, chunk in enumerate(chunks)
-        }
-        best: Optional[Tuple[int, int, tuple]] = None  # (chunk, t1_tid, spec)
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                index = futures[future]
-                if future.cancelled():
-                    continue
-                result, delta = future.result()
-                ctx.stats.merge(delta)
-                if result is not None and (best is None or index < best[0]):
-                    best = (index, result[0], result[1])
-                    for other, other_index in futures.items():
-                        if other_index > index:
-                            other.cancel()
-                    pending = {f for f in pending if not f.cancelled()}
-    except BrokenProcessPool as exc:
-        _broken_pool_fallback(exc)
-        from ..core.robustness import check_robustness
+    tracer = current_tracer()
+    with tracer.span(
+        "robustness.check",
+        transactions=len(workload),
+        jobs=n_jobs,
+        parallel=True,
+    ) as check_span:
+        chunks = _contiguous_chunks(tids, max(2, n_jobs))
+        try:
+            with tracer.span(
+                "parallel.dispatch", chunks=len(chunks), jobs=n_jobs
+            ):
+                wl_enc = encode_workload(workload)
+                alloc_enc = encode_allocation(allocation)
+                executor = _get_executor(n_jobs)
+                futures: Dict[Future, int] = {
+                    executor.submit(
+                        scan_chunk, wl_enc, alloc_enc, chunk, False,
+                        tracer.enabled,
+                    ): i
+                    for i, chunk in enumerate(chunks)
+                }
+            best: Optional[Tuple[int, int, tuple]] = None  # (chunk, t1, spec)
+            pending = set(futures)
+            with tracer.span("parallel.merge", chunks=len(chunks)):
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = futures[future]
+                        if future.cancelled():
+                            continue
+                        result, delta, batch = future.result()
+                        ctx.stats.merge(delta)
+                        tracer.absorb(batch, parent_id=check_span.span_id)
+                        if result is not None and (
+                            best is None or index < best[0]
+                        ):
+                            best = (index, result[0], result[1])
+                            for other, other_index in futures.items():
+                                if other_index > index:
+                                    other.cancel()
+                            pending = {f for f in pending if not f.cancelled()}
+        except BrokenProcessPool as exc:
+            _broken_pool_fallback(exc)
+            from ..core.robustness import check_robustness
 
-        return check_robustness(workload, allocation, context=ctx, n_jobs=1)
+            check_span.set(fallback=True)
+            return check_robustness(
+                workload, allocation, context=ctx, n_jobs=1
+            )
+        check_span.set(robust=best is None)
     if best is None:
         return RobustnessResult(True)
     spec = decode_spec(best[2])
@@ -251,20 +283,28 @@ def enumerate_specs_parallel(
     tids = workload.tids
     if not tids:
         return
+    tracer = current_tracer()
     chunks = _contiguous_chunks(tids, max(2, n_jobs))
-    wl_enc = encode_workload(workload)
-    alloc_enc = encode_allocation(allocation)
     try:
-        executor = _get_executor(n_jobs)
-        futures = [
-            executor.submit(scan_chunk, wl_enc, alloc_enc, chunk, True)
-            for chunk in chunks
-        ]
+        with tracer.span(
+            "parallel.dispatch", chunks=len(chunks), jobs=n_jobs, survey=True
+        ):
+            wl_enc = encode_workload(workload)
+            alloc_enc = encode_allocation(allocation)
+            executor = _get_executor(n_jobs)
+            futures = [
+                executor.submit(
+                    scan_chunk, wl_enc, alloc_enc, chunk, True, tracer.enabled
+                )
+                for chunk in chunks
+            ]
         collected = []
-        for future in futures:  # chunk order, not completion order
-            result, delta = future.result()
-            ctx.stats.merge(delta)
-            collected.append(result)
+        with tracer.span("parallel.merge", chunks=len(chunks)) as merge_span:
+            for future in futures:  # chunk order, not completion order
+                result, delta, batch = future.result()
+                ctx.stats.merge(delta)
+                tracer.absorb(batch, parent_id=merge_span.span_id)
+                collected.append(result)
     except BrokenProcessPool as exc:
         _broken_pool_fallback(exc)
         from ..core.robustness import _scan_t1
@@ -319,25 +359,37 @@ def refine_allocation_parallel(
             probes.append((tid, below))
     if not probes:
         return start
-    chunks = _round_robin_chunks(probes, max(2, n_jobs))
-    wl_enc = encode_workload(workload)
-    start_enc = encode_allocation(start)
-    chosen: Dict[int, str] = {}
-    try:
-        executor = _get_executor(n_jobs)
-        futures = [
-            executor.submit(probe_chunk, wl_enc, start_enc, chunk)
-            for chunk in chunks
-        ]
-        for future in futures:
-            levels_for, delta = future.result()
-            ctx.stats.merge(delta)
-            chosen.update(levels_for)
-    except BrokenProcessPool as exc:
-        _broken_pool_fallback(exc)
-        from ..core.allocation import refine_allocation
+    tracer = current_tracer()
+    with tracer.span(
+        "allocation.refine", transactions=len(workload), jobs=n_jobs
+    ) as refine_span:
+        chunks = _round_robin_chunks(probes, max(2, n_jobs))
+        chosen: Dict[int, str] = {}
+        try:
+            with tracer.span(
+                "parallel.dispatch", chunks=len(chunks), jobs=n_jobs
+            ):
+                wl_enc = encode_workload(workload)
+                start_enc = encode_allocation(start)
+                executor = _get_executor(n_jobs)
+                futures = [
+                    executor.submit(
+                        probe_chunk, wl_enc, start_enc, chunk, tracer.enabled
+                    )
+                    for chunk in chunks
+                ]
+            with tracer.span("parallel.merge", chunks=len(chunks)):
+                for future in futures:
+                    levels_for, delta, batch = future.result()
+                    ctx.stats.merge(delta)
+                    tracer.absorb(batch, parent_id=refine_span.span_id)
+                    chosen.update(levels_for)
+        except BrokenProcessPool as exc:
+            _broken_pool_fallback(exc)
+            from ..core.allocation import refine_allocation
 
-        return refine_allocation(workload, start, ordered, context=ctx)
+            refine_span.set(fallback=True)
+            return refine_allocation(workload, start, ordered, context=ctx)
     return Allocation(
         {
             tid: chosen.get(tid, start[tid].name)

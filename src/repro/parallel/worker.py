@@ -11,7 +11,12 @@ across tasks exactly as they do in a sequential run.
 Every task returns its *stats delta* — the worker context's counters
 before/after difference — so the parent can merge truthful totals into
 the caller-visible context (``--stats`` reports work actually done,
-wherever it ran).
+wherever it ran).  When the parent traces (the ``trace`` flag of each
+task), the worker additionally records its spans — the chunk itself and
+the per-``T_1`` scans / downgrade probes inside it — into a private
+per-task tracer and ships the finished batch back with the result; the
+parent re-parents the batch under its dispatching span.  With tracing
+off the shipped batch is the empty tuple.
 
 All functions here are top-level and take only picklable encodings, so
 they work under both ``fork`` and ``spawn`` start methods.
@@ -25,11 +30,13 @@ from typing import Dict, Optional, Tuple
 from ..core.context import AnalysisContext
 from ..core.robustness import _scan_t1, _scan_t1_delta
 from ..core.split_schedule import SplitScheduleSpec
+from ..observability import SpanBatch, use_tracer, worker_tracer
 from .encoding import (
     AllocationEncoding,
     WorkloadEncoding,
     decode_allocation,
     decode_workload,
+    encode_span_batch,
     encode_spec,
 )
 
@@ -72,36 +79,51 @@ def scan_chunk(
     allocation_enc: AllocationEncoding,
     t1_tids: Tuple[int, ...],
     find_all: bool,
-) -> Tuple[object, Dict[str, int]]:
+    trace: bool = False,
+) -> Tuple[object, Dict[str, int], SpanBatch]:
     """Run Algorithm 1's per-``T_1`` search for a chunk of candidates.
 
     With ``find_all`` the full survey of every ``T_1`` in the chunk is
     returned as ``((t1_tid, (spec_enc, ...)), ...)`` preserving scan
     order; otherwise the scan stops at the chunk's first witness and
-    returns ``(t1_tid, spec_enc)`` or ``None``.
+    returns ``(t1_tid, spec_enc)`` or ``None``.  With ``trace`` the
+    chunk and its per-``T_1`` scans are recorded as spans and shipped
+    back as the third element of the return tuple.
     """
-    ctx, before = _context_for(workload_enc)
-    allocation = decode_allocation(allocation_enc)
-    wl = ctx.workload
-    result: object
-    if find_all:
-        found = []
-        for tid in t1_tids:
-            specs = tuple(
-                encode_spec(spec)
-                for spec in _scan_t1(ctx, allocation, wl[tid], "components")
-            )
-            if specs:
-                found.append((tid, specs))
-        result = tuple(found)
-    else:
-        result = None
-        for tid in t1_tids:
-            spec = next(_scan_t1(ctx, allocation, wl[tid], "components"), None)
-            if spec is not None:
-                result = (tid, encode_spec(spec))
-                break
-    return result, _stats_delta(before, ctx.stats.as_dict())
+    tracer = worker_tracer(trace)
+    with use_tracer(tracer):
+        ctx, before = _context_for(workload_enc)
+        allocation = decode_allocation(allocation_enc)
+        wl = ctx.workload
+        result: object
+        with tracer.span(
+            "parallel.chunk", kind="scan", size=len(t1_tids), find_all=find_all
+        ):
+            if find_all:
+                found = []
+                for tid in t1_tids:
+                    with tracer.span("robustness.scan_t1", t1=tid):
+                        specs = tuple(
+                            encode_spec(spec)
+                            for spec in _scan_t1(
+                                ctx, allocation, wl[tid], "components"
+                            )
+                        )
+                    if specs:
+                        found.append((tid, specs))
+                result = tuple(found)
+            else:
+                result = None
+                for tid in t1_tids:
+                    with tracer.span("robustness.scan_t1", t1=tid):
+                        spec = next(
+                            _scan_t1(ctx, allocation, wl[tid], "components"), None
+                        )
+                    if spec is not None:
+                        result = (tid, encode_spec(spec))
+                        break
+    delta = _stats_delta(before, ctx.stats.as_dict())
+    return result, delta, encode_span_batch(tracer)
 
 
 def _first_delta_witness(
@@ -127,7 +149,8 @@ def probe_chunk(
     workload_enc: WorkloadEncoding,
     start_enc: AllocationEncoding,
     probes: Tuple[Tuple[int, Tuple[str, ...]], ...],
-) -> Tuple[Dict[int, str], Dict[str, int]]:
+    trace: bool = False,
+) -> Tuple[Dict[int, str], Dict[str, int], SpanBatch]:
     """Algorithm 2's independent downgrade probes for a chunk of transactions.
 
     Each probe ``(tid, levels)`` finds the lowest of ``levels`` (ascending,
@@ -139,21 +162,31 @@ def probe_chunk(
     3.1 condition scan) before any full search — the same
     counterexample-guided warm start the sequential refinement uses.
 
-    Returns ``{tid: chosen-level-name}`` for the chunk.
+    Returns ``{tid: chosen-level-name}`` for the chunk; with ``trace``
+    the chunk and each downgrade probe are shipped back as spans.
     """
-    ctx, before = _context_for(workload_enc)
-    start = decode_allocation(start_enc)
-    chosen: Dict[int, str] = {}
-    for tid, level_names in probes:
-        final = start[tid].name
-        for name in level_names:
-            candidate = start.with_level(tid, name)
-            if ctx.known_witness(candidate) is not None:
-                continue  # cached chain proves the candidate non-robust
-            witness = _first_delta_witness(ctx, candidate, tid)
-            if witness is None:
-                final = name
-                break
-            ctx.add_witness(witness)
-        chosen[tid] = final
-    return chosen, _stats_delta(before, ctx.stats.as_dict())
+    tracer = worker_tracer(trace)
+    with use_tracer(tracer):
+        ctx, before = _context_for(workload_enc)
+        start = decode_allocation(start_enc)
+        chosen: Dict[int, str] = {}
+        with tracer.span("parallel.chunk", kind="probe", size=len(probes)):
+            for tid, level_names in probes:
+                final = start[tid].name
+                with tracer.span("allocation.refine_txn", tid=tid) as txn_span:
+                    for name in level_names:
+                        candidate = start.with_level(tid, name)
+                        with tracer.span(
+                            "allocation.probe", tid=tid, level=name
+                        ):
+                            if ctx.known_witness(candidate) is not None:
+                                continue  # cached chain: non-robust
+                            witness = _first_delta_witness(ctx, candidate, tid)
+                        if witness is None:
+                            final = name
+                            break
+                        ctx.add_witness(witness)
+                    txn_span.set(level=final)
+                chosen[tid] = final
+    delta = _stats_delta(before, ctx.stats.as_dict())
+    return chosen, delta, encode_span_batch(tracer)

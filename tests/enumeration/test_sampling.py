@@ -11,9 +11,37 @@ from repro.core.isolation import Allocation
 from repro.core.robustness import is_robust
 from repro.core.workload import workload
 from repro.enumeration.sampling import (
+    _completions,
     estimate_anomaly_rate,
     sample_interleaving,
 )
+from repro.workloads.generator import GeneratorConfig, random_workload
+
+
+def _legacy_sample_interleaving(wl, rng):
+    """The pre-fix sampler: factorial weights through ``random.choices``.
+
+    Kept locally as the distribution reference for the rewrite — it
+    computes the uniform measure the slow, overflow-prone way (weights
+    are full multinomial counts cast to float by ``choices``).
+    """
+    sequences = [list(txn.operations) for txn in wl]
+    remaining = [len(seq) for seq in sequences]
+    order = []
+    while any(remaining):
+        weights = []
+        for i, count in enumerate(remaining):
+            if count == 0:
+                weights.append(0)
+                continue
+            after = list(remaining)
+            after[i] -= 1
+            weights.append(_completions(after))
+        choice = rng.choices(range(len(sequences)), weights=weights)[0]
+        position = len(sequences[choice]) - remaining[choice]
+        order.append(sequences[choice][position])
+        remaining[choice] -= 1
+    return tuple(order)
 
 
 class TestSampling:
@@ -38,6 +66,67 @@ class TestSampling:
 
     def test_empty_workload(self):
         assert sample_interleaving(workload(), random.Random(0)) == ()
+
+    def test_large_workload_regression(self):
+        """247 total operations: the old float-weighted sampler raised
+        OverflowError here (171! exceeds the double range)."""
+        wl = random_workload(GeneratorConfig(transactions=30, min_ops=6, max_ops=6))
+        total = sum(len(txn.operations) for txn in wl)
+        assert total > 170, "workload no longer exercises the overflow regime"
+        order = sample_interleaving(wl, random.Random(0))
+        assert len(order) == total
+        positions = {op: i for i, op in enumerate(order)}
+        for txn in wl:
+            ops = txn.operations
+            for a, b in zip(ops, ops[1:]):
+                assert positions[a] < positions[b]
+
+    def test_weight_identity_against_multinomial(self):
+        """The collapse the sampler rests on:
+        ``_completions(r - e_i) * N == _completions(r) * r_i``."""
+        for remaining in ([3, 2], [5, 1, 4], [2, 2, 2, 1], [7, 3, 5, 2, 6]):
+            n = sum(remaining)
+            total = _completions(remaining)
+            for i, r_i in enumerate(remaining):
+                after = list(remaining)
+                after[i] -= 1
+                assert _completions(after) * n == total * r_i
+
+    def test_distribution_matches_legacy_sampler(self):
+        """Same uniform measure as the choices-based implementation.
+
+        The RNG streams differ (``randrange`` vs ``choices``), so the
+        draws cannot match one-for-one; instead both samplers' empirical
+        distributions over all 10 interleavings of a (2 ops, 3 ops)
+        workload must agree within Monte-Carlo noise.
+        """
+        wl = workload("R1[x] W1[y]", "R2[a] W2[b] R2[c]")
+        draws = 7000
+        new_rng = random.Random(123)
+        old_rng = random.Random(321)
+        new_counts = Counter(
+            sample_interleaving(wl, new_rng) for _ in range(draws)
+        )
+        old_counts = Counter(
+            _legacy_sample_interleaving(wl, old_rng) for _ in range(draws)
+        )
+        assert set(new_counts) == set(old_counts)
+        assert len(new_counts) == 35  # C(7, 3): 3+4 ops incl. commits
+        for order in new_counts:
+            # Expectation 200 per interleaving; allow generous MC noise.
+            assert 130 <= new_counts[order] <= 270
+            assert 130 <= old_counts[order] <= 270
+
+    @pytest.mark.slow
+    def test_very_large_workload(self):
+        """Exact integer sampling keeps working far past the float ceiling."""
+        wl = random_workload(
+            GeneratorConfig(transactions=100, objects=200, min_ops=6, max_ops=6)
+        )
+        total = sum(len(txn.operations) for txn in wl)
+        assert total > 600
+        order = sample_interleaving(wl, random.Random(1))
+        assert len(order) == total
 
 
 class TestAnomalyEstimate:

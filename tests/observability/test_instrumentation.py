@@ -1,0 +1,238 @@
+"""Integration tests: spans from the instrumented engines.
+
+Two contracts are pinned here:
+
+* **Coverage** — a traced run produces the spans the observability design
+  promises: ``robustness.check`` with nested ``robustness.scan_t1``,
+  Algorithm 2's refine/probe hierarchy, ``mvcc.run``, and (with
+  ``n_jobs > 1``) worker-origin ``parallel.chunk`` spans absorbed under
+  the parent's spans.
+* **Zero cost when disabled** — running under a tracer changes no
+  result: verdicts, counterexamples, allocations, simulation traces and
+  ``ContextStats`` counters are identical traced and untraced.
+"""
+
+import random
+
+from repro.core.allocation import optimal_allocation
+from repro.core.context import AnalysisContext
+from repro.core.incremental import AllocationManager
+from repro.core.isolation import Allocation
+from repro.core.robustness import (
+    check_robustness,
+    check_robustness_delta,
+    enumerate_counterexamples,
+)
+from repro.core.workload import workload
+from repro.enumeration.sampling import estimate_anomaly_rate
+from repro.mvcc import run_workload
+from repro.observability import Tracer, use_tracer, validate_trace
+from repro.workloads.generator import random_workload
+
+
+def _span_names(tracer):
+    return [span.name for span in tracer.spans]
+
+
+class TestSequentialSpans:
+    def test_check_robustness_span_tree(self, write_skew):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = check_robustness(write_skew, Allocation.si(write_skew))
+        assert not result.robust
+        names = _span_names(tracer)
+        assert "robustness.check" in names
+        assert "robustness.scan_t1" in names
+        check = next(s for s in tracer.spans if s.name == "robustness.check")
+        assert check.attrs["robust"] is False
+        scans = [s for s in tracer.spans if s.name == "robustness.scan_t1"]
+        assert all(s.parent_id == check.span_id for s in scans)
+
+    def test_robust_check_scans_every_t1(self, write_skew):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = check_robustness(write_skew, Allocation.ssi(write_skew))
+        assert result.robust
+        scans = [s for s in tracer.spans if s.name == "robustness.scan_t1"]
+        assert {s.attrs["t1"] for s in scans} == set(write_skew.tids)
+
+    def test_check_delta_span(self, write_skew):
+        tracer = Tracer()
+        base = Allocation.ssi(write_skew)
+        with use_tracer(tracer):
+            check_robustness_delta(write_skew, base.with_level(1, "RC"), 1)
+        delta = next(s for s in tracer.spans if s.name == "robustness.check_delta")
+        assert delta.attrs["delta_tid"] == 1
+        assert delta.attrs["robust"] is False
+
+    def test_allocation_span_hierarchy(self, write_skew):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            optimal_allocation(write_skew)
+        by_name = {}
+        for span in tracer.spans:
+            by_name.setdefault(span.name, []).append(span)
+        optimal = by_name["allocation.optimal"][0]
+        refine = by_name["allocation.refine"][0]
+        assert refine.parent_id == optimal.span_id
+        for txn_span in by_name["allocation.refine_txn"]:
+            assert txn_span.parent_id == refine.span_id
+            assert txn_span.attrs["level"] in ("RC", "SI", "SSI")
+        for probe in by_name["allocation.probe"]:
+            assert probe.attrs["level"] in ("RC", "SI")
+
+    def test_incremental_spans(self, write_skew):
+        tracer = Tracer()
+        manager = AllocationManager()
+        with use_tracer(tracer):
+            for txn in write_skew:
+                manager.add(txn)
+            manager.remove(1)
+        names = _span_names(tracer)
+        assert names.count("incremental.add") == len(write_skew)
+        assert names.count("incremental.remove") == 1
+        add = next(s for s in tracer.spans if s.name == "incremental.add")
+        assert add.attrs["checks"] >= 1
+
+    def test_mvcc_run_span(self, write_skew):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run_workload(write_skew, Allocation.ssi(write_skew), seed=1)
+        run = next(s for s in tracer.spans if s.name == "mvcc.run")
+        assert run.attrs["commits"] >= len(write_skew)
+        assert run.attrs["ticks"] > 0
+        assert tracer.registry.counters.get("mvcc.commits", 0) >= 1
+
+    def test_sampling_span(self, write_skew):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            estimate = estimate_anomaly_rate(
+                write_skew, Allocation.si(write_skew), samples=30, seed=2
+            )
+        span = next(s for s in tracer.spans if s.name == "sampling.estimate")
+        assert span.attrs["samples"] == 30
+        assert span.attrs["anomalous"] == estimate.anomalous
+
+
+class TestParallelSpans:
+    def test_worker_chunks_absorbed_under_check(self):
+        wl = random_workload(transactions=10, objects=8, min_ops=2, max_ops=4, seed=5)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            check_robustness(wl, Allocation.si(wl), n_jobs=2)
+        check = next(s for s in tracer.spans if s.name == "robustness.check")
+        assert check.attrs["parallel"] is True
+        chunks = [s for s in tracer.spans if s.name == "parallel.chunk"]
+        assert chunks, "no worker chunk spans came back"
+        for chunk in chunks:
+            assert chunk.origin.startswith("worker-")
+            assert chunk.parent_id == check.span_id
+        chunk_ids = {c.span_id for c in chunks}
+        worker_scans = [
+            s
+            for s in tracer.spans
+            if s.name == "robustness.scan_t1" and s.origin.startswith("worker-")
+        ]
+        assert worker_scans, "per-T1 scans did not ride back with the chunks"
+        assert all(s.parent_id in chunk_ids for s in worker_scans)
+        assert {"parallel.dispatch", "parallel.merge"} <= set(_span_names(tracer))
+
+    def test_refine_probe_chunks_absorbed(self):
+        wl = random_workload(transactions=10, objects=8, min_ops=2, max_ops=4, seed=5)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            optimal_allocation(wl, n_jobs=2)
+        refine = next(s for s in tracer.spans if s.name == "allocation.refine")
+        assert refine.attrs["jobs"] == 2
+        chunks = [s for s in tracer.spans if s.name == "parallel.chunk"]
+        assert any(c.attrs.get("kind") == "probe" for c in chunks)
+        worker_probes = [
+            s
+            for s in tracer.spans
+            if s.name == "allocation.probe" and s.origin.startswith("worker-")
+        ]
+        assert worker_probes, "downgrade probes did not ride back with the chunks"
+
+    def test_traced_export_validates(self):
+        wl = random_workload(transactions=10, objects=8, min_ops=2, max_ops=4, seed=5)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            check_robustness(wl, Allocation.si(wl), n_jobs=2)
+            optimal_allocation(wl, n_jobs=2)
+        validate_trace(tracer.export())
+
+
+class TestTracingChangesNothing:
+    def _workloads(self):
+        yield workload("R1[x] W1[y]", "R2[y] W2[x]")
+        yield random_workload(transactions=12, objects=9, min_ops=2, max_ops=4, seed=7)
+
+    def test_check_results_identical(self):
+        for wl in self._workloads():
+            for level in ("RC", "SI", "SSI"):
+                alloc = Allocation.uniform(wl, level)
+                plain = check_robustness(wl, alloc)
+                with use_tracer(Tracer()):
+                    traced = check_robustness(wl, alloc)
+                assert plain.robust == traced.robust
+                if not plain.robust:
+                    assert plain.counterexample.spec == traced.counterexample.spec
+                    assert str(plain.counterexample.schedule) == str(
+                        traced.counterexample.schedule
+                    )
+
+    def test_enumeration_sequence_identical(self):
+        for wl in self._workloads():
+            alloc = Allocation.si(wl)
+            plain = [c.spec for c in enumerate_counterexamples(wl, alloc)]
+            with use_tracer(Tracer()):
+                traced = [c.spec for c in enumerate_counterexamples(wl, alloc)]
+            assert plain == traced
+
+    def test_allocations_identical(self):
+        for wl in self._workloads():
+            plain = optimal_allocation(wl)
+            with use_tracer(Tracer()):
+                traced = optimal_allocation(wl)
+            assert plain == traced
+
+    def test_stats_counters_identical(self):
+        wl = random_workload(transactions=12, objects=9, min_ops=2, max_ops=4, seed=7)
+        ctx_plain = AnalysisContext(wl)
+        optimal_allocation(wl, context=ctx_plain)
+        ctx_traced = AnalysisContext(wl)
+        with use_tracer(Tracer()):
+            optimal_allocation(wl, context=ctx_traced)
+        assert ctx_plain.stats.as_dict() == ctx_traced.stats.as_dict()
+
+    def test_parallel_results_identical_traced(self):
+        wl = random_workload(transactions=12, objects=9, min_ops=2, max_ops=4, seed=7)
+        alloc = Allocation.si(wl)
+        plain = check_robustness(wl, alloc, n_jobs=2)
+        with use_tracer(Tracer()):
+            traced = check_robustness(wl, alloc, n_jobs=2)
+        assert plain.robust == traced.robust
+        if not plain.robust:
+            assert plain.counterexample.spec == traced.counterexample.spec
+        assert optimal_allocation(wl, n_jobs=2) == optimal_allocation(wl)
+
+    def test_simulation_trace_identical(self, write_skew):
+        alloc = Allocation.si(write_skew)
+        plain_trace, plain_stats = run_workload(write_skew, alloc, seed=3)
+        with use_tracer(Tracer()):
+            traced_trace, traced_stats = run_workload(write_skew, alloc, seed=3)
+        assert plain_trace.events == traced_trace.events
+        assert plain_stats.commits == traced_stats.commits
+        assert plain_stats.aborts == traced_stats.aborts
+
+    def test_sampling_draws_identical(self, write_skew):
+        from repro.enumeration.sampling import sample_interleaving
+
+        plain = [
+            sample_interleaving(write_skew, random.Random(4)) for _ in range(10)
+        ]
+        with use_tracer(Tracer()):
+            traced = [
+                sample_interleaving(write_skew, random.Random(4)) for _ in range(10)
+            ]
+        assert plain == traced

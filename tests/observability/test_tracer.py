@@ -1,0 +1,303 @@
+"""Unit tests for the span tracer and metrics registry."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    SpanRecord,
+    TRACE_VERSION,
+    TimerStat,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+    validate_trace,
+    validate_trace_file,
+    worker_tracer,
+)
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_span_is_noop_context_manager(self):
+        with NULL_TRACER.span("anything", attr=1) as span:
+            span.set(more=2)
+        assert span.span_id is None
+
+    def test_count_and_batch_are_noops(self):
+        NULL_TRACER.count("events", 5)
+        assert NULL_TRACER.batch() == ()
+
+    def test_absorb_discards_batches(self):
+        live = Tracer()
+        with live.span("work"):
+            pass
+        NullTracer().absorb(live.batch())  # no-op, nothing retained
+
+    def test_default_tracer_is_null(self):
+        assert current_tracer().enabled is False
+
+
+class TestSpans:
+    def test_span_records_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("outer", key="value"):
+            pass
+        assert len(tracer.spans) == 1
+        span = tracer.spans[0]
+        assert span.name == "outer"
+        assert span.attrs["key"] == "value"
+        assert span.duration_s >= 0
+        assert span.parent_id is None
+
+    def test_nesting_sets_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["inner"].parent_id == outer.span_id
+        assert by_name["outer"].span_id == outer.span_id
+        assert inner.span_id != outer.span_id
+
+    def test_inner_span_closes_before_outer(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_set_annotates_after_creation(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            span.set(robust=True, count=3)
+        assert tracer.spans[0].attrs == {"robust": True, "count": 3}
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        parents = {s.name: s.parent_id for s in tracer.spans}
+        assert parents["a"] == outer.span_id
+        assert parents["b"] == outer.span_id
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert tracer.spans[0].name == "doomed"
+        # The parent stack unwound: the next span is a root again.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].parent_id is None
+
+    def test_durations_feed_registry(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("step"):
+                pass
+        stat = tracer.registry.timers["step"]
+        assert stat.count == 3
+        assert stat.total_s >= stat.max_s >= stat.min_s >= 0
+
+    def test_count_feeds_registry(self):
+        tracer = Tracer()
+        tracer.count("hits")
+        tracer.count("hits", 4)
+        assert tracer.registry.counters["hits"] == 5
+
+
+class TestUseTracer:
+    def test_installs_and_restores(self):
+        tracer = Tracer()
+        before = current_tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is before
+
+    def test_restores_on_exception(self):
+        before = current_tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(Tracer()):
+                raise RuntimeError("boom")
+        assert current_tracer() is before
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            set_tracer(previous)
+
+    def test_worker_tracer_modes(self):
+        assert worker_tracer(False) is NULL_TRACER
+        live = worker_tracer(True)
+        assert live.enabled and live.origin.startswith("worker-")
+
+
+class TestBatchAbsorb:
+    def _worker_batch(self):
+        worker = Tracer(origin="worker-test")
+        with worker.span("parallel.chunk", size=2):
+            with worker.span("robustness.scan_t1", t1=1):
+                pass
+            with worker.span("robustness.scan_t1", t1=2):
+                pass
+        worker.count("robustness.checks", 2)
+        return worker.batch()
+
+    def test_absorb_reparents_roots(self):
+        parent = Tracer()
+        with parent.span("robustness.check") as check:
+            parent.absorb(self._worker_batch(), parent_id=check.span_id)
+        by_name = {}
+        for span in parent.spans:
+            by_name.setdefault(span.name, []).append(span)
+        chunk = by_name["parallel.chunk"][0]
+        assert chunk.parent_id == check.span_id
+        for scan in by_name["robustness.scan_t1"]:
+            assert scan.parent_id == chunk.span_id
+
+    def test_absorb_keeps_worker_origin(self):
+        parent = Tracer()
+        parent.absorb(self._worker_batch())
+        origins = {s.origin for s in parent.spans}
+        assert origins == {"worker-test"}
+
+    def test_absorb_assigns_fresh_ids(self):
+        parent = Tracer()
+        with parent.span("local"):
+            pass
+        parent.absorb(self._worker_batch())
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_absorb_merges_counters_and_timers(self):
+        parent = Tracer()
+        parent.absorb(self._worker_batch())
+        assert parent.registry.counters["robustness.checks"] == 2
+        assert parent.registry.timers["parallel.chunk"].count == 1
+        assert parent.registry.timers["robustness.scan_t1"].count == 2
+
+    def test_absorb_empty_batch_is_noop(self):
+        parent = Tracer()
+        parent.absorb(())
+        assert parent.spans == []
+
+    def test_round_trip_through_tuples(self):
+        batch = self._worker_batch()
+        span_tuples, _counters = batch
+        for data in span_tuples:
+            record = SpanRecord.from_tuple(data)
+            assert record.as_tuple() == data
+
+
+class TestExportValidate:
+    def _trace(self):
+        tracer = Tracer()
+        with tracer.span("outer", n=1):
+            with tracer.span("inner", tag="x"):
+                pass
+        tracer.count("events", 2)
+        return tracer.export()
+
+    def test_export_round_trips_validation(self):
+        data = self._trace()
+        validate_trace(data)
+        assert data["version"] == TRACE_VERSION
+        assert data["origin"] == "main"
+        assert len(data["spans"]) == 2
+
+    def test_export_is_json_serializable(self):
+        reloaded = json.loads(json.dumps(self._trace()))
+        validate_trace(reloaded)
+
+    def test_write_and_validate_file(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        data = validate_trace_file(str(path))
+        assert data["spans"][0]["name"] == "work"
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda d: d.pop("version"),
+            lambda d: d.update(version=99),
+            lambda d: d.pop("spans"),
+            lambda d: d["spans"][0].pop("name"),
+            lambda d: d["spans"][0].update(duration_s=-1.0),
+            lambda d: d["spans"][0].update(parent_id=123456),
+            lambda d: d["spans"][1].update(span_id=d["spans"][0]["span_id"]),
+            lambda d: d["metrics"]["counters"].update(bad=1.5),
+        ],
+        ids=[
+            "no-version",
+            "wrong-version",
+            "no-spans",
+            "nameless-span",
+            "negative-duration",
+            "dangling-parent",
+            "duplicate-ids",
+            "float-counter",
+        ],
+    )
+    def test_validate_rejects_corruption(self, corrupt):
+        data = json.loads(json.dumps(self._trace()))
+        corrupt(data)
+        with pytest.raises(ValueError):
+            validate_trace(data)
+
+
+class TestMetricsRegistry:
+    def test_timer_stat_merge(self):
+        a = TimerStat()
+        a.record(0.2)
+        a.record(0.4)
+        b = TimerStat()
+        b.record(0.1)
+        a.merge(b)
+        assert a.count == 3
+        assert a.min_s == pytest.approx(0.1)
+        assert a.max_s == pytest.approx(0.4)
+        assert a.mean_s == pytest.approx(0.7 / 3)
+
+    def test_merge_into_empty(self):
+        a = TimerStat()
+        b = TimerStat()
+        b.record(0.5)
+        a.merge(b)
+        assert (a.count, a.min_s, a.max_s) == (1, 0.5, 0.5)
+
+    def test_registry_merge(self):
+        ours = MetricsRegistry()
+        ours.incr("hits")
+        ours.record("scan", 0.25)
+        theirs = MetricsRegistry()
+        theirs.incr("hits", 2)
+        theirs.record("scan", 0.75)
+        theirs.record("probe", 0.1)
+        ours.merge(theirs)
+        assert ours.counters["hits"] == 3
+        assert ours.timers["scan"].count == 2
+        assert ours.timers["probe"].count == 1
+
+    def test_as_dict_sorted(self):
+        registry = MetricsRegistry()
+        registry.incr("zeta")
+        registry.incr("alpha")
+        data = registry.as_dict()
+        assert list(data["counters"]) == ["alpha", "zeta"]

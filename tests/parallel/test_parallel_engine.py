@@ -205,3 +205,64 @@ def test_cli_jobs_rejects_garbage(tmp_path):
     path.write_text("T1: R[x]\n", encoding="utf-8")
     with pytest.raises(SystemExit):
         main(["check", str(path), "--jobs", "0"])
+
+
+# ---------------------------------------------------------------------------
+# BrokenProcessPool fallback
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def broken_pool(monkeypatch):
+    """Make every executor acquisition fail as if the pool died."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    import repro.parallel.engine as engine
+
+    def _raise(n_jobs):
+        raise BrokenProcessPool("pool died in test")
+
+    monkeypatch.setattr(engine, "_get_executor", _raise)
+
+
+def test_check_falls_back_to_sequential_on_broken_pool(broken_pool):
+    wl = random_workload(transactions=10, objects=8, min_ops=2, max_ops=3, seed=4)
+    alloc = Allocation.uniform(wl, IsolationLevel.SI)
+    expected = check_robustness(wl, alloc)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        result = check_robustness_parallel(wl, alloc, n_jobs=2)
+    _assert_same_result(expected, result)
+
+
+def test_enumerate_falls_back_to_sequential_on_broken_pool(broken_pool):
+    wl = random_workload(transactions=8, objects=6, min_ops=2, max_ops=3, seed=4)
+    alloc = Allocation.uniform(wl, IsolationLevel.SI)
+    expected = [c.spec for c in enumerate_counterexamples(wl, alloc)]
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        got = [c.spec for c in enumerate_counterexamples(wl, alloc, n_jobs=2)]
+    assert got == expected
+
+
+def test_refine_falls_back_to_sequential_on_broken_pool(broken_pool):
+    wl = random_workload(transactions=10, objects=8, min_ops=2, max_ops=3, seed=4)
+    start = Allocation.uniform(wl, IsolationLevel.SSI)
+    expected = refine_allocation(wl, start, POSTGRES_LEVELS)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        got = refine_allocation(wl, start, POSTGRES_LEVELS, n_jobs=2)
+    assert got == expected
+
+
+def test_fallback_result_still_traced(broken_pool):
+    from repro.observability import Tracer, use_tracer
+
+    wl = random_workload(transactions=8, objects=6, min_ops=2, max_ops=3, seed=4)
+    alloc = Allocation.uniform(wl, IsolationLevel.SI)
+    tracer = Tracer()
+    with pytest.warns(RuntimeWarning):
+        with use_tracer(tracer):
+            check_robustness_parallel(wl, alloc, n_jobs=2)
+    # Both the degraded parallel span and the sequential re-run's own
+    # span are recorded; the former carries the fallback marker.
+    checks = [s for s in tracer.spans if s.name == "robustness.check"]
+    assert len(checks) == 2
+    assert any(s.attrs.get("fallback") is True for s in checks)

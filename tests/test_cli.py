@@ -217,6 +217,115 @@ class TestTemplates:
         assert "domain=3, copies=1" in capsys.readouterr().out
 
 
+class TestJobsAuto:
+    def test_check_jobs_auto(self, skew_file, capsys):
+        """``--jobs auto`` resolves through the size heuristic (sequential
+        for this 2-transaction workload) and decides identically."""
+        code = main(["check", skew_file, "--uniform", "SI", "--jobs", "auto"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NOT ROBUST" in out
+
+    def test_allocate_jobs_auto(self, skew_file, capsys):
+        code = main(["allocate", skew_file, "--jobs", "auto"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "T1: SSI" in out
+
+
+class TestTrace:
+    def test_check_trace_exports_valid_json(self, skew_file, tmp_path, capsys):
+        from repro.observability import validate_trace_file
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["check", skew_file, "--uniform", "SI", "--trace", str(trace_path)]
+        )
+        assert code == 1  # the trace is written even on a counterexample
+        data = validate_trace_file(str(trace_path))
+        names = {span["name"] for span in data["spans"]}
+        assert "robustness.check" in names
+        assert "robustness.scan_t1" in names
+
+    def test_check_trace_with_jobs_has_worker_chunks(
+        self, skew_file, tmp_path, capsys
+    ):
+        from repro.observability import validate_trace_file
+
+        trace_path = tmp_path / "trace.json"
+        main(
+            [
+                "check",
+                skew_file,
+                "--uniform",
+                "SI",
+                "--jobs",
+                "2",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        data = validate_trace_file(str(trace_path))
+        chunks = [s for s in data["spans"] if s["name"] == "parallel.chunk"]
+        assert chunks
+        assert all(c["origin"].startswith("worker-") for c in chunks)
+
+    def test_allocate_trace(self, skew_file, tmp_path, capsys):
+        from repro.observability import validate_trace_file
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["allocate", skew_file, "--trace", str(trace_path)]) == 0
+        data = validate_trace_file(str(trace_path))
+        names = {span["name"] for span in data["spans"]}
+        assert "allocation.optimal" in names
+        assert "allocation.probe" in names
+
+    def test_simulate_trace(self, skew_file, tmp_path, capsys):
+        from repro.observability import validate_trace_file
+
+        trace_path = tmp_path / "trace.json"
+        main(
+            ["simulate", skew_file, "--uniform", "SI", "--runs", "2", "--trace", str(trace_path)]
+        )
+        data = validate_trace_file(str(trace_path))
+        runs = [s for s in data["spans"] if s["name"] == "mvcc.run"]
+        assert len(runs) == 2
+        assert data["metrics"]["counters"].get("mvcc.commits", 0) >= 2
+
+    def test_rate_trace(self, skew_file, tmp_path, capsys):
+        from repro.observability import validate_trace_file
+
+        trace_path = tmp_path / "trace.json"
+        main(["rate", skew_file, "--uniform", "SI", "--samples", "50", "--trace", str(trace_path)])
+        data = validate_trace_file(str(trace_path))
+        names = {span["name"] for span in data["spans"]}
+        assert "sampling.estimate" in names
+
+    def test_stats_with_trace_prints_phase_timings(
+        self, skew_file, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "trace.json"
+        main(
+            ["check", skew_file, "--uniform", "SI", "--stats", "--trace", str(trace_path)]
+        )
+        out = capsys.readouterr().out
+        assert "Phase timings:" in out
+        assert "robustness.check" in out
+
+    def test_stats_without_trace_has_no_phase_timings(self, skew_file, capsys):
+        main(["check", skew_file, "--uniform", "SI", "--stats"])
+        out = capsys.readouterr().out
+        assert "Analysis statistics:" in out
+        assert "Phase timings" not in out
+
+    def test_tracer_restored_after_run(self, skew_file, tmp_path, capsys):
+        from repro.observability import current_tracer
+
+        trace_path = tmp_path / "trace.json"
+        main(["check", skew_file, "--uniform", "SI", "--trace", str(trace_path)])
+        assert current_tracer().enabled is False
+
+
 class TestParser:
     def test_missing_command(self):
         with pytest.raises(SystemExit):
