@@ -13,7 +13,7 @@ import pytest
 
 from conftest import PHASE_HEADERS, phase_rows, print_table
 from repro.core.allocation import optimal_allocation
-from repro.core.context import AnalysisContext, ConflictIndex
+from repro.core.context import AnalysisContext
 from repro.core.isolation import Allocation, ORACLE_LEVELS, POSTGRES_LEVELS
 from repro.core.robustness import check_robustness
 from repro.observability import Tracer, use_tracer
@@ -141,15 +141,15 @@ def test_context_speedup_report(benchmark, capsys):
             cold = _cold_optimal_allocation(wl)
             cold_s = time.perf_counter() - t0
 
-            builds_before = ConflictIndex.total_builds
             t0 = time.perf_counter()
             ctx = AnalysisContext(wl)
             warm = optimal_allocation(wl, context=ctx)
             warm_s = time.perf_counter() - t0
-            builds = ConflictIndex.total_builds - builds_before
 
             assert warm == cold, "context-backed optimum diverged from seed"
-            assert builds == 1, "context rebuilt the conflict index"
+            assert ctx.stats.index_builds == 1, (
+                "context rebuilt the conflict index"
+            )
             rows.append(
                 (
                     transactions,

@@ -172,15 +172,19 @@ def allocation_report(
     levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
+    method: str = "bitset",
 ) -> str:
     """A report on the optimal robust allocation of a workload.
 
     Pass a shared :class:`~repro.core.context.AnalysisContext` to amortize
     the conflict index with other checks (and to read the counters back).
-    ``n_jobs`` is forwarded to Algorithm 2 (the CLI's ``--jobs`` flag).
+    ``n_jobs`` and ``method`` are forwarded to Algorithm 2 (the CLI's
+    ``--jobs`` / ``--method`` flags).
     """
     lines = ["Workload:", render_workload(workload), ""]
-    optimum = optimal_allocation(workload, levels, context=context, n_jobs=n_jobs)
+    optimum = optimal_allocation(
+        workload, levels, method=method, context=context, n_jobs=n_jobs
+    )
     class_name = "{" + ", ".join(level.name for level in sorted(set(levels))) + "}"
     if optimum is None:
         lines.append(

@@ -113,7 +113,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
     workload = _load_workload(args.workload)
     allocation = _parse_allocation(workload, args.allocation, args.uniform)
     context = AnalysisContext(workload)
-    result = check_robustness(workload, allocation, context=context, n_jobs=args.jobs)
+    result = check_robustness(
+        workload,
+        allocation,
+        method=args.method,
+        context=context,
+        n_jobs=args.jobs,
+    )
     print(robustness_report(workload, allocation, result))
     if not result.robust:
         from .analysis.anomalies import classify_counterexample
@@ -237,14 +243,28 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     # One shared context for the report's Algorithm 2 run and the final
     # existence probe: the conflict index is built exactly once.
     context = AnalysisContext(workload)
-    print(allocation_report(workload, levels, context=context, n_jobs=args.jobs))
+    print(
+        allocation_report(
+            workload,
+            levels,
+            context=context,
+            n_jobs=args.jobs,
+            method=args.method,
+        )
+    )
     if args.stats:
         print()
         print(analysis_stats_report(context.stats))
         _print_phase_timings()
     return (
         0
-        if optimal_allocation(workload, levels, context=context, n_jobs=args.jobs)
+        if optimal_allocation(
+            workload,
+            levels,
+            method=args.method,
+            context=context,
+            n_jobs=args.jobs,
+        )
         is not None
         else 1
     )
@@ -314,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N|auto",
         help="worker processes for the T1 scan (default 1: in-process)",
     )
+    check.add_argument(
+        "--method",
+        choices=("bitset", "components", "paper"),
+        default="bitset",
+        help="robustness engine (default bitset; all three are bit-identical)",
+    )
     _add_trace_flag(check)
     check.set_defaults(func=_cmd_check)
 
@@ -377,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N|auto",
         help="worker processes for Algorithm 2's probes (default 1: in-process)",
+    )
+    allocate.add_argument(
+        "--method",
+        choices=("bitset", "components", "paper"),
+        default="bitset",
+        help="robustness engine (default bitset; all three are bit-identical)",
     )
     _add_trace_flag(allocate)
     allocate.set_defaults(func=_cmd_allocate)

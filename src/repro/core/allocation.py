@@ -47,7 +47,7 @@ from .isolation import (
     ORACLE_LEVELS,
     POSTGRES_LEVELS,
 )
-from .robustness import check_robustness, is_robust
+from .robustness import check_robustness, first_witness_spec, is_robust
 from .workload import Workload
 
 
@@ -84,10 +84,18 @@ def _robust_with_warm_start(
     ``candidate`` is a multiversion split schedule, hence (Theorem 3.2) a
     proof of non-robustness — the full Algorithm 1 search is skipped.
     Otherwise the full check runs, and a fresh counterexample (if any) is
-    added to the cache for later candidates.
+    added to the cache for later candidates.  Probes only need the spec,
+    so the sequential path runs the lean
+    :func:`~repro.core.robustness.first_witness_spec` scan — no schedule
+    is materialized for a verdict the refinement discards.
     """
     if ctx.known_witness(candidate) is not None:
         return False
+    if n_jobs == 1:
+        spec = first_witness_spec(workload, candidate, method, context=ctx)
+        if spec is not None:
+            ctx.add_witness(spec)
+        return spec is None
     result = check_robustness(
         workload, candidate, method=method, context=ctx, n_jobs=n_jobs
     )
@@ -101,7 +109,7 @@ def refine_allocation(
     workload: Workload,
     start: Allocation,
     levels: Sequence[IsolationLevel],
-    method: str = "components",
+    method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
 ) -> Allocation:
@@ -141,10 +149,11 @@ def refine_allocation(
             if method == "paper":
                 raise ValueError(
                     "the verbatim paper engine is sequential-only; use "
-                    "method='components' with n_jobs > 1"
+                    "method='bitset' or 'components' with n_jobs > 1"
                 )
             return refine_allocation_parallel(
-                workload, start, ordered, n_jobs=jobs, context=ctx
+                workload, start, ordered, n_jobs=jobs, context=ctx,
+                method=method,
             )
     tracer = current_tracer()
     current = start
@@ -171,7 +180,7 @@ def refine_allocation(
 def optimal_allocation(
     workload: Workload,
     levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
-    method: str = "components",
+    method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
 ) -> Optional[Allocation]:
@@ -218,7 +227,7 @@ def optimal_allocation(
 def is_robustly_allocatable(
     workload: Workload,
     levels: Sequence[IsolationLevel] = ORACLE_LEVELS,
-    method: str = "components",
+    method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
 ) -> bool:
@@ -244,7 +253,7 @@ def upgrade_to_robust(
     workload: Workload,
     allocation: Allocation,
     levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
-    method: str = "components",
+    method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
 ) -> Optional[Allocation]:

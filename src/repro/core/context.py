@@ -46,12 +46,16 @@ class ConflictIndex:
     """Precomputed transaction-level conflict structure for a workload.
 
     Allocation-independent: depends only on the read/write sets of the
-    transactions.  The class attribute :attr:`total_builds` counts every
-    construction process-wide, so tests can assert that a full
-    Algorithm 2 run builds exactly one index per workload.
+    transactions.  Build accounting lives on
+    :attr:`ContextStats.index_builds` (one per context, merged from
+    workers by the parallel engine); assert on that counter, not on the
+    process-wide class attribute.
     """
 
-    #: Process-wide construction counter (for redundancy assertions).
+    #: .. deprecated:: 1.1
+    #:    Process-wide construction counter.  Order-dependent across
+    #:    tests and racy under threads; kept for one release so external
+    #:    callers migrate to ``ContextStats.index_builds``.
     total_builds: int = 0
 
     def __init__(self, workload: Workload):
@@ -192,6 +196,9 @@ class ContextStats:
         pair_hits: conflicting-operation tables served from the cache.
         witness_hits: candidate allocations rejected by revalidating a
             cached counterexample chain instead of a full search.
+        kernel_builds: bitset kernels built (at most 1 per context).
+        kernel_row_builds: per-``T_1`` kernel rows built.
+        kernel_row_hits: kernel row requests served from the cache.
     """
 
     checks: int = 0
@@ -201,6 +208,9 @@ class ContextStats:
     pair_builds: int = 0
     pair_hits: int = 0
     witness_hits: int = 0
+    kernel_builds: int = 0
+    kernel_row_builds: int = 0
+    kernel_row_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (for reports and benchmarks)."""
@@ -212,6 +222,9 @@ class ContextStats:
             "pair_builds": self.pair_builds,
             "pair_hits": self.pair_hits,
             "witness_hits": self.witness_hits,
+            "kernel_builds": self.kernel_builds,
+            "kernel_row_builds": self.kernel_row_builds,
+            "kernel_row_hits": self.kernel_row_hits,
         }
 
     def merge(self, delta: Dict[str, int]) -> None:
@@ -253,9 +266,11 @@ class AnalysisContext:
             self.index = ConflictIndex(workload)
         self.stats = ContextStats(index_builds=1)
         self._oracles: Dict[int, ReachabilityOracle] = {}
+        self._kernel = None  # BitKernel, built lazily by kernel()
         self._candidates: Dict[Tuple[int, str], Tuple[Transaction, ...]] = {}
         self._pairs: Dict[Tuple[int, int], Tuple[Tuple[Operation, Operation], ...]] = {}
         self._witnesses: List = []  # SplitScheduleSpec, kept untyped to avoid a cycle
+        self._witness_set: set = set()  # shadow set: O(1) add_witness dedup
 
     # -- validation ----------------------------------------------------
     def matches(self, workload: Workload) -> bool:
@@ -283,13 +298,35 @@ class AnalysisContext:
         self.stats.oracle_builds += 1
         return oracle
 
+    def kernel(self):
+        """The (lazily built) :class:`~repro.core.kernel.BitKernel`.
+
+        Allocation-independent like the rest of the context; built on
+        the first ``method="bitset"`` scan and shared by every later
+        check of the workload.  Parallel workers call this on their own
+        per-process contexts, so kernel rows are rebuilt per worker and
+        never pickled.
+        """
+        if self._kernel is None:
+            from .kernel import BitKernel
+
+            with current_tracer().span(
+                "context.kernel_build", transactions=len(self.workload)
+            ):
+                self._kernel = BitKernel(self.workload, self.index, self.stats)
+            self.stats.kernel_builds += 1
+        return self._kernel
+
     def candidates(self, t1: Transaction, method: str) -> Tuple[Transaction, ...]:
         """Candidate ``T_2``/``T_m`` partners for ``t1`` under ``method``.
 
-        The paper iterates over all of ``T \\ {T_1}``; the optimized engine
-        restricts to transactions conflicting with ``T_1``, which is sound
-        because ``b_1``/``a_2`` and ``b_m``/``a_1`` require such conflicts.
+        The paper iterates over all of ``T \\ {T_1}``; the optimized engines
+        restrict to transactions conflicting with ``T_1``, which is sound
+        because ``b_1``/``a_2`` and ``b_m``/``a_1`` require such conflicts
+        (``bitset`` shares the ``components`` candidate list).
         """
+        if method == "bitset":
+            method = "components"
         key = (t1.tid, method)
         cached = self._candidates.get(key)
         if cached is not None:
@@ -328,13 +365,25 @@ class AnalysisContext:
 
     # -- counterexample-guided warm starts -----------------------------
     def add_witness(self, spec) -> None:
-        """Remember a counterexample chain for warm-start revalidation."""
-        if spec not in self._witnesses:
+        """Remember a counterexample chain for warm-start revalidation.
+
+        Deduplication is O(1) via a shadow set (specs are frozen and
+        hashable), not a list scan — Algorithm 2 on a contended workload
+        records hundreds of chains.
+        """
+        if spec not in self._witness_set:
+            self._witness_set.add(spec)
             self._witnesses.append(spec)
 
     @property
     def witnesses(self) -> Tuple:
-        """The recorded counterexample chains, oldest first."""
+        """The recorded counterexample chains, most-recently-hit first.
+
+        New chains are appended; every :meth:`known_witness` hit moves
+        the revalidated chain to the front (MRU), so repeated warm-start
+        rejections probe the chain that worked last time before any
+        stale ones.
+        """
         return tuple(self._witnesses)
 
     def known_witness(self, allocation: Allocation):
@@ -346,12 +395,20 @@ class AnalysisContext:
         hence (Theorem 3.2) a proof of non-robustness — no full Algorithm 1
         search is needed.  Returns ``None`` when no cached chain applies,
         in which case the caller must fall back to the full search.
+
+        A hit promotes the chain to the front of the cache (MRU):
+        neighbouring candidate allocations tend to be rejected by the
+        same chain, so the next lookup usually succeeds on its first
+        condition check instead of re-checking stale chains.
         """
         from .split_schedule import condition_failures
 
-        for spec in self._witnesses:
+        for pos, spec in enumerate(self._witnesses):
             if not condition_failures(spec, self.workload, allocation):
                 self.stats.witness_hits += 1
                 current_tracer().count("context.witness_hits")
+                if pos:
+                    del self._witnesses[pos]
+                    self._witnesses.insert(0, spec)
                 return spec
         return None

@@ -63,7 +63,7 @@ class AllocationManager:
     def __init__(
         self,
         levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
-        method: str = "components",
+        method: str = "bitset",
         n_jobs: Optional[int] = 1,
     ):
         self._levels = tuple(sorted(set(levels)))
@@ -77,7 +77,7 @@ class AllocationManager:
         if method == "paper" and n_jobs != 1:
             raise ValueError(
                 "the verbatim paper engine is sequential-only; use "
-                "method='components' with n_jobs > 1"
+                "method='bitset' or 'components' with n_jobs > 1"
             )
         self._method = method
         self._n_jobs = n_jobs
@@ -192,6 +192,7 @@ class AllocationManager:
                 n_jobs=jobs,
                 context=ctx,
                 floors=floors,
+                method=self._method,
             )
         else:
             for tid in workload.tids:
@@ -264,7 +265,7 @@ def incremental_counterexample(
     previous: Optional[Counterexample],
     workload: Workload,
     allocation: Allocation,
-    method: str = "components",
+    method: str = "bitset",
     context: Optional[AnalysisContext] = None,
 ) -> Optional[Counterexample]:
     """Re-decide non-robustness, reusing a previous counterexample when valid.

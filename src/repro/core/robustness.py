@@ -8,17 +8,24 @@ candidate triples ``(T_1, T_2, T_m)``, checks reachability from ``T_2`` to
 *mixed-iso-graph*), and then scans the operation choices
 ``b_1, a_1, a_2, b_m`` against the side conditions of Definition 3.1.
 
-Two interchangeable engines are provided:
+Three interchangeable engines are provided:
 
-* ``method="components"`` (default) — computes the mixed-iso-graph of each
+* ``method="bitset"`` (default) — the dense bitset kernel of
+  :mod:`repro.core.kernel`: reachability, the SSI conditions (6)-(8) and
+  the split-point conditions (2)/(3)/(4)/(5) all reduce to integer
+  bitmask tests over precomputed tables.
+* ``method="components"`` — computes the mixed-iso-graph of each
   ``T_1`` once and answers reachability questions via connected components.
   Sound because ``T_2`` and ``T_m`` must conflict with ``T_1`` for the
   inner conditions to ever hold, hence are never nodes of the graph.
+  Kept as the readable reference engine.
 * ``method="paper"`` — the verbatim Algorithm 1 loop structure (transitive
   closure recomputed per triple), kept as the reference implementation and
   for the ablation benchmark.
 
-Both return the same decisions (asserted by the test suite).
+All three return bit-identical results — the same verdicts, the same
+witness specs, the same enumeration order (asserted by the test suite
+and the ``tests/properties/test_kernel_equivalence.py`` property suite).
 
 All allocation-independent structure (conflict index, reachability
 oracles, candidate-partner lists, conflicting-pair tables) lives in
@@ -60,6 +67,7 @@ from .context import (
     mixed_iso_graph,
 )
 from .isolation import Allocation, IsolationLevel
+from .kernel import iter_witness_triples
 from .operations import Operation
 from .schedules import MVSchedule, canonical_schedule
 from .split_schedule import SplitScheduleSpec, materialize, operation_order
@@ -76,6 +84,7 @@ __all__ = [
     "check_robustness",
     "check_robustness_delta",
     "enumerate_counterexamples",
+    "first_witness_spec",
     "is_robust",
     "mixed_iso_graph",
 ]
@@ -207,7 +216,7 @@ def _scan_t1(
     ctx: AnalysisContext,
     allocation: Allocation,
     t1: Transaction,
-    method: str = "components",
+    method: str = "bitset",
 ) -> Iterator[SplitScheduleSpec]:
     """Algorithm 1's inner loops for a fixed split candidate ``T_1``.
 
@@ -219,7 +228,20 @@ def _scan_t1(
     the process-pool workers of :mod:`repro.parallel` run it remotely —
     which is what makes the parallel engine's results bit-identical to
     the sequential ones.
+
+    The ``bitset`` engine runs the whole triple scan on the kernel's
+    integer rows; the graph-backed oracle is only touched when a witness
+    is actually found (to assemble its connecting chain), so robust
+    workloads never build a graph at all.
     """
+    if method == "bitset":
+        kernel = ctx.kernel()
+        oracle = None
+        for t2, tm, ops in iter_witness_triples(kernel, allocation, t1):
+            if oracle is None:
+                oracle = ctx.oracle(t1)
+            yield _build_chain(ctx, oracle, t1, t2, tm, ops)
+        return
     candidates = ctx.candidates(t1, method)
     oracle = ctx.oracle(t1)
     index = ctx.index
@@ -244,6 +266,7 @@ def _scan_t1_delta(
     allocation: Allocation,
     t1: Transaction,
     delta_tid: int,
+    method: str = "bitset",
 ) -> Iterator[SplitScheduleSpec]:
     """:func:`_scan_t1` restricted to triples involving ``delta_tid``.
 
@@ -254,7 +277,17 @@ def _scan_t1_delta(
     subsequence is everything ``_scan_t1`` would yield.
     """
     if t1.tid == delta_tid:
-        yield from _scan_t1(ctx, allocation, t1, "components")
+        yield from _scan_t1(ctx, allocation, t1, method)
+        return
+    if method == "bitset":
+        kernel = ctx.kernel()
+        oracle = None
+        for t2, tm, ops in iter_witness_triples(
+            kernel, allocation, t1, delta_tid=delta_tid
+        ):
+            if oracle is None:
+                oracle = ctx.oracle(t1)
+            yield _build_chain(ctx, oracle, t1, t2, tm, ops)
         return
     candidates = ctx.candidates(t1, "components")
     oracle = ctx.oracle(t1)
@@ -276,7 +309,7 @@ def _scan_t1_delta(
 def check_robustness(
     workload: Workload,
     allocation: Allocation,
-    method: str = "components",
+    method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
 ) -> RobustnessResult:
@@ -290,8 +323,11 @@ def check_robustness(
     Args:
         workload: the set of transactions.
         allocation: an isolation level for every transaction.
-        method: ``"components"`` (default, cached reachability) or
-            ``"paper"`` (verbatim Algorithm 1 loop structure).
+        method: ``"bitset"`` (default, the integer-bitmask kernel of
+            :mod:`repro.core.kernel`), ``"components"`` (cached
+            graph reachability, the reference engine) or ``"paper"``
+            (verbatim Algorithm 1 loop structure).  All three are
+            bit-identical in verdicts and witnesses.
         context: an :class:`~repro.core.context.AnalysisContext` built for
             ``workload``; sharing one across checks amortizes the conflict
             index and per-``T_1`` reachability structure, which are
@@ -315,7 +351,7 @@ def check_robustness(
     """
     if not allocation.covers(workload):
         raise WorkloadError("allocation does not cover the workload")
-    if method not in ("components", "paper"):
+    if method not in ("bitset", "components", "paper"):
         raise ValueError(f"unknown method {method!r}")
     if n_jobs != 1:
         from ..parallel.engine import check_robustness_parallel, resolve_jobs
@@ -325,10 +361,10 @@ def check_robustness(
             if method == "paper":
                 raise ValueError(
                     "the verbatim paper engine is sequential-only; use"
-                    " method='components' with n_jobs > 1"
+                    " method='bitset' or 'components' with n_jobs > 1"
                 )
             return check_robustness_parallel(
-                workload, allocation, n_jobs=jobs, context=context
+                workload, allocation, n_jobs=jobs, context=context, method=method
             )
     ctx = _resolve_context(workload, context)
     ctx.record_check()
@@ -354,6 +390,7 @@ def check_robustness_delta(
     allocation: Allocation,
     delta_tid: int,
     context: Optional[AnalysisContext] = None,
+    method: str = "bitset",
 ) -> RobustnessResult:
     """Robustness of an allocation one step away from a robust one.
 
@@ -393,6 +430,8 @@ def check_robustness_delta(
         raise WorkloadError("allocation does not cover the workload")
     if delta_tid not in workload:
         raise WorkloadError(f"no transaction with id {delta_tid}")
+    if method not in ("bitset", "components"):
+        raise ValueError(f"unknown delta-scan method {method!r}")
     ctx = _resolve_context(workload, context)
     ctx.record_check()
     with current_tracer().span(
@@ -402,7 +441,7 @@ def check_robustness_delta(
         for t1 in workload:
             if t1.tid != delta_tid and t1.tid not in neighbours:
                 continue
-            for spec in _scan_t1_delta(ctx, allocation, t1, delta_tid):
+            for spec in _scan_t1_delta(ctx, allocation, t1, delta_tid, method):
                 check_span.set(robust=False)
                 schedule = materialize(spec, workload, allocation)
                 return RobustnessResult(
@@ -438,14 +477,52 @@ def _paper_reachable(
     return False
 
 
+def first_witness_spec(
+    workload: Workload,
+    allocation: Allocation,
+    method: str = "bitset",
+    context: Optional[AnalysisContext] = None,
+) -> Optional[SplitScheduleSpec]:
+    """The first counterexample spec, or ``None`` when robust — no schedule.
+
+    The lean core of :func:`check_robustness`: identical scan, identical
+    verdict, identical spec, but Theorem 3.2's schedule materialization
+    is skipped entirely.  This is what the boolean callers — Algorithm
+    2's downgrade probes, :func:`is_robust` — use: they never read the
+    schedule, and materialization dominates the cost of a failed probe
+    on mid-sized workloads.
+    """
+    if not allocation.covers(workload):
+        raise WorkloadError("allocation does not cover the workload")
+    if method not in ("bitset", "components", "paper"):
+        raise ValueError(f"unknown method {method!r}")
+    ctx = _resolve_context(workload, context)
+    ctx.record_check()
+    tracer = current_tracer()
+    with tracer.span(
+        "robustness.check", transactions=len(workload), method=method, jobs=1
+    ) as check_span:
+        for t1 in workload:
+            with tracer.span("robustness.scan_t1", t1=t1.tid):
+                spec = next(_scan_t1(ctx, allocation, t1, method), None)
+            if spec is not None:
+                check_span.set(robust=False)
+                return spec
+        check_span.set(robust=True)
+    return None
+
+
 def is_robust(
     workload: Workload,
     allocation: Allocation,
-    method: str = "components",
+    method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
 ) -> bool:
     """Boolean shorthand for :func:`check_robustness` (Algorithm 1).
+
+    Sequentially this runs the lean :func:`first_witness_spec` scan — no
+    counterexample schedule is built for a verdict the caller discards.
 
     Examples:
         >>> from repro.core.workload import workload
@@ -454,6 +531,10 @@ def is_robust(
         >>> is_robust(w, Allocation.si(w)), is_robust(w, Allocation.ssi(w))
         (False, True)
     """
+    if n_jobs == 1:
+        return (
+            first_witness_spec(workload, allocation, method, context) is None
+        )
     return check_robustness(
         workload, allocation, method=method, context=context, n_jobs=n_jobs
     ).robust
@@ -483,6 +564,7 @@ def enumerate_counterexamples(
     materialize_schedules: bool = True,
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
+    method: str = "bitset",
 ) -> Iterable[Counterexample]:
     """Yield one counterexample per problematic triple ``(T_1, T_2, T_m)``.
 
@@ -508,18 +590,28 @@ def enumerate_counterexamples(
             ``workload``, shared across calls; built fresh when omitted.
         n_jobs: ``1`` (default) in-process; ``> 1`` fans the per-``T_1``
             scans out; ``None`` picks automatically.
+        method: ``"bitset"`` (default), ``"components"`` or ``"paper"``
+            (the latter sequential-only); the yielded sequence is
+            identical for every engine.
     """
     if not allocation.covers(workload):
         raise WorkloadError("allocation does not cover the workload")
+    if method not in ("bitset", "components", "paper"):
+        raise ValueError(f"unknown method {method!r}")
     if n_jobs != 1:
         from ..parallel.engine import enumerate_specs_parallel, resolve_jobs
 
         jobs = resolve_jobs(n_jobs, len(workload))
         if jobs > 1:
+            if method == "paper":
+                raise ValueError(
+                    "the verbatim paper engine is sequential-only; use"
+                    " method='bitset' or 'components' with n_jobs > 1"
+                )
             ctx = _resolve_context(workload, context)
             ctx.record_check()
             for spec in enumerate_specs_parallel(
-                workload, allocation, n_jobs=jobs, context=ctx
+                workload, allocation, n_jobs=jobs, context=ctx, method=method
             ):
                 yield _spec_to_counterexample(
                     spec, workload, allocation, materialize_schedules
@@ -534,9 +626,9 @@ def enumerate_counterexamples(
             # scan time, not consumer time between yields.  The yielded
             # sequence is identical either way.
             with tracer.span("robustness.scan_t1", t1=t1.tid, survey=True):
-                specs = list(_scan_t1(ctx, allocation, t1, "components"))
+                specs = list(_scan_t1(ctx, allocation, t1, method))
         else:
-            specs = _scan_t1(ctx, allocation, t1, "components")
+            specs = _scan_t1(ctx, allocation, t1, method)
         for spec in specs:
             yield _spec_to_counterexample(
                 spec, workload, allocation, materialize_schedules

@@ -187,6 +187,7 @@ def check_robustness_parallel(
     allocation: Allocation,
     n_jobs: int = 2,
     context: Optional[AnalysisContext] = None,
+    method: str = "bitset",
 ) -> RobustnessResult:
     """Algorithm 1 with the per-``T_1`` searches fanned out over workers.
 
@@ -222,7 +223,7 @@ def check_robustness_parallel(
                 futures: Dict[Future, int] = {
                     executor.submit(
                         scan_chunk, wl_enc, alloc_enc, chunk, False,
-                        tracer.enabled,
+                        tracer.enabled, method,
                     ): i
                     for i, chunk in enumerate(chunks)
                 }
@@ -252,7 +253,7 @@ def check_robustness_parallel(
 
             check_span.set(fallback=True)
             return check_robustness(
-                workload, allocation, context=ctx, n_jobs=1
+                workload, allocation, context=ctx, n_jobs=1, method=method
             )
         check_span.set(robust=best is None)
     if best is None:
@@ -268,6 +269,7 @@ def enumerate_specs_parallel(
     allocation: Allocation,
     n_jobs: int = 2,
     context: Optional[AnalysisContext] = None,
+    method: str = "bitset",
 ) -> Iterator[SplitScheduleSpec]:
     """Every counterexample chain, in the sequential enumeration order.
 
@@ -294,7 +296,8 @@ def enumerate_specs_parallel(
             executor = _get_executor(n_jobs)
             futures = [
                 executor.submit(
-                    scan_chunk, wl_enc, alloc_enc, chunk, True, tracer.enabled
+                    scan_chunk, wl_enc, alloc_enc, chunk, True,
+                    tracer.enabled, method,
                 )
                 for chunk in chunks
             ]
@@ -310,7 +313,7 @@ def enumerate_specs_parallel(
         from ..core.robustness import _scan_t1
 
         for t1 in workload:
-            yield from _scan_t1(ctx, allocation, t1)
+            yield from _scan_t1(ctx, allocation, t1, method)
         return
     for chunk_result in collected:
         for _t1_tid, spec_encs in chunk_result:
@@ -325,6 +328,7 @@ def refine_allocation_parallel(
     n_jobs: int = 2,
     context: Optional[AnalysisContext] = None,
     floors: Optional[Dict[int, IsolationLevel]] = None,
+    method: str = "bitset",
 ) -> Allocation:
     """Algorithm 2's refinement with independent per-transaction probes.
 
@@ -374,7 +378,8 @@ def refine_allocation_parallel(
                 executor = _get_executor(n_jobs)
                 futures = [
                     executor.submit(
-                        probe_chunk, wl_enc, start_enc, chunk, tracer.enabled
+                        probe_chunk, wl_enc, start_enc, chunk,
+                        tracer.enabled, method,
                     )
                     for chunk in chunks
                 ]
@@ -389,7 +394,9 @@ def refine_allocation_parallel(
             from ..core.allocation import refine_allocation
 
             refine_span.set(fallback=True)
-            return refine_allocation(workload, start, ordered, context=ctx)
+            return refine_allocation(
+                workload, start, ordered, context=ctx, method=method
+            )
     return Allocation(
         {
             tid: chosen.get(tid, start[tid].name)
@@ -403,6 +410,7 @@ def optimal_allocation_parallel(
     levels: Sequence[IsolationLevel] = POSTGRES_LEVELS,
     n_jobs: int = 2,
     context: Optional[AnalysisContext] = None,
+    method: str = "bitset",
 ) -> Optional[Allocation]:
     """Algorithm 2 end to end on the pool (Theorem 4.3 / Theorem 5.5).
 
@@ -418,9 +426,9 @@ def optimal_allocation_parallel(
     top = ordered[-1]
     start = Allocation.uniform(workload, top)
     if top is not IsolationLevel.SSI and not check_robustness_parallel(
-        workload, start, n_jobs=n_jobs, context=ctx
+        workload, start, n_jobs=n_jobs, context=ctx, method=method
     ):
         return None
     return refine_allocation_parallel(
-        workload, start, ordered, n_jobs=n_jobs, context=ctx
+        workload, start, ordered, n_jobs=n_jobs, context=ctx, method=method
     )

@@ -80,6 +80,7 @@ def scan_chunk(
     t1_tids: Tuple[int, ...],
     find_all: bool,
     trace: bool = False,
+    method: str = "bitset",
 ) -> Tuple[object, Dict[str, int], SpanBatch]:
     """Run Algorithm 1's per-``T_1`` search for a chunk of candidates.
 
@@ -88,7 +89,10 @@ def scan_chunk(
     order; otherwise the scan stops at the chunk's first witness and
     returns ``(t1_tid, spec_enc)`` or ``None``.  With ``trace`` the
     chunk and its per-``T_1`` scans are recorded as spans and shipped
-    back as the third element of the return tuple.
+    back as the third element of the return tuple.  ``method`` picks the
+    scan engine (``"bitset"`` or ``"components"``); the bitset kernel is
+    rebuilt inside each worker from its cached context — kernels are
+    never pickled.
     """
     tracer = worker_tracer(trace)
     with use_tracer(tracer):
@@ -106,7 +110,7 @@ def scan_chunk(
                         specs = tuple(
                             encode_spec(spec)
                             for spec in _scan_t1(
-                                ctx, allocation, wl[tid], "components"
+                                ctx, allocation, wl[tid], method
                             )
                         )
                     if specs:
@@ -117,7 +121,7 @@ def scan_chunk(
                 for tid in t1_tids:
                     with tracer.span("robustness.scan_t1", t1=tid):
                         spec = next(
-                            _scan_t1(ctx, allocation, wl[tid], "components"), None
+                            _scan_t1(ctx, allocation, wl[tid], method), None
                         )
                     if spec is not None:
                         result = (tid, encode_spec(spec))
@@ -127,7 +131,7 @@ def scan_chunk(
 
 
 def _first_delta_witness(
-    ctx: AnalysisContext, allocation, delta_tid: int
+    ctx: AnalysisContext, allocation, delta_tid: int, method: str = "bitset"
 ) -> Optional[SplitScheduleSpec]:
     """First witness of the delta-restricted scan, or ``None`` if robust.
 
@@ -140,7 +144,7 @@ def _first_delta_witness(
     for t1 in ctx.workload:
         if t1.tid != delta_tid and t1.tid not in neighbours:
             continue
-        for spec in _scan_t1_delta(ctx, allocation, t1, delta_tid):
+        for spec in _scan_t1_delta(ctx, allocation, t1, delta_tid, method):
             return spec
     return None
 
@@ -150,6 +154,7 @@ def probe_chunk(
     start_enc: AllocationEncoding,
     probes: Tuple[Tuple[int, Tuple[str, ...]], ...],
     trace: bool = False,
+    method: str = "bitset",
 ) -> Tuple[Dict[int, str], Dict[str, int], SpanBatch]:
     """Algorithm 2's independent downgrade probes for a chunk of transactions.
 
@@ -181,7 +186,9 @@ def probe_chunk(
                         ):
                             if ctx.known_witness(candidate) is not None:
                                 continue  # cached chain: non-robust
-                            witness = _first_delta_witness(ctx, candidate, tid)
+                            witness = _first_delta_witness(
+                                ctx, candidate, tid, method
+                            )
                         if witness is None:
                             final = name
                             break

@@ -100,14 +100,11 @@ class TestAllocationManager:
         assert manager.last_stats.checks == ctx.stats.checks
 
     def test_mutation_builds_one_context(self):
-        from repro.core.context import ConflictIndex
-
         manager = AllocationManager()
         manager.add(parse_transaction("R1[x] W1[y]"))
         manager.add(parse_transaction("R2[y] W2[x]"))
-        before = ConflictIndex.total_builds
         manager.remove(1)
-        assert ConflictIndex.total_builds - before == 1
+        assert manager.last_stats.index_builds == 1
 
     def test_check_probes_do_not_disturb_last_check_count(self, write_skew):
         manager = AllocationManager()

@@ -1,0 +1,198 @@
+"""Property tests: the bitset kernel is bit-identical to ``components``.
+
+The acceptance contract of the kernel engine: on any (workload,
+allocation) pair, ``method="bitset"`` must return the *same*
+``RobustnessResult`` verdict, the *same* witness ``SplitScheduleSpec``,
+and the *same* ``enumerate_counterexamples`` sequence (order included)
+as ``method="components"`` — the kernel reorganizes the scan's data
+layout, never its decisions.  The suite also pins the delta-restricted
+scan, Algorithm 2 end to end, and the parallel (``n_jobs > 1``) paths.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+import strategies as sts
+from repro.core.allocation import optimal_allocation
+from repro.core.context import AnalysisContext
+from repro.core.isolation import Allocation, IsolationLevel
+from repro.core.robustness import (
+    check_robustness,
+    check_robustness_delta,
+    enumerate_counterexamples,
+)
+from repro.core.split_schedule import is_valid_split_schedule
+from repro.workloads.paper_examples import (
+    example26_workload,
+    example52_workload,
+    figure2_workload,
+)
+from repro.workloads.smallbank import smallbank_one_of_each
+from repro.workloads.tpcc import tpcc_one_of_each
+
+
+@st.composite
+def workload_and_allocation(draw):
+    wl = draw(sts.workloads(min_transactions=1, max_transactions=4))
+    levels = {
+        tid: draw(st.sampled_from(list(IsolationLevel))) for tid in wl.tids
+    }
+    return wl, Allocation(levels)
+
+
+@given(workload_and_allocation())
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_bitset_verdict_and_witness_match_components(pair):
+    """Same verdict, same counterexample spec, on random inputs."""
+    wl, alloc = pair
+    bitset = check_robustness(wl, alloc, method="bitset")
+    components = check_robustness(wl, alloc, method="components")
+    assert bitset.robust == components.robust
+    if not bitset.robust:
+        assert bitset.counterexample.spec == components.counterexample.spec
+        assert is_valid_split_schedule(bitset.counterexample.spec, wl, alloc)
+
+
+@given(workload_and_allocation())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_bitset_enumeration_order_matches_components(pair):
+    """The full survey agrees element by element, in order."""
+    wl, alloc = pair
+    bitset = [
+        c.spec for c in enumerate_counterexamples(wl, alloc, method="bitset")
+    ]
+    components = [
+        c.spec
+        for c in enumerate_counterexamples(wl, alloc, method="components")
+    ]
+    assert bitset == components
+
+
+@given(workload_and_allocation())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_bitset_delta_check_matches_components(pair):
+    """The delta-restricted scan agrees for every choice of delta tid."""
+    wl, alloc = pair
+    for delta_tid in wl.tids:
+        bitset = check_robustness_delta(wl, alloc, delta_tid, method="bitset")
+        components = check_robustness_delta(
+            wl, alloc, delta_tid, method="components"
+        )
+        assert bitset.robust == components.robust
+        if not bitset.robust:
+            assert (
+                bitset.counterexample.spec == components.counterexample.spec
+            )
+
+
+@given(sts.workloads(min_transactions=1, max_transactions=4))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_bitset_optimal_allocation_matches_components(wl):
+    """Algorithm 2 lands on the identical optimum under either engine."""
+    assert optimal_allocation(wl, method="bitset") == optimal_allocation(
+        wl, method="components"
+    )
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        figure2_workload,
+        example26_workload,
+        example52_workload,
+        smallbank_one_of_each,
+        tpcc_one_of_each,
+    ],
+)
+def test_paper_examples_agree_across_engines(factory):
+    """Uniform allocations + the optimum on every paper/named workload."""
+    wl = factory()
+    for level in IsolationLevel:
+        alloc = Allocation.uniform(wl, level)
+        bitset = check_robustness(wl, alloc, method="bitset")
+        components = check_robustness(wl, alloc, method="components")
+        paper = check_robustness(wl, alloc, method="paper")
+        assert bitset.robust == components.robust == paper.robust
+        if not bitset.robust:
+            assert (
+                bitset.counterexample.spec == components.counterexample.spec
+            )
+        bit_specs = [
+            c.spec for c in enumerate_counterexamples(wl, alloc, method="bitset")
+        ]
+        comp_specs = [
+            c.spec
+            for c in enumerate_counterexamples(wl, alloc, method="components")
+        ]
+        assert bit_specs == comp_specs
+    assert optimal_allocation(wl, method="bitset") == optimal_allocation(
+        wl, method="components"
+    )
+
+
+def test_bitset_parallel_matches_sequential():
+    """n_jobs=2 with the bitset engine equals n_jobs=1, both engines.
+
+    Fixed seed: one mixed-allocation workload large enough to split into
+    several chunks, checked and surveyed through the pool.
+    """
+    from repro.workloads.generator import random_workload
+
+    wl = random_workload(
+        transactions=18, objects=12, min_ops=2, max_ops=4, seed=7
+    )
+    levels = list(IsolationLevel)
+    alloc = Allocation(
+        {tid: levels[tid % len(levels)] for tid in wl.tids}
+    )
+    seq = check_robustness(wl, alloc, method="bitset", n_jobs=1)
+    par = check_robustness(wl, alloc, method="bitset", n_jobs=2)
+    comp = check_robustness(wl, alloc, method="components", n_jobs=1)
+    assert seq.robust == par.robust == comp.robust
+    if not seq.robust:
+        assert (
+            seq.counterexample.spec
+            == par.counterexample.spec
+            == comp.counterexample.spec
+        )
+    seq_specs = [
+        c.spec for c in enumerate_counterexamples(wl, alloc, method="bitset")
+    ]
+    par_specs = [
+        c.spec
+        for c in enumerate_counterexamples(
+            wl, alloc, method="bitset", n_jobs=2
+        )
+    ]
+    assert seq_specs == par_specs
+
+
+def test_bitset_parallel_allocation_matches_sequential():
+    """Algorithm 2 over the pool with the bitset probes: identical optimum."""
+    from repro.workloads.generator import random_workload
+
+    wl = random_workload(
+        transactions=18, objects=12, min_ops=2, max_ops=4, seed=11
+    )
+    seq = optimal_allocation(wl, method="bitset", n_jobs=1)
+    par = optimal_allocation(wl, method="bitset", n_jobs=2)
+    comp = optimal_allocation(wl, method="components", n_jobs=1)
+    assert seq == par == comp
+
+
+def test_unknown_method_rejected():
+    wl = figure2_workload()
+    alloc = Allocation.si(wl)
+    with pytest.raises(ValueError):
+        check_robustness(wl, alloc, method="bitmask")
+    with pytest.raises(ValueError):
+        list(enumerate_counterexamples(wl, alloc, method="bitmask"))
+
+
+def test_paper_method_rejected_with_jobs():
+    wl = figure2_workload()
+    alloc = Allocation.si(wl)
+    with pytest.raises(ValueError, match="sequential-only"):
+        check_robustness(wl, alloc, method="paper", n_jobs=2)
