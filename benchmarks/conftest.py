@@ -10,9 +10,12 @@ an experiment id in DESIGN.md / EXPERIMENTS.md.
 
 Pass ``--bench-json PATH`` to additionally distil the session's
 pytest-benchmark results into a small machine-readable summary
-(BENCH_robustness.json is the committed baseline): the Algorithm 1
-|T|-scaling series, the engine ablation (bitset / components / paper),
-the KERNEL speedup rows, and the machine the numbers came from.  Under
+(BENCH_robustness.json and BENCH_allocation.json are the committed
+baselines): the Algorithm 1 |T|-scaling series, the engine ablation
+(bitset / components / paper), the Algorithm 2 |T|-scaling and
+refinement-mode series, the KERNEL speedup rows, and the machine the
+numbers came from.  ``repro bench compare BASELINE CURRENT`` diffs two
+such files with noise-aware thresholds (the CI perf gate).  Under
 ``--benchmark-disable`` (the CI smoke) pytest-benchmark registers no
 results, so the series come out empty — the correctness assertions and
 the export path itself still run, which is what the smoke pins.
@@ -52,6 +55,8 @@ def _distil(benchmarks):
     scaling = []
     ablation = []
     kernel = []
+    alloc_scaling = []
+    refinement = []
     for meta in benchmarks:
         mean_s, min_s, rounds = _stat_seconds(meta)
         extra = dict(getattr(meta, "extra_info", {}) or {})
@@ -77,10 +82,30 @@ def _distil(benchmarks):
             )
         elif name.startswith("test_kernel_speedup_report"):
             kernel.extend(extra.get("rows", []))
+        elif name.startswith("test_algorithm2_scaling"):
+            alloc_scaling.append(
+                {
+                    "transactions": extra.get("transactions"),
+                    "mean_s": mean_s,
+                    "min_s": min_s,
+                    "rounds": rounds,
+                }
+            )
+        elif name.startswith("test_refinement_mode"):
+            refinement.append(
+                {
+                    "mode": extra.get("mode"),
+                    "mean_s": mean_s,
+                    "min_s": min_s,
+                    "rounds": rounds,
+                }
+            )
     scaling.sort(key=lambda r: r["transactions"] or 0)
+    alloc_scaling.sort(key=lambda r: r["transactions"] or 0)
+    refinement.sort(key=lambda r: r["mode"] or "")
     return {
         "schema": 1,
-        "source": "benchmarks/bench_robustness.py via --bench-json",
+        "source": "benchmarks/ via --bench-json",
         "machine": {
             "platform": platform.platform(),
             "python": sys.version.split()[0],
@@ -89,6 +114,8 @@ def _distil(benchmarks):
         "algorithm1_scaling": scaling,
         "method_ablation": ablation,
         "kernel_speedup": kernel,
+        "algorithm2_scaling": alloc_scaling,
+        "refinement_mode": refinement,
     }
 
 

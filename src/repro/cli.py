@@ -19,6 +19,12 @@ Subcommands:
 * ``templates check|allocate <template-file>`` — template-level robustness
   (bounded exact check + static sufficient condition) and optimal
   per-program allocation.
+* ``trace report|diff|flame`` — analyse exported ``--trace`` files:
+  profile tree with inclusive/self times and critical path, noise-aware
+  regression diff of two traces, folded stacks for flamegraph tooling.
+* ``bench compare BASELINE CURRENT`` — compare two ``--bench-json``
+  baselines (``BENCH_robustness.json`` / ``BENCH_allocation.json``)
+  with noise-aware thresholds; exit 1 on regression (the CI gate).
 
 Workload files use the text format of
 :func:`repro.core.workload.parse_workload`::
@@ -31,6 +37,7 @@ Workload files use the text format of
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -295,6 +302,70 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from .observability import profile_trace_file, render_trace_report
+
+    key_attrs = tuple(
+        part.strip() for part in (args.group_by or "").split(",") if part.strip()
+    )
+    data, root = profile_trace_file(args.file, key_attrs=key_attrs)
+    print(render_trace_report(data, root, path=args.file, max_depth=args.depth))
+    return 0
+
+
+def _cmd_trace_flame(args: argparse.Namespace) -> int:
+    from .observability import folded_stacks, profile_trace_file
+
+    key_attrs = tuple(
+        part.strip() for part in (args.group_by or "").split(",") if part.strip()
+    )
+    _data, root = profile_trace_file(args.file, key_attrs=key_attrs)
+    stacks = folded_stacks(root)
+    if args.output:
+        Path(args.output).write_text(stacks, encoding="utf-8")
+        print(f"Folded stacks written to {args.output}")
+    else:
+        sys.stdout.write(stacks)
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from .observability import diff_trace_files
+
+    report = diff_trace_files(
+        args.baseline,
+        args.current,
+        max_regress=args.max_regress / 100.0,
+        abs_floor_s=args.abs_floor_ms / 1e3,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(f"Trace diff: {args.baseline} -> {args.current}")
+        print(report.render())
+    return report.exit_code
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .observability import compare_bench_files
+
+    try:
+        report = compare_bench_files(
+            args.baseline,
+            args.current,
+            max_regress=args.max_regress / 100.0,
+            abs_floor_s=args.abs_floor_ms / 1e3,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(f"Bench compare: {args.baseline} -> {args.current}")
+        print(report.render())
+    return report.exit_code
+
+
 def _add_trace_flag(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--trace",
@@ -303,6 +374,44 @@ def _add_trace_flag(sub_parser: argparse.ArgumentParser) -> None:
             "write a JSON span trace of the run to FILE (see"
             " repro.observability.validate_trace for the schema)"
         ),
+    )
+    sub_parser.add_argument(
+        "--trace-memory",
+        action="store_true",
+        help=(
+            "with --trace: record tracemalloc peak/current deltas as"
+            " mem_peak_kib/mem_current_kib attributes on top-level spans"
+        ),
+    )
+
+
+def _add_diff_thresholds(sub_parser: argparse.ArgumentParser) -> None:
+    from .observability import DEFAULT_ABS_FLOOR_S, DEFAULT_MAX_REGRESS
+
+    sub_parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=DEFAULT_MAX_REGRESS * 100.0,
+        metavar="PCT",
+        help=(
+            "relative slowdown threshold in percent"
+            f" (default {DEFAULT_MAX_REGRESS * 100:.0f})"
+        ),
+    )
+    sub_parser.add_argument(
+        "--abs-floor-ms",
+        type=float,
+        default=DEFAULT_ABS_FLOOR_S * 1e3,
+        metavar="MS",
+        help=(
+            "absolute floor in milliseconds: smaller deltas never count"
+            f" (default {DEFAULT_ABS_FLOOR_S * 1e3:.1f})"
+        ),
+    )
+    sub_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable verdict document instead of the table",
     )
 
 
@@ -413,6 +522,67 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(allocate)
     allocate.set_defaults(func=_cmd_allocate)
 
+    trace = sub.add_parser(
+        "trace", help="analyse exported --trace files (report, diff, flame)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_report = trace_sub.add_parser(
+        "report", help="profile tree, critical path and hot phases of a trace"
+    )
+    trace_report.add_argument("file", help="trace JSON file (from --trace)")
+    trace_report.add_argument(
+        "--group-by",
+        metavar="ATTRS",
+        help=(
+            "comma-separated span attributes to refine grouping by"
+            " (e.g. origin, pid, t1); 'origin' splits per worker"
+        ),
+    )
+    trace_report.add_argument(
+        "--depth", type=int, metavar="N", help="limit the printed tree depth"
+    )
+    trace_report.set_defaults(func=_cmd_trace_report)
+
+    trace_diff = trace_sub.add_parser(
+        "diff", help="noise-aware per-phase timing diff of two traces"
+    )
+    trace_diff.add_argument("baseline", help="baseline trace JSON file")
+    trace_diff.add_argument("current", help="current trace JSON file")
+    _add_diff_thresholds(trace_diff)
+    trace_diff.set_defaults(func=_cmd_trace_diff)
+
+    trace_flame = trace_sub.add_parser(
+        "flame", help="export folded stacks for flamegraph.pl / speedscope"
+    )
+    trace_flame.add_argument("file", help="trace JSON file (from --trace)")
+    trace_flame.add_argument(
+        "--group-by",
+        metavar="ATTRS",
+        help="comma-separated span attributes to refine frames by",
+    )
+    trace_flame.add_argument(
+        "-o", "--output", metavar="FILE", help="write here instead of stdout"
+    )
+    trace_flame.set_defaults(func=_cmd_trace_flame)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark baseline tooling (compare)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help=(
+            "compare two --bench-json baselines; exit 1 on regression"
+            " (the CI perf gate)"
+        ),
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("current", help="fresh --bench-json output")
+    _add_diff_thresholds(bench_compare)
+    bench_compare.set_defaults(func=_cmd_bench_compare)
+
     simulate = sub.add_parser("simulate", help="run the workload on the MVCC engine")
     simulate.add_argument("workload", help="workload file")
     simulate.add_argument("--allocation", help="per-transaction levels")
@@ -431,18 +601,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     :class:`~repro.observability.Tracer` and the span trace is written to
     ``FILE`` as JSON afterwards (even when the subcommand exits non-zero,
     e.g. ``check`` finding a counterexample — the trace of a failing run
-    is usually the interesting one).  Without the flag the no-op tracer
-    stays installed and all output is byte-identical to a build without
-    tracing.
+    is usually the interesting one).  ``--trace-memory`` additionally
+    runs the command under :mod:`tracemalloc` and stamps peak/current
+    allocation deltas on the top-level spans.  Without the flags the
+    no-op tracer stays installed and all output is byte-identical to a
+    build without tracing.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
+    trace_memory = bool(getattr(args, "trace_memory", False))
     if not trace_path:
+        if trace_memory:
+            parser.error("--trace-memory requires --trace FILE")
         return args.func(args)
-    tracer = Tracer()
-    with use_tracer(tracer):
-        status = args.func(args)
+    tracer = Tracer(trace_memory=trace_memory)
+    if trace_memory:
+        import tracemalloc
+
+        tracemalloc.start()
+    try:
+        with use_tracer(tracer):
+            status = args.func(args)
+    finally:
+        if trace_memory:
+            import tracemalloc
+
+            tracemalloc.stop()
     tracer.write(trace_path)
     return status
 

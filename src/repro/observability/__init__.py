@@ -11,13 +11,45 @@ profiling hooks build on:
 * :func:`use_tracer` / :func:`current_tracer` — the module-global
   current tracer the instrumented hot paths record into;
 * :func:`validate_trace` / :func:`validate_trace_file` — the documented
-  JSON export schema, enforced by tests and CI's trace smoke step.
+  JSON export schema, enforced by tests and CI's trace smoke step;
+* :func:`build_profile` / :func:`folded_stacks` / :func:`critical_path`
+  — trace analysis: the span forest aggregated into a profile tree with
+  inclusive/self times, flamegraph-ready folded stacks (``repro trace
+  report`` / ``trace flame``);
+* :func:`diff_traces` / :func:`compare_bench` — noise-aware regression
+  verdicts between two traces or two ``--bench-json`` baselines
+  (``repro trace diff`` / ``repro bench compare``, the CI gate).
 
 See ``docs/architecture.md`` (Observability section) for the span model
 and the worker batch merge.
 """
 
+from .diff import (
+    BENCH_SERIES,
+    DEFAULT_ABS_FLOOR_S,
+    DEFAULT_MAX_REGRESS,
+    DiffEntry,
+    DiffReport,
+    compare_bench,
+    compare_bench_files,
+    diff_timers,
+    diff_trace_files,
+    diff_traces,
+    load_bench_file,
+)
 from .metrics import MetricsRegistry, TimerStat
+from .profile import (
+    ProfileNode,
+    ROOT_KEY,
+    build_profile,
+    critical_path,
+    folded_stacks,
+    inclusive_totals,
+    profile_trace_file,
+    render_critical_path,
+    render_profile,
+    render_trace_report,
+)
 from .tracer import (
     NULL_TRACER,
     NullTracer,
@@ -35,16 +67,37 @@ from .tracer import (
 )
 
 __all__ = [
+    "BENCH_SERIES",
+    "DEFAULT_ABS_FLOOR_S",
+    "DEFAULT_MAX_REGRESS",
+    "DiffEntry",
+    "DiffReport",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ProfileNode",
+    "ROOT_KEY",
     "SpanBatch",
     "SpanRecord",
     "SpanTuple",
     "TRACE_VERSION",
     "TimerStat",
     "Tracer",
+    "build_profile",
+    "compare_bench",
+    "compare_bench_files",
+    "critical_path",
     "current_tracer",
+    "diff_timers",
+    "diff_trace_files",
+    "diff_traces",
+    "folded_stacks",
+    "inclusive_totals",
+    "load_bench_file",
+    "profile_trace_file",
+    "render_critical_path",
+    "render_profile",
+    "render_trace_report",
     "set_tracer",
     "use_tracer",
     "validate_trace",

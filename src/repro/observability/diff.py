@@ -1,0 +1,364 @@
+"""Noise-aware comparison of traces and benchmark baselines.
+
+Two comparison surfaces, one verdict model:
+
+* :func:`diff_traces` — two ``--trace`` exports, compared on their
+  per-phase timer totals (``metrics.timers[name].total_s``): "did
+  ``robustness.scan_t1`` get slower between these two runs?";
+* :func:`compare_bench` — two ``--bench-json`` distillates
+  (``BENCH_robustness.json`` / ``BENCH_allocation.json`` and fresh
+  runs), compared series by series with rows matched on their key
+  column (``transactions``, ``method``, ``mode``).
+
+Wall-clock measurements are noisy, so a row only counts as a
+**regression** when it clears *both* thresholds:
+
+* the **relative** threshold — ``current > base * (1 + max_regress)``
+  (default 25%); and
+* the **absolute floor** — ``current - base > abs_floor_s`` (default
+  1 ms), so microsecond-scale rows can never fail the gate on jitter.
+
+Improvements are classified symmetrically (reported, never fatal).
+Rows missing on either side, or without timings (a
+``--benchmark-disable`` smoke run distils ``null`` stats), are
+*skipped*, not failed — the CI gate must stay green when it has nothing
+comparable to say.  The report is machine-readable via
+:meth:`DiffReport.as_dict` (the CLI's ``--json``) and drives the exit
+code of ``repro trace diff`` / ``repro bench compare``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .tracer import validate_trace_file
+
+__all__ = [
+    "BENCH_SERIES",
+    "DEFAULT_ABS_FLOOR_S",
+    "DEFAULT_MAX_REGRESS",
+    "DiffEntry",
+    "DiffReport",
+    "compare_bench",
+    "compare_bench_files",
+    "diff_timers",
+    "diff_trace_files",
+    "diff_traces",
+    "load_bench_file",
+]
+
+#: Default relative regression threshold (fraction: 0.25 == +25%).
+DEFAULT_MAX_REGRESS = 0.25
+
+#: Default absolute floor in seconds: deltas below it are never flagged.
+DEFAULT_ABS_FLOOR_S = 0.001
+
+#: The ``--bench-json`` series compared by :func:`compare_bench`, as
+#: ``(series name, key column)``.  Rows are matched on the key column;
+#: ``min_s`` is preferred over ``mean_s`` (less scheduler noise).
+BENCH_SERIES: Tuple[Tuple[str, str], ...] = (
+    ("algorithm1_scaling", "transactions"),
+    ("method_ablation", "method"),
+    ("algorithm2_scaling", "transactions"),
+    ("refinement_mode", "mode"),
+)
+
+_STATUS_ORDER = ("regression", "improvement", "ok", "skipped")
+
+
+@dataclass
+class DiffEntry:
+    """One compared row: a span name or a benchmark series row.
+
+    ``status`` is one of ``"regression"``, ``"improvement"``, ``"ok"``
+    or ``"skipped"`` (missing on one side / no timing available).
+    """
+
+    key: str
+    base_s: Optional[float]
+    current_s: Optional[float]
+    status: str
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """``current / base``, or ``None`` when either side is missing."""
+        if self.base_s is None or self.current_s is None or self.base_s <= 0:
+            return None
+        return self.current_s / self.base_s
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "base_s": self.base_s,
+            "current_s": self.current_s,
+            "ratio": self.ratio,
+            "status": self.status,
+            "note": self.note,
+        }
+
+
+@dataclass
+class DiffReport:
+    """The full comparison: entries, thresholds, and the verdict."""
+
+    entries: List[DiffEntry]
+    max_regress: float
+    abs_floor_s: float
+
+    @property
+    def regressions(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.status == "regression"]
+
+    @property
+    def improvements(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.status == "improvement"]
+
+    @property
+    def compared(self) -> int:
+        """Rows with timings on both sides (everything but skipped)."""
+        return sum(1 for e in self.entries if e.status != "skipped")
+
+    @property
+    def verdict(self) -> str:
+        """``"regression"`` iff any row regressed, else ``"ok"``."""
+        return "regression" if self.regressions else "ok"
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit status: 0 ok, 1 regression."""
+        return 1 if self.regressions else 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """The machine-readable verdict document (CLI ``--json``)."""
+        return {
+            "verdict": self.verdict,
+            "max_regress": self.max_regress,
+            "abs_floor_s": self.abs_floor_s,
+            "compared": self.compared,
+            "skipped": len(self.entries) - self.compared,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+
+    def render(self) -> str:
+        """An aligned human-readable table plus the verdict line."""
+        lines: List[str] = []
+        shown = sorted(
+            self.entries, key=lambda e: _STATUS_ORDER.index(e.status)
+        )
+        if shown:
+            width = max(len(e.key) for e in shown)
+            lines.append(
+                f"  {'entry':<{width}}  {'baseline':>12}  {'current':>12}"
+                f"  {'ratio':>7}  status"
+            )
+            for entry in shown:
+                base = "-" if entry.base_s is None else f"{entry.base_s * 1e3:.3f}ms"
+                cur = (
+                    "-"
+                    if entry.current_s is None
+                    else f"{entry.current_s * 1e3:.3f}ms"
+                )
+                ratio = "-" if entry.ratio is None else f"{entry.ratio:.2f}x"
+                suffix = f"  ({entry.note})" if entry.note else ""
+                lines.append(
+                    f"  {entry.key:<{width}}  {base:>12}  {cur:>12}"
+                    f"  {ratio:>7}  {entry.status}{suffix}"
+                )
+        else:
+            lines.append("  (nothing to compare)")
+        lines.append("")
+        lines.append(
+            f"Verdict: {self.verdict.upper()}"
+            f" — {self.compared} compared,"
+            f" {len(self.entries) - self.compared} skipped,"
+            f" {len(self.regressions)} regression(s),"
+            f" {len(self.improvements)} improvement(s)"
+            f" (thresholds: +{self.max_regress * 100:.0f}% relative,"
+            f" {self.abs_floor_s * 1e3:.1f}ms absolute floor)"
+        )
+        return "\n".join(lines)
+
+
+def _classify(
+    base_s: float, current_s: float, max_regress: float, abs_floor_s: float
+) -> str:
+    if current_s > base_s * (1.0 + max_regress) and (
+        current_s - base_s > abs_floor_s
+    ):
+        return "regression"
+    if base_s > current_s * (1.0 + max_regress) and (
+        base_s - current_s > abs_floor_s
+    ):
+        return "improvement"
+    return "ok"
+
+
+def _entry(
+    key: str,
+    base_s: Optional[float],
+    current_s: Optional[float],
+    max_regress: float,
+    abs_floor_s: float,
+    note: str = "",
+) -> DiffEntry:
+    if base_s is None or current_s is None:
+        side = "baseline" if base_s is None else "current"
+        return DiffEntry(
+            key, base_s, current_s, "skipped", note or f"no timing in {side}"
+        )
+    status = _classify(base_s, current_s, max_regress, abs_floor_s)
+    return DiffEntry(key, base_s, current_s, status, note)
+
+
+# ---------------------------------------------------------------------------
+# Trace-vs-trace
+# ---------------------------------------------------------------------------
+
+
+def diff_timers(
+    base_timers: Dict[str, Dict[str, object]],
+    current_timers: Dict[str, Dict[str, object]],
+    max_regress: float = DEFAULT_MAX_REGRESS,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> DiffReport:
+    """Compare two ``metrics.timers`` tables on per-name total time."""
+    entries: List[DiffEntry] = []
+    for name in sorted(set(base_timers) | set(current_timers)):
+        base = base_timers.get(name)
+        current = current_timers.get(name)
+        entries.append(
+            _entry(
+                name,
+                None if base is None else float(base["total_s"]),
+                None if current is None else float(current["total_s"]),
+                max_regress,
+                abs_floor_s,
+            )
+        )
+    return DiffReport(entries, max_regress, abs_floor_s)
+
+
+def diff_traces(
+    base: Dict[str, object],
+    current: Dict[str, object],
+    max_regress: float = DEFAULT_MAX_REGRESS,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> DiffReport:
+    """Compare two exported trace dicts on their per-phase timer totals."""
+    return diff_timers(
+        base["metrics"]["timers"],
+        current["metrics"]["timers"],
+        max_regress=max_regress,
+        abs_floor_s=abs_floor_s,
+    )
+
+
+def diff_trace_files(
+    base_path: Union[str, Path],
+    current_path: Union[str, Path],
+    max_regress: float = DEFAULT_MAX_REGRESS,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> DiffReport:
+    """Load + validate two ``--trace`` files and diff them."""
+    return diff_traces(
+        validate_trace_file(base_path),
+        validate_trace_file(current_path),
+        max_regress=max_regress,
+        abs_floor_s=abs_floor_s,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bench-vs-bench (the --bench-json distillate)
+# ---------------------------------------------------------------------------
+
+
+def load_bench_file(path: Union[str, Path]) -> Dict[str, object]:
+    """Load a ``--bench-json`` distillate and check its envelope."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("schema") != 1:
+        raise ValueError(
+            f"{path}: not a --bench-json distillate"
+            f" (schema {data.get('schema') if isinstance(data, dict) else None!r})"
+        )
+    return data
+
+
+def _row_seconds(row: Dict[str, object], other: Dict[str, object]) -> str:
+    """The stat column to compare: ``min_s`` when both rows carry it.
+
+    ``min_s`` is the standard low-noise benchmark statistic (the best
+    observed run is the least contaminated by scheduler interference);
+    ``mean_s`` is the fallback for distillates that only recorded means.
+    """
+    if row.get("min_s") is not None and other.get("min_s") is not None:
+        return "min_s"
+    return "mean_s"
+
+
+def compare_bench(
+    base: Dict[str, object],
+    current: Dict[str, object],
+    max_regress: float = DEFAULT_MAX_REGRESS,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> DiffReport:
+    """Compare two ``--bench-json`` distillates series by series.
+
+    Every series of :data:`BENCH_SERIES` present on either side is
+    walked; rows are matched on the series' key column.  Unmatched rows
+    and rows without timings (``--benchmark-disable`` smokes) are
+    skipped — only rows timed on both sides can regress.
+    """
+    entries: List[DiffEntry] = []
+    for series, key_column in BENCH_SERIES:
+        base_rows = {
+            row.get(key_column): row for row in base.get(series, []) or []
+        }
+        current_rows = {
+            row.get(key_column): row for row in current.get(series, []) or []
+        }
+        for key in sorted(
+            set(base_rows) | set(current_rows), key=lambda k: (str(type(k)), str(k))
+        ):
+            label = f"{series}[{key_column}={key}]"
+            base_row = base_rows.get(key)
+            current_row = current_rows.get(key)
+            if base_row is None or current_row is None:
+                side = "baseline" if base_row is None else "current"
+                entries.append(
+                    DiffEntry(label, None, None, "skipped", f"row missing in {side}")
+                )
+                continue
+            column = _row_seconds(base_row, current_row)
+            base_s = base_row.get(column)
+            current_s = current_row.get(column)
+            entries.append(
+                _entry(
+                    label,
+                    None if base_s is None else float(base_s),
+                    None if current_s is None else float(current_s),
+                    max_regress,
+                    abs_floor_s,
+                    note=column if base_s is not None and current_s is not None else "",
+                )
+            )
+    return DiffReport(entries, max_regress, abs_floor_s)
+
+
+def compare_bench_files(
+    base_path: Union[str, Path],
+    current_path: Union[str, Path],
+    max_regress: float = DEFAULT_MAX_REGRESS,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> DiffReport:
+    """Load two ``--bench-json`` files and compare them."""
+    return compare_bench(
+        load_bench_file(base_path),
+        load_bench_file(current_path),
+        max_regress=max_regress,
+        abs_floor_s=abs_floor_s,
+    )

@@ -59,12 +59,18 @@ class TimerStat:
         self.total_s += other.total_s
 
     def as_dict(self) -> Dict[str, float]:
-        """The aggregate as a plain JSON-ready dict."""
+        """The aggregate as a plain JSON-ready dict.
+
+        Includes the derived ``mean_s`` so consumers of the exported
+        trace (``repro trace report``, dashboards) see exactly the
+        numbers the ``--stats`` phase report prints — no re-deriving.
+        """
         return {
             "count": self.count,
             "total_s": self.total_s,
             "min_s": self.min_s,
             "max_s": self.max_s,
+            "mean_s": self.mean_s,
         }
 
 

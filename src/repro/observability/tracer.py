@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -142,6 +143,7 @@ class NullTracer:
     """
 
     enabled = False
+    trace_memory = False
 
     def span(self, name: str, **attrs: object) -> _NullSpan:
         """A no-op context manager (always the same shared instance)."""
@@ -165,7 +167,7 @@ NULL_TRACER = NullTracer()
 class _ActiveSpan:
     """Context manager recording one span on a :class:`Tracer`."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "span_id", "_start")
+    __slots__ = ("_tracer", "_name", "_attrs", "span_id", "_start", "_mem0")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
         self._tracer = tracer
@@ -173,6 +175,7 @@ class _ActiveSpan:
         self._attrs = attrs
         self.span_id: Optional[int] = None
         self._start = 0.0
+        self._mem0: Optional[int] = None
 
     def set(self, **attrs: object) -> None:
         """Annotate the span (e.g. the outcome, once known)."""
@@ -183,6 +186,13 @@ class _ActiveSpan:
         self.span_id = tracer._next_id
         tracer._next_id += 1
         tracer._stack.append(self.span_id)
+        if tracer.trace_memory and len(tracer._stack) == 1:
+            # Peak deltas are recorded per *top-level* span only (the
+            # check/allocate/run roots): resetting the peak inside nested
+            # spans would corrupt the enclosing span's reading.
+            if tracemalloc.is_tracing():
+                tracemalloc.reset_peak()
+                self._mem0 = tracemalloc.get_traced_memory()[0]
         self._start = time.perf_counter()
         return self
 
@@ -192,6 +202,14 @@ class _ActiveSpan:
         tracer._stack.pop()
         parent = tracer._stack[-1] if tracer._stack else None
         duration = end - self._start
+        if self._mem0 is not None and tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            self._attrs["mem_peak_kib"] = round(
+                max(0, peak - self._mem0) / 1024, 1
+            )
+            self._attrs["mem_current_kib"] = round(
+                (current - self._mem0) / 1024, 1
+            )
         assert self.span_id is not None
         tracer.spans.append(
             SpanRecord(
@@ -226,8 +244,14 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, origin: Optional[str] = None):
+    def __init__(self, origin: Optional[str] = None, trace_memory: bool = False):
         self.origin = origin if origin is not None else "main"
+        #: With ``trace_memory`` (and :mod:`tracemalloc` started by the
+        #: caller — the CLI's ``--trace-memory`` flag does both), every
+        #: *top-level* span additionally records the tracemalloc peak and
+        #: current deltas over its lifetime as ``mem_peak_kib`` /
+        #: ``mem_current_kib`` attributes.
+        self.trace_memory = bool(trace_memory)
         self.spans: List[SpanRecord] = []
         self.registry = MetricsRegistry()
         self._stack: List[int] = []
@@ -368,6 +392,15 @@ _SPAN_FIELDS = {
 
 _TIMER_FIELDS = {"count": int, "total_s": (int, float), "min_s": (int, float), "max_s": (int, float)}
 
+#: Optional timer fields: written by current exports, tolerated as absent
+#: so traces from earlier releases of the same schema version still load.
+_TIMER_OPTIONAL_FIELDS = {"mean_s": (int, float)}
+
+#: Slack (seconds) for the parent-window containment check: child start
+#: and end are computed from the same monotonic clock as the parent's,
+#: so only float rounding can push them marginally outside.
+_WINDOW_SLACK_S = 1e-6
+
 
 def _fail(message: str) -> None:
     raise ValueError(f"invalid trace: {message}")
@@ -382,10 +415,24 @@ def validate_trace(data: object) -> None:
       "spans": [...], "metrics": {"counters": {...}, "timers": {...}}}``;
     * each span: ``span_id`` (int, unique), ``parent_id`` (int id of
       another span, or null for roots), ``name`` (non-empty str),
-      ``start_s``/``duration_s`` (numbers, duration >= 0), ``origin``
+      ``start_s``/``duration_s`` (numbers, both >= 0), ``origin``
       (str), ``attrs`` (object mapping str to scalars);
     * metrics: ``counters`` maps str to int; ``timers`` maps str to
-      ``{"count", "total_s", "min_s", "max_s"}`` numbers.
+      ``{"count", "total_s", "min_s", "max_s"}`` numbers (plus the
+      derived ``mean_s`` on current exports).
+
+    Beyond per-field types, three *structural* invariants of the tracer
+    are enforced (they harden :meth:`Tracer.absorb` re-parenting too):
+
+    * spans are exported in completion order and a parent finishes after
+      its children, so a span's parent record must appear **after** the
+      span that references it (this also rules out self-parenting and
+      parent cycles);
+    * a child's ``[start, end]`` window must lie within its parent's —
+      checked only when both share an ``origin``, since worker clocks
+      are not comparable with the parent's;
+    * durations and starts are non-negative (``perf_counter`` is
+      monotonic from a non-negative reference on every platform we run).
 
     Raises :class:`ValueError` on the first violation; returns ``None``
     on success (used by tests and CI's trace-export smoke step).
@@ -411,6 +458,8 @@ def validate_trace(data: object) -> None:
             _fail(f"span #{position} has an empty name")
         if span["duration_s"] < 0:
             _fail(f"span #{position} has negative duration")
+        if span["start_s"] < 0:
+            _fail(f"span #{position} has negative start")
         if span["span_id"] in seen_ids:
             _fail(f"duplicate span_id {span['span_id']}")
         seen_ids.add(span["span_id"])
@@ -422,10 +471,34 @@ def validate_trace(data: object) -> None:
                 and all(isinstance(item, _SCALAR_TYPES) for item in value)
             ):
                 _fail(f"span #{position} attr {attr!r} is not a scalar (or scalar list)")
+    position_of = {span["span_id"]: i for i, span in enumerate(spans)}
     for position, span in enumerate(spans):
         parent = span["parent_id"]
-        if parent is not None and parent not in seen_ids:
+        if parent is None:
+            continue
+        if parent not in seen_ids:
             _fail(f"span #{position} parent_id {parent} is not a span_id in the trace")
+        parent_position = position_of[parent]
+        if parent_position <= position:
+            _fail(
+                f"span #{position} references parent_id {parent} recorded at"
+                f" or before it (#{parent_position}) — spans are exported in"
+                " completion order, so a parent must appear after its children"
+            )
+        parent_span = spans[parent_position]
+        if parent_span["origin"] == span["origin"]:
+            start = span["start_s"]
+            end = start + span["duration_s"]
+            parent_start = parent_span["start_s"]
+            parent_end = parent_start + parent_span["duration_s"]
+            if (
+                start < parent_start - _WINDOW_SLACK_S
+                or end > parent_end + _WINDOW_SLACK_S
+            ):
+                _fail(
+                    f"span #{position} window [{start}, {end}] lies outside"
+                    f" its parent's [{parent_start}, {parent_end}]"
+                )
     metrics = data["metrics"]
     if not isinstance(metrics.get("counters"), dict):
         _fail("'metrics.counters' must be an object")
@@ -439,6 +512,11 @@ def validate_trace(data: object) -> None:
             _fail(f"timer {name!r} must be an object")
         for tfield, kind in _TIMER_FIELDS.items():
             if not isinstance(timer.get(tfield), kind) or isinstance(timer.get(tfield), bool):
+                _fail(f"timer {name!r} field {tfield!r} has wrong type")
+        for tfield, kind in _TIMER_OPTIONAL_FIELDS.items():
+            if tfield in timer and (
+                not isinstance(timer[tfield], kind) or isinstance(timer[tfield], bool)
+            ):
                 _fail(f"timer {name!r} field {tfield!r} has wrong type")
 
 

@@ -24,6 +24,7 @@ they work under both ``fork`` and ``spawn`` start methods.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -101,7 +102,11 @@ def scan_chunk(
         wl = ctx.workload
         result: object
         with tracer.span(
-            "parallel.chunk", kind="scan", size=len(t1_tids), find_all=find_all
+            "parallel.chunk",
+            kind="scan",
+            size=len(t1_tids),
+            find_all=find_all,
+            pid=os.getpid(),
         ):
             if find_all:
                 found = []
@@ -175,7 +180,9 @@ def probe_chunk(
         ctx, before = _context_for(workload_enc)
         start = decode_allocation(start_enc)
         chosen: Dict[int, str] = {}
-        with tracer.span("parallel.chunk", kind="probe", size=len(probes)):
+        with tracer.span(
+            "parallel.chunk", kind="probe", size=len(probes), pid=os.getpid()
+        ):
             for tid, level_names in probes:
                 final = start[tid].name
                 with tracer.span("allocation.refine_txn", tid=tid) as txn_span:

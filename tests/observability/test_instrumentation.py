@@ -161,6 +161,30 @@ class TestParallelSpans:
             optimal_allocation(wl, n_jobs=2)
         validate_trace(tracer.export())
 
+    def test_merged_counters_equal_worker_delta_sum(self):
+        # The tracer's counters come back with the span batches, the
+        # context's come back with the stats deltas — two independent
+        # channels that must agree on the total work done under n_jobs>1.
+        wl = random_workload(transactions=10, objects=8, min_ops=2, max_ops=4, seed=5)
+        tracer = Tracer()
+        ctx = AnalysisContext(wl)
+        with use_tracer(tracer):
+            optimal_allocation(wl, n_jobs=2, context=ctx)
+        assert ctx.stats.checks > 0
+        assert tracer.registry.counters["robustness.checks"] == ctx.stats.checks
+
+    def test_worker_chunks_carry_pid(self):
+        wl = random_workload(transactions=10, objects=8, min_ops=2, max_ops=4, seed=5)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            check_robustness(wl, Allocation.si(wl), n_jobs=2)
+            optimal_allocation(wl, n_jobs=2)
+        chunks = [s for s in tracer.spans if s.name == "parallel.chunk"]
+        assert chunks
+        for chunk in chunks:
+            assert chunk.attrs["pid"] > 0
+            assert chunk.attrs["size"] >= 1
+
 
 class TestTracingChangesNothing:
     def _workloads(self):

@@ -1,6 +1,7 @@
 """Unit tests for the span tracer and metrics registry."""
 
 import json
+import tracemalloc
 
 import pytest
 
@@ -260,6 +261,196 @@ class TestExportValidate:
         corrupt(data)
         with pytest.raises(ValueError):
             validate_trace(data)
+
+
+class TestStructuralValidation:
+    """The structural checks beyond the per-field schema: parent windows,
+    completion-order parent references, negative starts.  Exported spans
+    are [inner, outer] — children precede their parents."""
+
+    def _trace(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        return json.loads(json.dumps(tracer.export()))
+
+    def test_child_outside_parent_window_rejected(self):
+        data = self._trace()
+        inner, outer = data["spans"]
+        inner["duration_s"] = outer["duration_s"] + 1.0
+        with pytest.raises(ValueError, match="outside its parent"):
+            validate_trace(data)
+
+    def test_child_starting_before_parent_rejected(self):
+        data = self._trace()
+        inner, outer = data["spans"]
+        # Keep start_s non-negative so only the window check can fire.
+        outer["start_s"] += 0.5
+        outer["duration_s"] += 1.0
+        with pytest.raises(ValueError, match="outside its parent"):
+            validate_trace(data)
+
+    def test_parent_defined_before_child_rejected(self):
+        data = self._trace()
+        # Completion-order invariant: a parent record must appear after
+        # its children.  Reversing the list makes inner reference a
+        # parent already recorded.
+        data["spans"].reverse()
+        with pytest.raises(ValueError, match="at or before"):
+            validate_trace(data)
+
+    def test_self_parenting_rejected(self):
+        data = self._trace()
+        span = data["spans"][1]
+        span["parent_id"] = span["span_id"]
+        with pytest.raises(ValueError):
+            validate_trace(data)
+
+    def test_negative_start_rejected(self):
+        data = self._trace()
+        data["spans"][0]["start_s"] = -0.25
+        with pytest.raises(ValueError, match="negative"):
+            validate_trace(data)
+
+    def test_cross_origin_windows_not_compared(self):
+        # Worker clocks are per-origin monotonic: a worker chunk's
+        # start_s is not comparable with the parent's window, so absorb
+        # output must validate even when the raw numbers disagree.
+        parent = Tracer()
+        worker = Tracer(origin="worker-clock")
+        with worker.span("parallel.chunk"):
+            pass
+        with parent.span("robustness.check") as check:
+            parent.absorb(worker.batch(), parent_id=check.span_id)
+        data = json.loads(json.dumps(parent.export()))
+        chunk = next(s for s in data["spans"] if s["name"] == "parallel.chunk")
+        chunk["start_s"] = 1e6  # far outside the parent's window
+        validate_trace(data)
+
+    def test_absorbed_batches_validate(self):
+        parent = Tracer()
+        worker = Tracer(origin="worker-9")
+        with worker.span("parallel.chunk", size=1):
+            with worker.span("robustness.scan_t1", t1=1):
+                pass
+        with parent.span("robustness.check") as check:
+            parent.absorb(worker.batch(), parent_id=check.span_id)
+        validate_trace(json.loads(json.dumps(parent.export())))
+
+
+class TestMeanSecondsRoundTrip:
+    def test_as_dict_includes_mean(self):
+        stat = TimerStat()
+        stat.record(0.2)
+        stat.record(0.4)
+        data = stat.as_dict()
+        assert data["mean_s"] == pytest.approx(0.3)
+        assert data["mean_s"] == pytest.approx(data["total_s"] / data["count"])
+
+    def test_exported_trace_carries_mean(self):
+        tracer = Tracer()
+        with tracer.span("scan"):
+            pass
+        with tracer.span("scan"):
+            pass
+        data = json.loads(json.dumps(tracer.export()))
+        validate_trace(data)
+        timer = data["metrics"]["timers"]["scan"]
+        assert timer["mean_s"] == pytest.approx(timer["total_s"] / 2)
+
+    def test_validator_rejects_non_numeric_mean(self):
+        tracer = Tracer()
+        with tracer.span("scan"):
+            pass
+        data = json.loads(json.dumps(tracer.export()))
+        data["metrics"]["timers"]["scan"]["mean_s"] = "fast"
+        with pytest.raises(ValueError):
+            validate_trace(data)
+
+    def test_mean_optional_for_older_traces(self):
+        tracer = Tracer()
+        with tracer.span("scan"):
+            pass
+        data = json.loads(json.dumps(tracer.export()))
+        del data["metrics"]["timers"]["scan"]["mean_s"]
+        validate_trace(data)  # pre-mean_s version-1 traces stay valid
+
+
+class TestMergeEdgeCases:
+    def test_empty_timer_into_populated_keeps_min(self):
+        populated = TimerStat()
+        populated.record(0.5)
+        populated.merge(TimerStat())
+        assert populated.count == 1
+        assert populated.min_s == pytest.approx(0.5)
+        assert populated.max_s == pytest.approx(0.5)
+
+    def test_populated_into_empty_keeps_min(self):
+        empty = TimerStat()
+        other = TimerStat()
+        other.record(0.5)
+        empty.merge(other)
+        assert (empty.count, empty.min_s, empty.max_s) == (1, 0.5, 0.5)
+
+    def test_empty_registry_merge_both_directions(self):
+        populated = MetricsRegistry()
+        populated.record("scan", 0.25)
+        populated.incr("hits", 2)
+        populated.merge(MetricsRegistry())
+        assert populated.timers["scan"].min_s == pytest.approx(0.25)
+        assert populated.counters["hits"] == 2
+        empty = MetricsRegistry()
+        empty.merge(populated)
+        assert empty.timers["scan"].min_s == pytest.approx(0.25)
+        assert empty.counters["hits"] == 2
+
+    def test_zero_duration_is_not_clobbered(self):
+        # A genuine 0.0s minimum must survive merging (the empty guard
+        # is count, not falsy min_s).
+        a = TimerStat()
+        a.record(0.0)
+        b = TimerStat()
+        b.record(0.5)
+        a.merge(b)
+        assert a.min_s == 0.0
+        assert a.count == 2
+
+
+class TestMemoryTracing:
+    def test_root_spans_get_memory_attrs(self):
+        tracer = Tracer(trace_memory=True)
+        tracemalloc.start()
+        try:
+            with tracer.span("robustness.check"):
+                sink = [bytearray(4096) for _ in range(64)]
+                with tracer.span("robustness.scan_t1"):
+                    pass
+                del sink
+        finally:
+            tracemalloc.stop()
+        by_name = {s.name: s for s in tracer.spans}
+        attrs = by_name["robustness.check"].attrs
+        assert attrs["mem_peak_kib"] >= 0
+        assert "mem_current_kib" in attrs
+        # Only top-level spans are stamped: nested spans stay lean.
+        assert "mem_peak_kib" not in by_name["robustness.scan_t1"].attrs
+
+    def test_no_attrs_without_tracemalloc_running(self):
+        tracer = Tracer(trace_memory=True)
+        with tracer.span("robustness.check"):
+            pass
+        assert "mem_peak_kib" not in tracer.spans[0].attrs
+
+    def test_no_attrs_when_disabled(self):
+        tracemalloc.start()
+        try:
+            tracer = Tracer()
+            with tracer.span("robustness.check"):
+                pass
+        finally:
+            tracemalloc.stop()
+        assert "mem_peak_kib" not in tracer.spans[0].attrs
 
 
 class TestMetricsRegistry:

@@ -1,5 +1,7 @@
 """End-to-end tests of the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -324,6 +326,236 @@ class TestTrace:
         trace_path = tmp_path / "trace.json"
         main(["check", skew_file, "--uniform", "SI", "--trace", str(trace_path)])
         assert current_tracer().enabled is False
+
+
+class TestTraceMemory:
+    def test_memory_attrs_on_top_level_spans(self, skew_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        main(
+            [
+                "check",
+                skew_file,
+                "--uniform",
+                "SI",
+                "--trace",
+                str(trace_path),
+                "--trace-memory",
+            ]
+        )
+        data = json.loads(trace_path.read_text(encoding="utf-8"))
+        roots = [s for s in data["spans"] if s["parent_id"] is None]
+        assert roots
+        for span in roots:
+            assert span["attrs"]["mem_peak_kib"] >= 0
+            assert "mem_current_kib" in span["attrs"]
+
+    def test_requires_trace_flag(self, skew_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", skew_file, "--uniform", "SI", "--trace-memory"])
+        assert exc.value.code == 2
+        assert "--trace-memory requires --trace" in capsys.readouterr().err
+
+    def test_tracemalloc_stopped_after_run(self, skew_file, tmp_path, capsys):
+        import tracemalloc
+
+        trace_path = tmp_path / "trace.json"
+        main(
+            [
+                "check",
+                skew_file,
+                "--uniform",
+                "SI",
+                "--trace",
+                str(trace_path),
+                "--trace-memory",
+            ]
+        )
+        assert not tracemalloc.is_tracing()
+
+    def test_plain_trace_has_no_memory_attrs(self, skew_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        main(["check", skew_file, "--uniform", "SI", "--trace", str(trace_path)])
+        data = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert all("mem_peak_kib" not in s["attrs"] for s in data["spans"])
+
+
+class TestTraceAnalysisCommands:
+    @pytest.fixture()
+    def trace_file(self, skew_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        main(
+            [
+                "check",
+                skew_file,
+                "--uniform",
+                "SI",
+                "--jobs",
+                "2",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        return str(trace_path)
+
+    def test_trace_report(self, trace_file, capsys):
+        assert main(["trace", "report", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "Profile tree:" in out
+        assert "Critical path" in out
+        assert "robustness.check" in out
+        assert "parallel.chunk" in out
+
+    def test_trace_report_group_by_origin(self, trace_file, capsys):
+        assert main(["trace", "report", trace_file, "--group-by", "origin"]) == 0
+        assert "[origin=worker-" in capsys.readouterr().out
+
+    def test_trace_report_rejects_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            main(["trace", "report", str(bad)])
+
+    def test_trace_flame_stdout(self, trace_file, capsys):
+        assert main(["trace", "flame", trace_file]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert lines
+        for line in lines:
+            frames, _, value = line.rpartition(" ")
+            assert frames
+            assert int(value) > 0
+
+    def test_trace_flame_to_file(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "stacks.folded"
+        assert main(["trace", "flame", trace_file, "-o", str(out_path)]) == 0
+        assert "robustness.check" in out_path.read_text(encoding="utf-8")
+
+    def test_trace_diff_same_trace_ok(self, trace_file, capsys):
+        assert main(["trace", "diff", trace_file, trace_file]) == 0
+        assert "Verdict: OK" in capsys.readouterr().out
+
+    def test_trace_diff_json(self, trace_file, capsys):
+        import json
+
+        assert main(["trace", "diff", trace_file, trace_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["verdict"] == "ok"
+
+    def test_trace_diff_flags_doctored_baseline(
+        self, trace_file, tmp_path, capsys
+    ):
+        import json
+
+        data = json.loads(Path(trace_file).read_text(encoding="utf-8"))
+        for timer in data["metrics"]["timers"].values():
+            for key in ("total_s", "min_s", "max_s", "mean_s"):
+                timer[key] = timer[key] / 100.0
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(data), encoding="utf-8")
+        # Tiny explicit floor: the 100x ratio must flag regardless of how
+        # fast this machine ran the fixture workload.
+        code = main(
+            [
+                "trace",
+                "diff",
+                str(doctored),
+                trace_file,
+                "--abs-floor-ms",
+                "0.0001",
+            ]
+        )
+        assert code == 1
+        assert "regression" in capsys.readouterr().out
+
+
+class TestBenchCompare:
+    def test_baseline_vs_itself_exits_zero(self, capsys):
+        code = main(
+            ["bench", "compare", "BENCH_robustness.json", "BENCH_robustness.json"]
+        )
+        assert code == 0
+        assert "Verdict: OK" in capsys.readouterr().out
+
+    def test_doctored_baseline_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        base = json.loads(
+            Path("BENCH_robustness.json").read_text(encoding="utf-8")
+        )
+        for row in base["algorithm1_scaling"] + base["method_ablation"]:
+            for key in ("mean_s", "min_s"):
+                if row.get(key) is not None:
+                    row[key] = row[key] / 100.0
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(base), encoding="utf-8")
+        code = main(
+            ["bench", "compare", str(doctored), "BENCH_robustness.json"]
+        )
+        assert code == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_allocation_baseline_compares(self, capsys):
+        code = main(
+            ["bench", "compare", "BENCH_allocation.json", "BENCH_allocation.json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm2_scaling" in out
+        assert "refinement_mode" in out
+
+    def test_json_verdict_document(self, capsys):
+        import json
+
+        main(
+            [
+                "bench",
+                "compare",
+                "BENCH_robustness.json",
+                "BENCH_robustness.json",
+                "--json",
+            ]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert data["verdict"] == "ok"
+        assert data["compared"] > 0
+
+    def test_max_regress_flag(self, tmp_path, capsys):
+        import json
+
+        base = json.loads(
+            Path("BENCH_robustness.json").read_text(encoding="utf-8")
+        )
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(base), encoding="utf-8")
+        # With an absurdly generous threshold even a doctored baseline
+        # passes; the flag is percent, matching the CI invocation.
+        for row in base["algorithm1_scaling"]:
+            for key in ("mean_s", "min_s"):
+                if row.get(key) is not None:
+                    row[key] = row[key] / 2.0
+        doctored.write_text(json.dumps(base), encoding="utf-8")
+        code = main(
+            [
+                "bench",
+                "compare",
+                str(doctored),
+                "BENCH_robustness.json",
+                "--max-regress",
+                "10000",
+            ]
+        )
+        assert code == 0
+
+    def test_non_bench_file_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": 42}', encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", str(bad), str(bad)])
 
 
 class TestParser:
