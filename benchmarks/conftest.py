@@ -55,6 +55,7 @@ def _distil(benchmarks):
     scaling = []
     ablation = []
     kernel = []
+    shard_scaling = []
     alloc_scaling = []
     refinement = []
     for meta in benchmarks:
@@ -82,6 +83,8 @@ def _distil(benchmarks):
             )
         elif name.startswith("test_kernel_speedup_report"):
             kernel.extend(extra.get("rows", []))
+        elif name.startswith("test_shard_scaling"):
+            shard_scaling.extend(extra.get("rows", []))
         elif name.startswith("test_algorithm2_scaling"):
             alloc_scaling.append(
                 {
@@ -101,6 +104,7 @@ def _distil(benchmarks):
                 }
             )
     scaling.sort(key=lambda r: r["transactions"] or 0)
+    shard_scaling.sort(key=lambda r: r["transactions"] or 0)
     alloc_scaling.sort(key=lambda r: r["transactions"] or 0)
     refinement.sort(key=lambda r: r["mode"] or "")
     return {
@@ -114,6 +118,7 @@ def _distil(benchmarks):
         "algorithm1_scaling": scaling,
         "method_ablation": ablation,
         "kernel_speedup": kernel,
+        "shard_scaling": shard_scaling,
         "algorithm2_scaling": alloc_scaling,
         "refinement_mode": refinement,
     }

@@ -36,6 +36,7 @@ from .core import (
     RobustnessResult,
     ScheduleError,
     SerializationGraph,
+    ShardedContext,
     SplitScheduleSpec,
     Transaction,
     TransactionError,
@@ -82,6 +83,7 @@ __all__ = [
     "RobustnessResult",
     "ScheduleError",
     "SerializationGraph",
+    "ShardedContext",
     "SplitScheduleSpec",
     "Transaction",
     "TransactionError",

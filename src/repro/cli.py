@@ -53,6 +53,7 @@ from .core.context import AnalysisContext
 from .core.isolation import Allocation, IsolationLevel
 from .core.robustness import check_robustness
 from .core.serialization import is_conflict_serializable
+from .core.sharding import ShardedContext
 from .core.workload import Workload, parse_workload
 from .observability import Tracer, current_tracer, use_tracer
 
@@ -103,6 +104,27 @@ def _parse_jobs(value: str) -> Optional[int]:
     return jobs
 
 
+def _build_context(workload: Workload, shard: bool):
+    """The analysis context for a CLI run: sharded or monolithic.
+
+    A :class:`~repro.core.sharding.ShardedContext` routes every core
+    entry point through the per-component pipeline (bit-identical
+    results; see ``docs/architecture.md``, "Component sharding").
+    """
+    if shard:
+        return ShardedContext(workload)
+    return AnalysisContext(workload)
+
+
+def _shard_report(context) -> Optional[str]:
+    """The ``--stats`` shard line for a sharded context, else ``None``."""
+    if not isinstance(context, ShardedContext):
+        return None
+    sizes = context.plan.sizes
+    rendered = ", ".join(str(size) for size in sizes) if sizes else "-"
+    return f"Shards: {len(sizes)} (sizes: {rendered})"
+
+
 def _print_phase_timings() -> None:
     """Append the per-phase breakdown to ``--stats`` output when tracing.
 
@@ -119,7 +141,7 @@ def _print_phase_timings() -> None:
 def _cmd_check(args: argparse.Namespace) -> int:
     workload = _load_workload(args.workload)
     allocation = _parse_allocation(workload, args.allocation, args.uniform)
-    context = AnalysisContext(workload)
+    context = _build_context(workload, args.shard)
     result = check_robustness(
         workload,
         allocation,
@@ -144,6 +166,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
             print(f"Serialization graph written to {args.dot}")
     if args.stats:
         print()
+        shard_line = _shard_report(context)
+        if shard_line:
+            print(shard_line)
         print(analysis_stats_report(context.stats))
         _print_phase_timings()
     return 0 if result.robust else 1
@@ -249,7 +274,7 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     levels = _parse_levels(args.levels)
     # One shared context for the report's Algorithm 2 run and the final
     # existence probe: the conflict index is built exactly once.
-    context = AnalysisContext(workload)
+    context = _build_context(workload, args.shard)
     print(
         allocation_report(
             workload,
@@ -261,6 +286,9 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     )
     if args.stats:
         print()
+        shard_line = _shard_report(context)
+        if shard_line:
+            print(shard_line)
         print(analysis_stats_report(context.stats))
         _print_phase_timings()
     return (
@@ -449,6 +477,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitset",
         help="robustness engine (default bitset; all three are bit-identical)",
     )
+    check.add_argument(
+        "--shard",
+        dest="shard",
+        action="store_true",
+        help="analyze per conflict component and compose (bit-identical, "
+        "faster on multi-component workloads)",
+    )
+    check.add_argument(
+        "--no-shard",
+        dest="shard",
+        action="store_false",
+        help="force the monolithic analysis path (the default)",
+    )
+    check.set_defaults(shard=False)
     _add_trace_flag(check)
     check.set_defaults(func=_cmd_check)
 
@@ -519,6 +561,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitset",
         help="robustness engine (default bitset; all three are bit-identical)",
     )
+    allocate.add_argument(
+        "--shard",
+        dest="shard",
+        action="store_true",
+        help="analyze per conflict component and compose (bit-identical, "
+        "faster on multi-component workloads)",
+    )
+    allocate.add_argument(
+        "--no-shard",
+        dest="shard",
+        action="store_false",
+        help="force the monolithic analysis path (the default)",
+    )
+    allocate.set_defaults(shard=False)
     _add_trace_flag(allocate)
     allocate.set_defaults(func=_cmd_allocate)
 

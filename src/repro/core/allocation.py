@@ -37,7 +37,7 @@ suite.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..observability import current_tracer
 from .context import AnalysisContext
@@ -47,7 +47,12 @@ from .isolation import (
     ORACLE_LEVELS,
     POSTGRES_LEVELS,
 )
-from .robustness import check_robustness, first_witness_spec, is_robust
+from .robustness import (
+    _sharded_requested,
+    check_robustness,
+    first_witness_spec,
+    is_robust,
+)
 from .workload import Workload
 
 
@@ -112,6 +117,8 @@ def refine_allocation(
     method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
+    floors: Optional[Dict[int, IsolationLevel]] = None,
+    shard: bool = False,
 ) -> Allocation:
     """Refine a robust allocation to the optimum below it (Algorithm 2 core).
 
@@ -138,7 +145,23 @@ def refine_allocation(
             process pool of :mod:`repro.parallel` (delta-restricted
             checks, same result — Propositions 4.1/4.2); ``None`` or
             negative picks automatically by workload size.
+        floors: optional per-transaction lower bounds — probe levels
+            below a transaction's floor are skipped (the incremental
+            manager passes the previous optimum, which the new optimum
+            dominates pointwise).  A pure acceleration, never changing
+            the result.
+        shard: refine per conflict component and compose (see
+            :mod:`repro.core.sharding`) — identical optimum.  Implied
+            when ``context`` is a
+            :class:`~repro.core.sharding.ShardedContext`.
     """
+    if _sharded_requested(shard, context):
+        from .sharding import refine_allocation_sharded
+
+        return refine_allocation_sharded(
+            workload, start, levels, method=method, context=context,
+            n_jobs=n_jobs, floors=floors,
+        )
     ordered = _normalized_levels(levels)
     ctx = _resolve_context(workload, context)
     if n_jobs != 1:
@@ -153,7 +176,7 @@ def refine_allocation(
                 )
             return refine_allocation_parallel(
                 workload, start, ordered, n_jobs=jobs, context=ctx,
-                method=method,
+                floors=floors, method=method,
             )
     tracer = current_tracer()
     current = start
@@ -161,8 +184,11 @@ def refine_allocation(
         "allocation.refine", transactions=len(workload), jobs=1
     ):
         for tid in workload.tids:
+            floor = floors.get(tid) if floors is not None else None
             with tracer.span("allocation.refine_txn", tid=tid) as txn_span:
                 for level in ordered:
+                    if floor is not None and level < floor:
+                        continue
                     if level >= current[tid]:
                         break
                     candidate = current.with_level(tid, level)
@@ -183,6 +209,7 @@ def optimal_allocation(
     method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
+    shard: bool = False,
 ) -> Optional[Allocation]:
     """The unique optimal robust allocation over ``levels``, if one exists.
 
@@ -206,6 +233,12 @@ def optimal_allocation(
         >>> str(optimal_allocation(workload("R1[a] W1[b]", "R2[c] W2[d]")))
         'T1:RC, T2:RC'
     """
+    if _sharded_requested(shard, context):
+        from .sharding import optimal_allocation_sharded
+
+        return optimal_allocation_sharded(
+            workload, levels, method=method, context=context, n_jobs=n_jobs
+        )
     ordered = _normalized_levels(levels)
     ctx = _resolve_context(workload, context)
     top = ordered[-1]
@@ -230,6 +263,7 @@ def is_robustly_allocatable(
     method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
+    shard: bool = False,
 ) -> bool:
     """Whether some allocation over ``levels`` is robust (Definition 5.3).
 
@@ -246,6 +280,7 @@ def is_robustly_allocatable(
         method=method,
         context=context,
         n_jobs=n_jobs,
+        shard=shard,
     )
 
 
@@ -256,6 +291,7 @@ def upgrade_to_robust(
     method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
+    shard: bool = False,
 ) -> Optional[Allocation]:
     """The least robust allocation pointwise above ``allocation``, if any.
 
@@ -273,7 +309,12 @@ def upgrade_to_robust(
     ``None`` once an optimum exists (a debug assertion documents the
     invariant instead of a dead error branch).
     """
-    ctx = _resolve_context(workload, context)
+    if _sharded_requested(shard, context):
+        from .sharding import _resolve_sharded
+
+        ctx = _resolve_sharded(workload, context)
+    else:
+        ctx = _resolve_context(workload, context)
     optimum = optimal_allocation(
         workload, levels, method=method, context=ctx, n_jobs=n_jobs
     )

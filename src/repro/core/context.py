@@ -258,13 +258,23 @@ class AnalysisContext:
     The context is *read-only with respect to the workload*: it must not
     be reused after the workload changes (``check_robustness`` raises
     :class:`~repro.core.workload.WorkloadError` on a mismatch).
+
+    ``stats`` optionally injects a shared :class:`ContextStats` object:
+    the component-sharded pipeline (:mod:`repro.core.sharding`) builds
+    one sub-context per conflict-graph component and points them all at
+    the same counters, so ``--stats`` totals describe the whole analysis
+    regardless of how it was partitioned.  Each context still counts its
+    own conflict-index build into the shared object.
     """
 
-    def __init__(self, workload: Workload):
+    def __init__(self, workload: Workload, stats: Optional[ContextStats] = None):
         self.workload = workload
         with current_tracer().span("context.index_build", transactions=len(workload)):
             self.index = ConflictIndex(workload)
-        self.stats = ContextStats(index_builds=1)
+        if stats is None:
+            stats = ContextStats()
+        stats.index_builds += 1
+        self.stats = stats
         self._oracles: Dict[int, ReachabilityOracle] = {}
         self._kernel = None  # BitKernel, built lazily by kernel()
         self._candidates: Dict[Tuple[int, str], Tuple[Transaction, ...]] = {}
@@ -374,6 +384,39 @@ class AnalysisContext:
         if spec not in self._witness_set:
             self._witness_set.add(spec)
             self._witnesses.append(spec)
+
+    def spec_applies(self, spec) -> bool:
+        """Whether a chain's transactions (and their operations) exist here.
+
+        A cached chain is only meaningful for this context's workload when
+        every quadruple references transactions that are present *with the
+        operations the chain embeds* — a transaction that was removed, or
+        removed and re-added under the same id with different operations,
+        invalidates the chain.  :meth:`adopt_witnesses` uses this to prune
+        stale chains when witness caches are carried across workload
+        mutations (the :class:`~repro.core.incremental.AllocationManager`
+        hands witnesses from a retired shard context to its successors).
+        """
+        for quad in spec.chain:
+            if quad.tid_i not in self.workload or quad.tid_j not in self.workload:
+                return False
+            if quad.b not in self.workload[quad.tid_i]:
+                return False
+            if quad.a not in self.workload[quad.tid_j]:
+                return False
+        return True
+
+    def adopt_witnesses(self, specs) -> None:
+        """Carry cached chains over from a predecessor context.
+
+        Chains referencing transactions absent from (or changed in) this
+        context's workload are dropped — without the pruning, a later
+        warm start could reject a candidate allocation with a chain
+        naming a transaction that no longer exists.
+        """
+        for spec in specs:
+            if self.spec_applies(spec):
+                self.add_witness(spec)
 
     @property
     def witnesses(self) -> Tuple:

@@ -20,23 +20,36 @@ than recomputation:
   refining.  When it is not, the refinement restarts from SSI but never
   needs to try levels *below* a transaction's old optimum.
 
-:class:`AllocationManager` packages both facts behind add/remove calls.
-Every mutation builds one :class:`~repro.core.context.AnalysisContext`
-for the new workload and runs *all* of its robustness checks through it,
-so the conflict index is built once per mutation and
+A third fact makes maintenance cheaper still (:mod:`repro.core.sharding`):
+robustness and optima decompose over the connected components of the
+conflict graph, and a single add/remove only reshapes the components that
+touch the mutated transaction.  :class:`AllocationManager` therefore keeps
+one :class:`~repro.core.context.AnalysisContext` *per component*, carries
+untouched components' contexts (conflict indexes, kernels, witness
+caches) across mutations verbatim, and re-analyzes only the merged or
+split components — churn cost tracks the largest affected component, not
+``|T|``.  Witness chains from retired contexts are adopted by their
+successors after pruning chains that reference removed transactions
+(:meth:`~repro.core.context.AnalysisContext.adopt_witnesses`), so a
+warm start can never act on a chain naming a transaction that is gone.
+
+Every mutation binds one fresh :class:`~repro.core.context.ContextStats`
+to the components it actually (re)builds, so
 :attr:`AllocationManager.last_check_count` reports the exact number of
-checks executed (it reads the context's counter — no estimates).
+robustness checks the mutation executed (it reads the counter — no
+estimates), and untouched components contribute exactly zero.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..observability import current_tracer
 from .allocation import _robust_with_warm_start, refine_allocation
 from .context import AnalysisContext, ContextStats
 from .isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
 from .robustness import Counterexample, check_robustness
+from .sharding import ShardedContext, same_shard
 from .transactions import Transaction
 from .workload import Workload, WorkloadError
 
@@ -83,7 +96,9 @@ class AllocationManager:
         self._n_jobs = n_jobs
         self._transactions: Dict[int, Transaction] = {}
         self._allocation = Allocation({})
-        self._context: Optional[AnalysisContext] = None
+        self._sctx: Optional[ShardedContext] = None
+        self._shard_contexts: Dict[Tuple[int, ...], AnalysisContext] = {}
+        self._last_stats = ContextStats()
         self._last_check_count = 0
 
     # ------------------------------------------------------------------
@@ -98,51 +113,120 @@ class AllocationManager:
         return self._allocation
 
     @property
-    def context(self) -> Optional[AnalysisContext]:
-        """The analysis context of the last add/remove (``None`` initially)."""
-        return self._context
+    def context(self) -> Optional[ShardedContext]:
+        """The sharded analysis context of the last add/remove.
+
+        ``None`` before the first mutation.  Usable wherever a context is
+        accepted — the core entry points route a
+        :class:`~repro.core.sharding.ShardedContext` through the sharded
+        pipeline automatically.
+        """
+        return self._sctx
 
     @property
     def last_check_count(self) -> int:
         """Robustness checks actually executed by the last add/remove.
 
-        An exact count read off the mutation's shared context — every
-        check of a mutation runs through one context, so no estimates.
-        Later :meth:`check` probes reuse the context (and show up in
-        :attr:`last_stats`) but do not disturb this snapshot.
+        An exact count read off the mutation's stats — every check of a
+        mutation runs through the freshly (re)built shard contexts, which
+        share one counter, so no estimates.  Later :meth:`check` probes
+        reuse the contexts (and show up in :attr:`last_stats`) but do not
+        disturb this snapshot.
         """
         return self._last_check_count
 
     @property
     def last_stats(self) -> ContextStats:
-        """Full counters of the last operation's analysis context."""
-        return self._context.stats if self._context is not None else ContextStats()
+        """Full counters of the last mutation's analysis work.
+
+        Bound only to the shard contexts the mutation actually rebuilt —
+        untouched components carry their old contexts and contribute
+        nothing, so ``index_builds`` counts exactly the components the
+        mutation re-analyzed.
+        """
+        return self._last_stats
 
     # ------------------------------------------------------------------
-    def _fresh_context(self, workload: Workload) -> AnalysisContext:
-        """One context per mutation: built for, and kept with, ``workload``."""
-        ctx = AnalysisContext(workload)
-        self._context = ctx
-        return ctx
+    def _replan(
+        self, workload: Workload
+    ) -> Tuple[
+        ShardedContext,
+        ContextStats,
+        Dict[Tuple[int, ...], AnalysisContext],
+        List[int],
+    ]:
+        """A sharded context for ``workload``, reusing untouched shards.
 
-    def _resolve_jobs(self, workload_size: int) -> int:
-        """The effective worker count for this manager's ``n_jobs``."""
-        if self._n_jobs == 1:
-            return 1
-        from ..parallel.engine import resolve_jobs
+        Returns the context, the mutation's fresh stats object (bound to
+        every shard context built from here on), the successor shard-map,
+        and the indexes of shards that need a fresh context — exactly the
+        components the mutation merged, split, or created.
+        """
+        stats = ContextStats()
+        sctx = ShardedContext(workload, stats=stats)
+        new_map: Dict[Tuple[int, ...], AnalysisContext] = {}
+        fresh: List[int] = []
+        for index, shard in enumerate(sctx.plan.shards):
+            old_ctx = self._shard_contexts.get(shard)
+            if old_ctx is not None and old_ctx.matches(
+                sctx.shard_workload(index)
+            ):
+                sctx.adopt_context(index, old_ctx)
+                new_map[shard] = old_ctx
+            else:
+                fresh.append(index)
+        return sctx, stats, new_map, fresh
 
-        return resolve_jobs(self._n_jobs, workload_size)
+    def _build_fresh(
+        self,
+        sctx: ShardedContext,
+        new_map: Dict[Tuple[int, ...], AnalysisContext],
+        fresh: List[int],
+    ) -> None:
+        """Build the touched shards' contexts, carrying witnesses over.
+
+        Every retired context that overlaps a fresh shard donates its
+        witness cache; :meth:`~repro.core.context.AnalysisContext.\
+adopt_witnesses` prunes chains referencing transactions no longer
+        present (or re-added with different operations), so warm starts
+        never trust a chain naming a removed transaction.
+        """
+        for index in fresh:
+            ctx = sctx.shard_context(index)
+            members = set(sctx.plan.shards[index])
+            for key, old_ctx in self._shard_contexts.items():
+                if members & set(key):
+                    ctx.adopt_witnesses(old_ctx.witnesses)
+            new_map[sctx.plan.shards[index]] = ctx
+
+    def _finish(
+        self,
+        sctx: ShardedContext,
+        stats: ContextStats,
+        new_map: Dict[Tuple[int, ...], AnalysisContext],
+        allocation: Allocation,
+    ) -> None:
+        """Commit a mutation's context, stats and allocation."""
+        self._allocation = allocation
+        self._sctx = sctx
+        self._shard_contexts = new_map
+        self._last_stats = stats
+        self._last_check_count = stats.checks
 
     def add(self, transaction: Transaction) -> Allocation:
         """Add a transaction; returns the new optimal allocation.
 
-        Warm-starts from the previous optimum: if the old levels still
-        suffice with the newcomer at the top level, only the newcomer is
-        refined; otherwise the full refinement reruns, but with each old
-        transaction's search floored at its previous optimal level
-        (pointwise monotonicity).  Counterexamples discovered along the
-        way are cached on the context and revalidated against later
-        candidates before any full search.
+        Only the conflict component absorbing the newcomer (the merge of
+        every old component it conflicts with) is re-analyzed; all other
+        components keep their contexts and their levels untouched.
+        Within the touched component the warm start is the same as ever:
+        if the old levels still suffice with the newcomer at the top
+        level, only the newcomer is refined; otherwise the component's
+        refinement reruns with each old transaction's search floored at
+        its previous optimal level (pointwise monotonicity).
+        Counterexamples discovered along the way are cached on the
+        component's context and revalidated against later candidates
+        before any full search.
         """
         if transaction.tid in self._transactions:
             raise WorkloadError(f"transaction {transaction.tid} already present")
@@ -151,74 +235,74 @@ class AllocationManager:
             "incremental.add", tid=transaction.tid, size=len(self._transactions)
         ) as add_span:
             allocation = self._add(transaction)
-            add_span.set(checks=self._last_check_count)
+            add_span.set(
+                checks=self._last_check_count,
+                shards=len(self._sctx.plan),
+                touched=len(self._sctx.plan.shards[
+                    self._sctx.plan.shard_of[transaction.tid]
+                ]),
+            )
         return allocation
 
     def _add(self, transaction: Transaction) -> Allocation:
         """The :meth:`add` refinement body (spanned by the wrapper)."""
         workload = self.workload
-        ctx = self._fresh_context(workload)
+        sctx, stats, new_map, fresh = self._replan(workload)
+        touched = sctx.plan.shard_of[transaction.tid]
+        assert fresh == [touched], "add must touch exactly the merged shard"
+        self._build_fresh(sctx, new_map, fresh)
+        ctx = sctx.shard_context(touched)
+        shard = sctx.plan.shards[touched]
+        sub_workload = sctx.shard_workload(touched)
         top = self._levels[-1]
         old = self._allocation
         candidate = Allocation(
-            {**{tid: old[tid] for tid in old}, transaction.tid: top}
+            {
+                **{tid: old[tid] for tid in shard if tid != transaction.tid},
+                transaction.tid: top,
+            }
         )
         if _robust_with_warm_start(
-            workload, candidate, self._method, ctx, n_jobs=self._n_jobs
+            sub_workload, candidate, self._method, ctx, n_jobs=self._n_jobs
         ):
             # Old levels still optimal; refine only the newcomer.
             current = candidate
             for level in self._levels[:-1]:
                 lowered = current.with_level(transaction.tid, level)
-                if _robust_with_warm_start(workload, lowered, self._method, ctx):
+                if _robust_with_warm_start(
+                    sub_workload, lowered, self._method, ctx
+                ):
                     current = lowered
                     break
-            self._allocation = current
-            self._last_check_count = ctx.stats.checks
-            return current
-        # Some old transaction must rise: rerun the refinement with the
-        # old optimum as per-transaction floor.
-        floors = {tid: old[tid] for tid in old}
-        floors[transaction.tid] = self._levels[0]
-        current = Allocation.uniform(workload, top)
-        jobs = self._resolve_jobs(len(workload))
-        if jobs > 1:
-            from ..parallel.engine import refine_allocation_parallel
-
-            current = refine_allocation_parallel(
-                workload,
-                current,
-                self._levels,
-                n_jobs=jobs,
-                context=ctx,
-                floors=floors,
-                method=self._method,
-            )
         else:
-            for tid in workload.tids:
-                for level in self._levels:
-                    if level < floors[tid]:
-                        continue
-                    if level >= current[tid]:
-                        break
-                    lowered = current.with_level(tid, level)
-                    if _robust_with_warm_start(
-                        workload, lowered, self._method, ctx
-                    ):
-                        current = lowered
-                        break
-        self._allocation = current
-        self._last_check_count = ctx.stats.checks
-        return current
+            # Some old transaction of the merged component must rise:
+            # rerun its refinement with the old optimum as floor.
+            floors = {tid: old[tid] for tid in shard if tid != transaction.tid}
+            floors[transaction.tid] = self._levels[0]
+            current = refine_allocation(
+                sub_workload,
+                Allocation.uniform(sub_workload, top),
+                self._levels,
+                method=self._method,
+                context=ctx,
+                n_jobs=self._n_jobs,
+                floors=floors,
+            )
+        levels = {tid: old[tid] for tid in workload.tids if tid in old}
+        for tid in shard:
+            levels[tid] = current[tid]
+        self._finish(sctx, stats, new_map, Allocation(levels))
+        return self._allocation
 
     def remove(self, tid: int) -> Allocation:
         """Remove a transaction; returns the new optimal allocation.
 
         Removal preserves robustness, so the remaining levels are still
-        robust — but possibly no longer minimal; they serve as the
-        starting point of a (downward-only) refinement.  The refinement
-        shares this mutation's context, so :attr:`last_check_count` is
-        the exact number of robustness checks it executed.
+        robust — but possibly no longer minimal.  Only the fragments of
+        the removed transaction's old component are refined (downward,
+        from their previous levels); every other component's optimum is
+        untouched by construction, so its context and levels carry over
+        with zero work.
         """
         if tid not in self._transactions:
             raise WorkloadError(f"no transaction with id {tid}")
@@ -227,36 +311,48 @@ class AllocationManager:
             "incremental.remove", tid=tid, size=len(self._transactions)
         ) as remove_span:
             workload = self.workload
-            ctx = self._fresh_context(workload)
-            start = Allocation({t: self._allocation[t] for t in workload.tids})
-            self._allocation = refine_allocation(
-                workload,
-                start,
-                self._levels,
-                method=self._method,
-                context=ctx,
-                n_jobs=self._n_jobs,
+            sctx, stats, new_map, fresh = self._replan(workload)
+            self._build_fresh(sctx, new_map, fresh)
+            old = self._allocation
+            levels = {t: old[t] for t in workload.tids}
+            for index in fresh:
+                shard = sctx.plan.shards[index]
+                sub_workload = sctx.shard_workload(index)
+                start = Allocation({t: old[t] for t in shard})
+                refined = refine_allocation(
+                    sub_workload,
+                    start,
+                    self._levels,
+                    method=self._method,
+                    context=sctx.shard_context(index),
+                    n_jobs=self._n_jobs,
+                )
+                for t in shard:
+                    levels[t] = refined[t]
+            self._finish(sctx, stats, new_map, Allocation(levels))
+            remove_span.set(
+                checks=self._last_check_count, shards=len(sctx.plan)
             )
-            self._last_check_count = ctx.stats.checks
-            remove_span.set(checks=self._last_check_count)
         return self._allocation
 
     def check(self, allocation: Allocation) -> bool:
         """Robustness of the current workload against an arbitrary allocation.
 
-        Reuses the last mutation's context when it still matches the
-        current workload (checks against many allocations share one
-        conflict index); falls back to a one-shot check otherwise.
+        Reuses the last mutation's shard contexts when they still match
+        the current workload (checks against many allocations share the
+        per-component conflict indexes); falls back to a fresh sharded
+        context otherwise.
         """
         workload = self.workload
-        ctx = self._context
-        if ctx is None or not ctx.matches(workload):
-            ctx = self._fresh_context(workload)
+        sctx = self._sctx
+        if sctx is None or not sctx.matches(workload):
+            sctx = ShardedContext(workload, stats=self._last_stats)
+            self._sctx = sctx
         return check_robustness(
             workload,
             allocation,
             method=self._method,
-            context=ctx,
+            context=sctx,
             n_jobs=self._n_jobs,
         ).robust
 
@@ -271,15 +367,21 @@ def incremental_counterexample(
     """Re-decide non-robustness, reusing a previous counterexample when valid.
 
     A cached counterexample is reused only if (a) every chain transaction
-    is still in the workload with the same operations and (b) no chain
-    transaction's isolation level changed.  Both conditions are checked
-    explicitly: (b) compares the levels the witness was found against
+    is still in the workload with the same operations, (b) no chain
+    transaction's isolation level changed, and (c) the chain still lies
+    inside a single connected component of the *current* workload's
+    conflict graph.  (a) and (b) are checked explicitly: (b) compares the
+    levels the witness was found against
     (:attr:`~repro.core.robustness.Counterexample.allocation`) with the
     new allocation, transaction by transaction along the chain; a witness
     that does not record its allocation is conservatively treated as
-    level-changed.  Under (a) + (b) the Definition 3.1 conditions are
-    untouched, so the chain is still a multiversion split schedule.
-    Otherwise Algorithm 1 reruns from scratch.
+    level-changed.  (c) guards against stale witnesses after mutations
+    merge or split components — a chain crossing components cannot be a
+    split schedule (every quadruple needs a real conflict), so reusing
+    one would certify non-robustness with garbage.  Under (a)-(c) the
+    Definition 3.1 conditions are re-verified (cheap condition scan, no
+    Algorithm 1 search) and the chain is reused.  Otherwise Algorithm 1
+    reruns from scratch.
 
     Returns the (possibly reused) counterexample, or ``None`` if the
     workload is now robust.
@@ -300,10 +402,10 @@ def incremental_counterexample(
         if intact and levels_unchanged:
             from .split_schedule import condition_failures, materialize
 
-            # Unchanged operations + unchanged chain levels imply the
-            # Definition 3.1 conditions still hold; assert, then reuse.
-            assert not condition_failures(previous.spec, workload, allocation)
-            schedule = materialize(previous.spec, workload, allocation)
-            return Counterexample(previous.spec, schedule, allocation)
+            if same_shard(workload, chain_tids) and not condition_failures(
+                previous.spec, workload, allocation
+            ):
+                schedule = materialize(previous.spec, workload, allocation)
+                return Counterexample(previous.spec, schedule, allocation)
     result = check_robustness(workload, allocation, method=method, context=context)
     return result.counterexample

@@ -59,7 +59,41 @@ from .operations import Operation
 from .transactions import Transaction
 from .workload import Workload
 
-__all__ = ["BitKernel", "iter_witness_triples"]
+__all__ = ["BitKernel", "UnionFind", "iter_witness_triples"]
+
+
+class UnionFind:
+    """Union-find over integer keys with path compression.
+
+    Extracted from the kernel's per-``T_1`` row builder so the
+    component-sharding layer (:mod:`repro.core.sharding`) can partition
+    the conflict graph with the same machinery.  Roots are stable under
+    the union order used here: ``union(a, b)`` parents ``b``'s root under
+    ``a``'s, so iterating keys in a deterministic order yields
+    deterministic components.
+    """
+
+    __slots__ = ("_parent",)
+
+    def __init__(self, keys):
+        self._parent: Dict[int, int] = {key: key for key in keys}
+
+    def find(self, x: int) -> int:
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._parent
 
 
 #: A split-table entry: ``(b_1, a_2, split_pos, prefix_write_mask)``.
@@ -190,22 +224,12 @@ class BitKernel:
         ]
         node_set = set(nodes)
         # Union-find over conflict edges among the nodes.
-        parent: Dict[int, int] = {tid: tid for tid in nodes}
-
-        def find(x: int) -> int:
-            root = x
-            while parent[root] != root:
-                root = parent[root]
-            while parent[x] != root:
-                parent[x], x = root, parent[x]
-            return root
-
+        uf = UnionFind(nodes)
+        find = uf.find
         for u in nodes:
             for v in index.conflict_neighbours(u):
                 if v in node_set and v > u:
-                    ru, rv = find(u), find(v)
-                    if ru != rv:
-                        parent[rv] = ru
+                    uf.union(u, v)
         comp_bit: Dict[int, int] = {}
         for tid in nodes:
             root = find(tid)

@@ -132,6 +132,23 @@ def _resolve_context(
     return context
 
 
+def _sharded_requested(shard: bool, context) -> bool:
+    """Whether a call should route to the per-component sharded pipeline.
+
+    Either the caller asked (``shard=True``) or handed over a
+    :class:`~repro.core.sharding.ShardedContext` — a sharded context is
+    only usable by the sharded path, so its presence is an implicit
+    request.
+    """
+    if shard:
+        return True
+    if context is None:
+        return False
+    from .sharding import ShardedContext
+
+    return isinstance(context, ShardedContext)
+
+
 def _ww_conflict_free(
     b1: Operation,
     t1: Transaction,
@@ -312,6 +329,7 @@ def check_robustness(
     method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
+    shard: bool = False,
 ) -> RobustnessResult:
     """Decide robustness of ``workload`` against ``allocation`` (Algorithm 1).
 
@@ -339,6 +357,11 @@ def check_robustness(
             one worker per CPU otherwise (see
             :func:`repro.parallel.engine.resolve_jobs`).  The verdict and
             the counterexample are bit-identical for every setting.
+        shard: decide robustness per connected component of the conflict
+            graph and compose (see :mod:`repro.core.sharding`) —
+            bit-identical results, asymptotically cheaper on
+            multi-component workloads.  Implied when ``context`` is a
+            :class:`~repro.core.sharding.ShardedContext`.
 
     Examples:
         >>> from repro.core.workload import workload
@@ -349,6 +372,13 @@ def check_robustness(
         >>> check_robustness(skew, Allocation.ssi(skew)).robust
         True
     """
+    if _sharded_requested(shard, context):
+        from .sharding import check_robustness_sharded
+
+        return check_robustness_sharded(
+            workload, allocation, method=method, context=context,
+            n_jobs=n_jobs,
+        )
     if not allocation.covers(workload):
         raise WorkloadError("allocation does not cover the workload")
     if method not in ("bitset", "components", "paper"):
@@ -482,6 +512,7 @@ def first_witness_spec(
     allocation: Allocation,
     method: str = "bitset",
     context: Optional[AnalysisContext] = None,
+    shard: bool = False,
 ) -> Optional[SplitScheduleSpec]:
     """The first counterexample spec, or ``None`` when robust — no schedule.
 
@@ -492,6 +523,12 @@ def first_witness_spec(
     schedule, and materialization dominates the cost of a failed probe
     on mid-sized workloads.
     """
+    if _sharded_requested(shard, context):
+        from .sharding import first_witness_spec_sharded
+
+        return first_witness_spec_sharded(
+            workload, allocation, method=method, context=context
+        )
     if not allocation.covers(workload):
         raise WorkloadError("allocation does not cover the workload")
     if method not in ("bitset", "components", "paper"):
@@ -518,6 +555,7 @@ def is_robust(
     method: str = "bitset",
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
+    shard: bool = False,
 ) -> bool:
     """Boolean shorthand for :func:`check_robustness` (Algorithm 1).
 
@@ -533,10 +571,12 @@ def is_robust(
     """
     if n_jobs == 1:
         return (
-            first_witness_spec(workload, allocation, method, context) is None
+            first_witness_spec(workload, allocation, method, context, shard)
+            is None
         )
     return check_robustness(
-        workload, allocation, method=method, context=context, n_jobs=n_jobs
+        workload, allocation, method=method, context=context, n_jobs=n_jobs,
+        shard=shard,
     ).robust
 
 
@@ -565,6 +605,7 @@ def enumerate_counterexamples(
     context: Optional[AnalysisContext] = None,
     n_jobs: Optional[int] = 1,
     method: str = "bitset",
+    shard: bool = False,
 ) -> Iterable[Counterexample]:
     """Yield one counterexample per problematic triple ``(T_1, T_2, T_m)``.
 
@@ -593,7 +634,25 @@ def enumerate_counterexamples(
         method: ``"bitset"`` (default), ``"components"`` or ``"paper"``
             (the latter sequential-only); the yielded sequence is
             identical for every engine.
+        shard: scan per conflict component and re-merge in ascending
+            ``T_1`` order (see :mod:`repro.core.sharding`) — the yielded
+            sequence is identical.  Implied when ``context`` is a
+            :class:`~repro.core.sharding.ShardedContext`.
     """
+    if _sharded_requested(shard, context):
+        from .sharding import _resolve_sharded, enumerate_specs_sharded
+
+        if not allocation.covers(workload):
+            raise WorkloadError("allocation does not cover the workload")
+        sctx = _resolve_sharded(workload, context)
+        sctx.record_check()
+        for spec in enumerate_specs_sharded(
+            workload, allocation, method=method, context=sctx, n_jobs=n_jobs
+        ):
+            yield _spec_to_counterexample(
+                spec, workload, allocation, materialize_schedules
+            )
+        return
     if not allocation.covers(workload):
         raise WorkloadError("allocation does not cover the workload")
     if method not in ("bitset", "components", "paper"):

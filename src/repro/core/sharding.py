@@ -1,0 +1,537 @@
+"""Component sharding: per-connected-component analysis (ROADMAP item 2).
+
+Robustness under Definition 3.1 is decided per connected component of
+the *conflict graph* (transactions as nodes, an edge when two
+transactions have conflicting operations): every quadruple of a
+counterexample chain links two conflicting transactions, so a chain —
+and hence a multiversion split schedule — can never cross components.
+Consequently
+
+* a workload is robust against an allocation iff every component's
+  sub-workload is robust against the allocation restricted to it;
+* the first witness of Algorithm 1's scan is the witness with the
+  smallest split-transaction id across components;
+* the optimal allocation (Algorithm 2) is the per-component optimum,
+  composed — lowering a transaction's level only ever creates or
+  destroys witnesses inside its own component.
+
+This module hoists that decomposition to the top of the pipeline: a
+:class:`ShardPlan` partitions the workload with the kernel's union-find
+(object-grouped, ``O(total operations)`` — no ``O(|T|^2)`` pairwise
+conflict index is built to *find* the components), a
+:class:`ShardedContext` keeps one
+:class:`~repro.core.context.AnalysisContext` per shard (sharing a
+single :class:`~repro.core.context.ContextStats`, so ``--stats`` totals
+stay truthful), and the ``*_sharded`` entry points compose per-shard
+results into global verdicts, witnesses, enumerations and allocations
+that are *bit-identical* to the monolithic path (asserted by
+``tests/properties/test_shard_equivalence.py``).
+
+The payoff is asymptotic: a monolithic context costs ``O(|T|^2)``
+pairwise conflict tests before any scan starts, and every kernel row
+spans all of ``|T|``; with ``c`` components of size ``s = |T| / c`` the
+sharded pipeline pays ``O(c * s^2) = O(|T| * s)`` instead, and each
+per-``T_1`` structure is built over ``s`` transactions.  With
+``n_jobs > 1`` whole shards are dispatched to the worker pool
+(:mod:`repro.parallel.engine`), with no shared-witness coordination
+between chunks — shards are independent by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..observability import current_tracer
+from .context import AnalysisContext, ContextStats
+from .isolation import Allocation, IsolationLevel
+from .kernel import UnionFind
+from .workload import Workload, WorkloadError
+
+__all__ = [
+    "ShardPlan",
+    "ShardedContext",
+    "check_robustness_sharded",
+    "conflict_components",
+    "enumerate_specs_sharded",
+    "first_witness_spec_sharded",
+    "optimal_allocation_sharded",
+    "refine_allocation_sharded",
+    "same_shard",
+]
+
+
+def conflict_components(workload: Workload) -> Tuple[Tuple[int, ...], ...]:
+    """Connected components of the conflict graph, without building it.
+
+    Two transactions conflict iff they access a common object and at
+    least one of them writes it.  Grouping by object therefore suffices:
+    for every object with at least one writer, all its writers and
+    readers belong to one component (readers are linked *through* a
+    writer; readers of an object nobody writes do not conflict).  One
+    union per access — ``O(total operations)`` with the kernel's
+    union-find, instead of the ``O(|T|^2)`` pairwise sweep the conflict
+    index performs.
+
+    Components are ordered by their smallest transaction id; members are
+    in ascending id order.
+
+    Examples:
+        >>> from repro.core.workload import workload
+        >>> wl = workload("R1[x] W1[y]", "R2[y] W2[x]", "R3[p] W3[p]")
+        >>> conflict_components(wl)
+        ((1, 2), (3,))
+    """
+    tids = workload.tids
+    uf = UnionFind(tids)
+    readers: Dict[str, List[int]] = {}
+    writers: Dict[str, List[int]] = {}
+    for txn in workload:
+        for obj in txn.write_set:
+            writers.setdefault(obj, []).append(txn.tid)
+        for obj in txn.read_set:
+            readers.setdefault(obj, []).append(txn.tid)
+    for obj, wtids in writers.items():
+        anchor = wtids[0]
+        for tid in wtids[1:]:
+            uf.union(anchor, tid)
+        for tid in readers.get(obj, ()):
+            uf.union(anchor, tid)
+    groups: Dict[int, List[int]] = {}
+    for tid in tids:  # ascending: components ordered by smallest member
+        groups.setdefault(uf.find(tid), []).append(tid)
+    return tuple(tuple(group) for group in groups.values())
+
+
+def same_shard(workload: Workload, tids: Iterable[int]) -> bool:
+    """Whether all ``tids`` lie in one conflict component of ``workload``.
+
+    Used by :func:`~repro.core.incremental.incremental_counterexample`
+    to reject stale witnesses whose chain crosses components after a
+    workload mutation reshuffled the conflict graph — such a chain can
+    no longer be a split schedule (every quadruple needs a real
+    conflict), so the full check must rerun.
+    """
+    wanted = set(tids)
+    if len(wanted) <= 1:
+        return True
+    for component in conflict_components(workload):
+        overlap = wanted & set(component)
+        if overlap:
+            return overlap == wanted
+    return False  # pragma: no cover - tids outside the workload
+
+
+class ShardPlan:
+    """The partition of a workload into conflict-graph components.
+
+    Attributes:
+        shards: the components, ordered by smallest transaction id,
+            members ascending.
+        shard_of: transaction id -> shard index.
+    """
+
+    __slots__ = ("shards", "shard_of")
+
+    def __init__(self, workload: Workload):
+        self.shards = conflict_components(workload)
+        self.shard_of: Dict[int, int] = {
+            tid: i for i, shard in enumerate(self.shards) for tid in shard
+        }
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """Shard sizes, in shard order."""
+        return tuple(len(shard) for shard in self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+class ShardedContext:
+    """Per-shard analysis contexts composing a monolithic-equivalent whole.
+
+    The sharded counterpart of
+    :class:`~repro.core.context.AnalysisContext`: one sub-context per
+    conflict component, built lazily, all pointing at one shared
+    :class:`~repro.core.context.ContextStats` — counters (checks, cache
+    hits, index builds) describe the whole analysis no matter how it was
+    partitioned.  Like the monolithic context it is read-only with
+    respect to the workload and must be rebuilt after mutations
+    (:class:`~repro.core.incremental.AllocationManager` rebuilds only
+    the touched shard's sub-context and carries the rest over).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        stats: Optional[ContextStats] = None,
+        plan: Optional[ShardPlan] = None,
+    ):
+        self.workload = workload
+        self.stats = stats if stats is not None else ContextStats()
+        if plan is None:
+            with current_tracer().span(
+                "shard.plan", transactions=len(workload)
+            ):
+                plan = ShardPlan(workload)
+        self.plan = plan
+        self._workloads: Dict[int, Workload] = {}
+        self._contexts: Dict[int, AnalysisContext] = {}
+
+    # -- validation ----------------------------------------------------
+    def matches(self, workload: Workload) -> bool:
+        """Whether the context was built for (an equal copy of) ``workload``."""
+        return self.workload is workload or self.workload == workload
+
+    def ensure(self, workload: Workload) -> None:
+        """Raise :class:`WorkloadError` unless :meth:`matches` holds."""
+        if not self.matches(workload):
+            raise WorkloadError(
+                "ShardedContext was built for a different workload;"
+                " build a fresh context after the workload changes"
+            )
+
+    # -- per-shard structure -------------------------------------------
+    def shard_workload(self, index: int) -> Workload:
+        """The (cached) sub-workload of shard ``index``."""
+        cached = self._workloads.get(index)
+        if cached is None:
+            cached = self.workload.restricted_to(self.plan.shards[index])
+            self._workloads[index] = cached
+        return cached
+
+    def shard_context(self, index: int) -> AnalysisContext:
+        """The (lazily built) analysis context of shard ``index``.
+
+        Sub-contexts share this context's stats object, so their
+        conflict-index builds and scan counters land in one place.
+        """
+        cached = self._contexts.get(index)
+        if cached is None:
+            cached = AnalysisContext(self.shard_workload(index), stats=self.stats)
+            self._contexts[index] = cached
+        return cached
+
+    def adopt_context(self, index: int, context: AnalysisContext) -> None:
+        """Install a pre-built sub-context for shard ``index``.
+
+        The incremental manager reuses untouched shards' contexts across
+        mutations; the context must have been built for exactly this
+        shard's sub-workload.
+        """
+        context.ensure(self.shard_workload(index))
+        self._contexts[index] = context
+
+    def context_of(self, tid: int) -> AnalysisContext:
+        """The sub-context of the shard owning transaction ``tid``."""
+        return self.shard_context(self.plan.shard_of[tid])
+
+    def shard_allocation(self, allocation: Allocation, index: int) -> Allocation:
+        """``allocation`` restricted to shard ``index``."""
+        return Allocation(
+            {tid: allocation[tid] for tid in self.plan.shards[index]}
+        )
+
+    # -- check accounting ----------------------------------------------
+    def record_check(self) -> None:
+        """Count one *logical* robustness check (not one per shard)."""
+        self.stats.checks += 1
+        current_tracer().count("robustness.checks")
+
+
+def _resolve_sharded(
+    workload: Workload, context: Optional[ShardedContext]
+) -> ShardedContext:
+    """The caller's sharded context (validated) or a fresh one."""
+    if context is None:
+        return ShardedContext(workload)
+    if not isinstance(context, ShardedContext):
+        raise WorkloadError(
+            "shard=True requires a ShardedContext (or None); got a"
+            f" {type(context).__name__} — pass shard=False to use it"
+        )
+    context.ensure(workload)
+    return context
+
+
+def _validate(workload: Workload, allocation: Allocation, method: str) -> None:
+    if not allocation.covers(workload):
+        raise WorkloadError("allocation does not cover the workload")
+    if method not in ("bitset", "components", "paper"):
+        raise ValueError(f"unknown method {method!r}")
+
+
+def _resolve_shard_jobs(
+    n_jobs: Optional[int], workload: Workload, method: str
+) -> int:
+    """Effective worker count, with the paper-engine restriction."""
+    if n_jobs == 1:
+        return 1
+    from ..parallel.engine import resolve_jobs
+
+    jobs = resolve_jobs(n_jobs, len(workload))
+    if jobs > 1 and method == "paper":
+        raise ValueError(
+            "the verbatim paper engine is sequential-only; use"
+            " method='bitset' or 'components' with n_jobs > 1"
+        )
+    return jobs
+
+
+def _first_spec_sequential(
+    sctx: ShardedContext, allocation: Allocation, method: str
+):
+    """The earliest-``T_1`` witness across shards, or ``None``.
+
+    Each shard is scanned in ascending ``T_1`` order and stops at its
+    first witness; the shard whose witness has the globally smallest
+    ``T_1`` id wins — exactly the witness the monolithic ascending-tid
+    scan finds first.  Shards whose smallest member exceeds the current
+    best ``T_1`` are skipped entirely (they can only contain later
+    candidates), which is the sequential form of the parallel engine's
+    shard cancellation.
+    """
+    from .robustness import _scan_t1
+
+    tracer = current_tracer()
+    workload = sctx.workload
+    best: Optional[Tuple[int, object]] = None  # (t1_tid, spec)
+    for index, shard in enumerate(sctx.plan.shards):
+        if best is not None and shard[0] > best[0]:
+            break  # shards are ordered by smallest tid
+        ctx = sctx.shard_context(index)
+        with tracer.span("shard.scan", shard=index, size=len(shard)):
+            for tid in shard:
+                if best is not None and tid > best[0]:
+                    break
+                with tracer.span("robustness.scan_t1", t1=tid, shard=index):
+                    spec = next(
+                        _scan_t1(ctx, allocation, workload[tid], method), None
+                    )
+                if spec is not None:
+                    best = (tid, spec)
+                    break
+    return best
+
+
+def _first_spec(
+    sctx: ShardedContext,
+    allocation: Allocation,
+    method: str,
+    n_jobs: int,
+):
+    """Dispatch the first-witness scan, parallel over whole shards if asked."""
+    if n_jobs > 1 and len(sctx.plan) > 1:
+        from ..parallel.engine import first_spec_shards_parallel
+
+        return first_spec_shards_parallel(
+            sctx.workload, allocation, sctx, n_jobs=n_jobs, method=method
+        )
+    return _first_spec_sequential(sctx, allocation, method)
+
+
+def check_robustness_sharded(
+    workload: Workload,
+    allocation: Allocation,
+    method: str = "bitset",
+    context: Optional[ShardedContext] = None,
+    n_jobs: Optional[int] = 1,
+):
+    """Algorithm 1 decided per conflict component, composed globally.
+
+    Returns exactly what the monolithic
+    :func:`~repro.core.robustness.check_robustness` returns — the same
+    verdict and, on non-robustness, the same counterexample (the
+    smallest-``T_1`` witness, materialized against the *full* workload:
+    the split-schedule shape appends the other components' transactions
+    serially at the end, where they carry no conditions).
+    """
+    from .robustness import Counterexample, RobustnessResult
+    from .split_schedule import materialize
+
+    _validate(workload, allocation, method)
+    sctx = _resolve_sharded(workload, context)
+    jobs = _resolve_shard_jobs(n_jobs, workload, method)
+    sctx.record_check()
+    tracer = current_tracer()
+    with tracer.span(
+        "robustness.check",
+        transactions=len(workload),
+        method=method,
+        jobs=jobs,
+        shards=len(sctx.plan),
+    ) as check_span:
+        best = _first_spec(sctx, allocation, method, jobs)
+        check_span.set(robust=best is None)
+    if best is None:
+        return RobustnessResult(True)
+    spec = best[1]
+    schedule = materialize(spec, workload, allocation)
+    return RobustnessResult(False, Counterexample(spec, schedule, allocation))
+
+
+def first_witness_spec_sharded(
+    workload: Workload,
+    allocation: Allocation,
+    method: str = "bitset",
+    context: Optional[ShardedContext] = None,
+    n_jobs: Optional[int] = 1,
+):
+    """The first counterexample spec across shards, or ``None`` — no schedule.
+
+    The lean core of :func:`check_robustness_sharded`, mirroring
+    :func:`~repro.core.robustness.first_witness_spec`.
+    """
+    _validate(workload, allocation, method)
+    sctx = _resolve_sharded(workload, context)
+    jobs = _resolve_shard_jobs(n_jobs, workload, method)
+    sctx.record_check()
+    tracer = current_tracer()
+    with tracer.span(
+        "robustness.check",
+        transactions=len(workload),
+        method=method,
+        jobs=jobs,
+        shards=len(sctx.plan),
+    ) as check_span:
+        best = _first_spec(sctx, allocation, method, jobs)
+        check_span.set(robust=best is None)
+    return None if best is None else best[1]
+
+
+def enumerate_specs_sharded(
+    workload: Workload,
+    allocation: Allocation,
+    method: str = "bitset",
+    context: Optional[ShardedContext] = None,
+    n_jobs: Optional[int] = 1,
+) -> Iterator:
+    """Every counterexample chain, in the monolithic enumeration order.
+
+    Iterates split candidates in ascending global id, dispatching each
+    to its owning shard's sub-context — the yielded sequence is
+    element-for-element the monolithic
+    :func:`~repro.core.robustness.enumerate_counterexamples` order.
+    Does not count a robustness check itself — the caller owns
+    :meth:`ShardedContext.record_check`.
+    """
+    from .robustness import _scan_t1
+
+    _validate(workload, allocation, method)
+    sctx = _resolve_sharded(workload, context)
+    jobs = _resolve_shard_jobs(n_jobs, workload, method)
+    if jobs > 1 and len(sctx.plan) > 1:
+        from ..parallel.engine import enumerate_specs_shards_parallel
+
+        yield from enumerate_specs_shards_parallel(
+            workload, allocation, sctx, n_jobs=jobs, method=method
+        )
+        return
+    tracer = current_tracer()
+    for t1 in workload:
+        ctx = sctx.context_of(t1.tid)
+        shard_index = sctx.plan.shard_of[t1.tid]
+        if tracer.enabled:
+            with tracer.span(
+                "robustness.scan_t1", t1=t1.tid, shard=shard_index, survey=True
+            ):
+                specs = list(_scan_t1(ctx, allocation, t1, method))
+        else:
+            specs = _scan_t1(ctx, allocation, t1, method)
+        yield from specs
+
+
+def refine_allocation_sharded(
+    workload: Workload,
+    start: Allocation,
+    levels: Sequence[IsolationLevel],
+    method: str = "bitset",
+    context: Optional[ShardedContext] = None,
+    n_jobs: Optional[int] = 1,
+    floors: Optional[Dict[int, IsolationLevel]] = None,
+) -> Allocation:
+    """Algorithm 2's refinement, shard by shard (Propositions 4.1/4.2).
+
+    Lowering a transaction's level only affects witnesses inside its own
+    component, so the refinement decomposes: each shard's sub-workload is
+    refined against ``start`` restricted to it, and the per-shard optima
+    compose into the unique global optimum below ``start`` — the same
+    allocation (and the same number of robustness probes) as the
+    monolithic refinement.
+    """
+    from .allocation import _normalized_levels, refine_allocation
+
+    if not start.covers(workload):
+        raise WorkloadError("allocation does not cover the workload")
+    ordered = _normalized_levels(levels)
+    sctx = _resolve_sharded(workload, context)
+    jobs = _resolve_shard_jobs(n_jobs, workload, method)
+    if jobs > 1 and len(sctx.plan) > 1:
+        from ..parallel.engine import refine_allocation_shards_parallel
+
+        return refine_allocation_shards_parallel(
+            workload, start, ordered, sctx,
+            n_jobs=jobs, floors=floors, method=method,
+        )
+    tracer = current_tracer()
+    pieces: Dict[int, IsolationLevel] = {}
+    for index, shard in enumerate(sctx.plan.shards):
+        sub_start = sctx.shard_allocation(start, index)
+        sub_floors = (
+            {tid: floors[tid] for tid in shard if tid in floors}
+            if floors
+            else None
+        )
+        with tracer.span("shard.refine", shard=index, size=len(shard)):
+            refined = refine_allocation(
+                sctx.shard_workload(index),
+                sub_start,
+                ordered,
+                method=method,
+                context=sctx.shard_context(index),
+                n_jobs=jobs if len(sctx.plan) == 1 else 1,
+                floors=sub_floors,
+            )
+        for tid in shard:
+            pieces[tid] = refined[tid]
+    return Allocation({tid: pieces[tid] for tid in workload.tids})
+
+
+def optimal_allocation_sharded(
+    workload: Workload,
+    levels: Sequence[IsolationLevel],
+    method: str = "bitset",
+    context: Optional[ShardedContext] = None,
+    n_jobs: Optional[int] = 1,
+) -> Optional[Allocation]:
+    """Algorithm 2 end to end over shards (Theorem 4.3 / Theorem 5.5).
+
+    Same contract as :func:`~repro.core.allocation.optimal_allocation`:
+    ``None`` exactly when the top of ``levels`` is not SSI and the
+    uniform top allocation is not robust (some shard has a witness);
+    otherwise the composed per-shard optimum — identical to the
+    monolithic result by uniqueness (Proposition 4.2).
+    """
+    from .allocation import _normalized_levels
+
+    ordered = _normalized_levels(levels)
+    sctx = _resolve_sharded(workload, context)
+    top = ordered[-1]
+    start = Allocation.uniform(workload, top)
+    with current_tracer().span(
+        "allocation.optimal",
+        transactions=len(workload),
+        levels=[level.name for level in ordered],
+        shards=len(sctx.plan),
+    ):
+        if top is not IsolationLevel.SSI and (
+            first_witness_spec_sharded(
+                workload, start, method, context=sctx, n_jobs=n_jobs
+            )
+            is not None
+        ):
+            return None
+        return refine_allocation_sharded(
+            workload, start, ordered,
+            method=method, context=sctx, n_jobs=n_jobs,
+        )

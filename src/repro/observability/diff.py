@@ -62,6 +62,7 @@ DEFAULT_ABS_FLOOR_S = 0.001
 BENCH_SERIES: Tuple[Tuple[str, str], ...] = (
     ("algorithm1_scaling", "transactions"),
     ("method_ablation", "method"),
+    ("shard_scaling", "transactions"),
     ("algorithm2_scaling", "transactions"),
     ("refinement_mode", "mode"),
 )

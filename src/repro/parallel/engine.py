@@ -73,8 +73,11 @@ __all__ = [
     "PARALLEL_AUTO_THRESHOLD",
     "check_robustness_parallel",
     "enumerate_specs_parallel",
+    "enumerate_specs_shards_parallel",
+    "first_spec_shards_parallel",
     "optimal_allocation_parallel",
     "refine_allocation_parallel",
+    "refine_allocation_shards_parallel",
     "resolve_jobs",
     "shutdown_pool",
 ]
@@ -396,6 +399,238 @@ def refine_allocation_parallel(
             refine_span.set(fallback=True)
             return refine_allocation(
                 workload, start, ordered, context=ctx, method=method
+            )
+    return Allocation(
+        {
+            tid: chosen.get(tid, start[tid].name)
+            for tid in workload.tids
+        }
+    )
+
+
+def _shard_task_encodings(
+    shard_context, allocation: Allocation, index: int
+) -> Tuple[object, object]:
+    """The (workload, allocation) encodings for one shard's task."""
+    wl_enc = encode_workload(shard_context.shard_workload(index))
+    alloc_enc = encode_allocation(
+        shard_context.shard_allocation(allocation, index)
+    )
+    return wl_enc, alloc_enc
+
+
+def first_spec_shards_parallel(
+    workload: Workload,
+    allocation: Allocation,
+    shard_context,
+    n_jobs: int = 2,
+    method: str = "bitset",
+) -> Optional[Tuple[int, SplitScheduleSpec]]:
+    """The earliest-``T_1`` witness with whole shards as the unit of work.
+
+    One :func:`~repro.parallel.worker.scan_chunk` task per conflict
+    component (``shard_context`` is a
+    :class:`~repro.core.sharding.ShardedContext`), each over its own
+    sub-workload encoding — workers never see, and never coordinate
+    over, other components.  The winning witness is the one with the
+    globally smallest ``T_1`` id; on a witness, shards whose smallest
+    member exceeds it are cancelled (they can only contain later
+    candidates).  Returns ``(t1_tid, spec)`` or ``None`` — bit-identical
+    to the sequential sharded scan, hence to the monolithic one.
+    """
+    plan = shard_context.plan
+    if not plan.shards:
+        return None
+    tracer = current_tracer()
+    try:
+        with tracer.span(
+            "parallel.dispatch",
+            chunks=len(plan.shards),
+            jobs=n_jobs,
+            shards=True,
+        ):
+            executor = _get_executor(n_jobs)
+            futures: Dict[Future, int] = {}
+            for index, shard in enumerate(plan.shards):
+                wl_enc, alloc_enc = _shard_task_encodings(
+                    shard_context, allocation, index
+                )
+                futures[
+                    executor.submit(
+                        scan_chunk, wl_enc, alloc_enc, shard, False,
+                        tracer.enabled, method,
+                    )
+                ] = index
+        best: Optional[Tuple[int, tuple]] = None  # (t1_tid, spec_enc)
+        pending = set(futures)
+        with tracer.span(
+            "parallel.merge", chunks=len(plan.shards)
+        ) as merge_span:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    if future.cancelled():
+                        continue
+                    result, delta, batch = future.result()
+                    shard_context.stats.merge(delta)
+                    tracer.absorb(batch, parent_id=merge_span.span_id)
+                    if result is not None and (
+                        best is None or result[0] < best[0]
+                    ):
+                        best = result
+                        for other, other_index in futures.items():
+                            if plan.shards[other_index][0] > best[0]:
+                                other.cancel()
+                        pending = {f for f in pending if not f.cancelled()}
+    except BrokenProcessPool as exc:
+        _broken_pool_fallback(exc)
+        from ..core.sharding import _first_spec_sequential
+
+        return _first_spec_sequential(shard_context, allocation, method)
+    if best is None:
+        return None
+    return best[0], decode_spec(best[1])
+
+
+def enumerate_specs_shards_parallel(
+    workload: Workload,
+    allocation: Allocation,
+    shard_context,
+    n_jobs: int = 2,
+    method: str = "bitset",
+) -> Iterator[SplitScheduleSpec]:
+    """Every counterexample chain, shard tasks re-merged by ``T_1`` id.
+
+    All shard surveys are drained; their per-``T_1`` results carry the
+    candidate's global id, so sorting the concatenation by that id
+    reproduces the sequential ascending-``T_1`` enumeration exactly
+    (shard tid sets are disjoint, making the order total).
+    """
+    plan = shard_context.plan
+    if not plan.shards:
+        return
+    tracer = current_tracer()
+    try:
+        with tracer.span(
+            "parallel.dispatch",
+            chunks=len(plan.shards),
+            jobs=n_jobs,
+            shards=True,
+            survey=True,
+        ):
+            executor = _get_executor(n_jobs)
+            futures = []
+            for index, shard in enumerate(plan.shards):
+                wl_enc, alloc_enc = _shard_task_encodings(
+                    shard_context, allocation, index
+                )
+                futures.append(
+                    executor.submit(
+                        scan_chunk, wl_enc, alloc_enc, shard, True,
+                        tracer.enabled, method,
+                    )
+                )
+        collected: List[Tuple[int, tuple]] = []
+        with tracer.span(
+            "parallel.merge", chunks=len(plan.shards)
+        ) as merge_span:
+            for future in futures:
+                result, delta, batch = future.result()
+                shard_context.stats.merge(delta)
+                tracer.absorb(batch, parent_id=merge_span.span_id)
+                collected.extend(result)
+    except BrokenProcessPool as exc:
+        _broken_pool_fallback(exc)
+        from ..core.sharding import enumerate_specs_sharded
+
+        yield from enumerate_specs_sharded(
+            workload, allocation, method=method, context=shard_context,
+            n_jobs=1,
+        )
+        return
+    collected.sort(key=lambda entry: entry[0])
+    for _t1_tid, spec_encs in collected:
+        for spec_enc in spec_encs:
+            yield decode_spec(spec_enc)
+
+
+def refine_allocation_shards_parallel(
+    workload: Workload,
+    start: Allocation,
+    levels: Sequence[IsolationLevel],
+    shard_context,
+    n_jobs: int = 2,
+    floors: Optional[Dict[int, IsolationLevel]] = None,
+    method: str = "bitset",
+) -> Allocation:
+    """Algorithm 2's refinement with one probe task per conflict component.
+
+    Each shard's downgrade probes run against its own sub-workload (the
+    delta-restricted scans never needed other components anyway), so
+    witness chains warm-start probes *within* a shard without any
+    cross-chunk coordination.  The composed result is the unique global
+    optimum below ``start`` — identical to the monolithic refinement.
+    """
+    if not start.covers(workload):
+        raise WorkloadError("allocation does not cover the workload")
+    ordered = tuple(sorted(set(levels)))
+    if not ordered:
+        raise ValueError("the class of isolation levels must not be empty")
+    plan = shard_context.plan
+    shard_probes: List[Tuple[int, Tuple[Tuple[int, Tuple[str, ...]], ...]]] = []
+    for index, shard in enumerate(plan.shards):
+        probes = []
+        for tid in shard:
+            floor = floors.get(tid) if floors is not None else None
+            below = tuple(
+                level.name
+                for level in ordered
+                if level < start[tid] and (floor is None or level >= floor)
+            )
+            if below:
+                probes.append((tid, below))
+        if probes:
+            shard_probes.append((index, tuple(probes)))
+    if not shard_probes:
+        return start
+    tracer = current_tracer()
+    with tracer.span(
+        "allocation.refine",
+        transactions=len(workload),
+        jobs=n_jobs,
+        shards=len(plan),
+    ) as refine_span:
+        chosen: Dict[int, str] = {}
+        try:
+            with tracer.span(
+                "parallel.dispatch", chunks=len(shard_probes), jobs=n_jobs
+            ):
+                executor = _get_executor(n_jobs)
+                futures = []
+                for index, probes in shard_probes:
+                    wl_enc, start_enc = _shard_task_encodings(
+                        shard_context, start, index
+                    )
+                    futures.append(
+                        executor.submit(
+                            probe_chunk, wl_enc, start_enc, probes,
+                            tracer.enabled, method,
+                        )
+                    )
+            with tracer.span("parallel.merge", chunks=len(shard_probes)):
+                for future in futures:
+                    levels_for, delta, batch = future.result()
+                    shard_context.stats.merge(delta)
+                    tracer.absorb(batch, parent_id=refine_span.span_id)
+                    chosen.update(levels_for)
+        except BrokenProcessPool as exc:
+            _broken_pool_fallback(exc)
+            from ..core.sharding import refine_allocation_sharded
+
+            refine_span.set(fallback=True)
+            return refine_allocation_sharded(
+                workload, start, ordered, method=method,
+                context=shard_context, n_jobs=1, floors=floors,
             )
     return Allocation(
         {

@@ -7,7 +7,7 @@ procedure versions for the MVCC engine (:mod:`smallbank_app`), and every
 schedule appearing in the paper's figures (:mod:`paper_examples`).
 """
 
-from .generator import GeneratorConfig, random_workload
+from .generator import GeneratorConfig, clustered_workload, random_workload
 from .paper_examples import (
     example26_allocations,
     example26_schedule,
@@ -41,6 +41,7 @@ __all__ = [
     "example52_workload",
     "figure2_schedule",
     "figure2_workload",
+    "clustered_workload",
     "random_workload",
     "si_anomaly_triple",
     "smallbank_one_of_each",

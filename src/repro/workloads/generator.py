@@ -129,3 +129,71 @@ def random_workload(
         _random_transaction(tid, config, rng)
         for tid in range(1, config.transactions + 1)
     )
+
+
+def clustered_workload(
+    components: int = 4,
+    per_component: int = 5,
+    objects_per_component: int = 6,
+    min_ops: int = 2,
+    max_ops: int = 4,
+    write_probability: float = 0.5,
+    seed: int = 0,
+) -> Workload:
+    """Generate a workload with at least ``components`` conflict components.
+
+    Each cluster draws from a private object pool (``c<k>x<i>`` names), so
+    transactions of different clusters can never conflict — the conflict
+    graph has at least ``components`` connected components (more when a
+    cluster happens to fragment internally).  Transaction ids are assigned
+    round-robin across clusters, so each shard's tid range interleaves
+    with every other's — the worst case for any code that assumes shards
+    are contiguous tid blocks.
+
+    This is the workload family behind the ``shard_scaling`` benchmark
+    series and the sharded/monolithic equivalence suite.
+
+    Examples:
+        >>> from repro.core.sharding import conflict_components
+        >>> w = clustered_workload(components=3, per_component=2, seed=1)
+        >>> len(w)
+        6
+        >>> len(conflict_components(w)) >= 3
+        True
+    """
+    if components < 1:
+        raise ValueError("need at least one component")
+    if per_component < 1:
+        raise ValueError("need at least one transaction per component")
+    rng = random.Random(seed)
+    transactions: List[Transaction] = []
+    tid = 0
+    # Round-robin tid -> cluster: tid k belongs to cluster k % components.
+    for _ in range(per_component):
+        for comp in range(components):
+            tid += 1
+            target = rng.randint(min_ops, max_ops)
+            ops: List[Operation] = []
+            seen_reads: set = set()
+            seen_writes: set = set()
+            attempts = 0
+            while (
+                len(seen_reads | seen_writes) < target
+                and attempts < 50 * target
+            ):
+                attempts += 1
+                obj = f"c{comp}x{rng.randrange(objects_per_component)}"
+                if rng.random() < write_probability:
+                    if obj in seen_writes:
+                        continue
+                    ops.append(write(tid, obj))
+                    seen_writes.add(obj)
+                else:
+                    if obj in seen_reads or obj in seen_writes:
+                        continue
+                    ops.append(read(tid, obj))
+                    seen_reads.add(obj)
+            if not ops:
+                ops.append(read(tid, f"c{comp}x0"))
+            transactions.append(Transaction(tid, ops))
+    return Workload(transactions)

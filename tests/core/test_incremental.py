@@ -230,3 +230,117 @@ class TestIncrementalCounterexample:
         found = incremental_counterexample(legacy, write_skew, si)
         assert found is not None
         assert len(calls) == 1
+
+
+class TestWitnessCachePruningOnRemoval:
+    """Satellite regression: ``remove()`` must not keep stale chains.
+
+    Before the fix, the warm witness cache carried over unchanged across
+    ``remove()``: a cached chain naming the removed transaction would be
+    revalidated against later candidate allocations and could reject a
+    candidate with a witness whose transactions no longer exist.
+    """
+
+    def test_remove_prunes_chains_naming_the_removed_tid(self):
+        manager = AllocationManager()
+        manager.add(parse_transaction("R1[x] W1[y]"))
+        manager.add(parse_transaction("R2[y] W2[x]"))  # write skew: chain cached
+        manager.remove(2)
+        for ctx in manager._shard_contexts.values():
+            for spec in ctx.witnesses:
+                assert all(
+                    quad.tid_i in manager.workload for quad in spec.chain
+                ), "cached chain references a removed transaction"
+
+    def test_remove_then_readd_conflicting_transaction(self):
+        """Remove a chain member, re-add a conflicting transaction.
+
+        The re-added transaction recreates write skew with T1, so the
+        correct optimum is SSI/SSI — but it must come from a *fresh*
+        witness over {1, 3}, never from the pruned {1, 2} chain.
+        """
+        manager = AllocationManager()
+        manager.add(parse_transaction("R1[x] W1[y]"))
+        manager.add(parse_transaction("R2[y] W2[x]"))
+        assert manager.allocation[1] is IsolationLevel.SSI
+        manager.remove(2)
+        assert manager.allocation[1] is IsolationLevel.RC
+        alloc = manager.add(parse_transaction("R3[y] W3[x]"))
+        assert alloc[1] is IsolationLevel.SSI
+        assert alloc[3] is IsolationLevel.SSI
+        # The manager's verdict equals a from-scratch computation.
+        assert alloc == optimal_allocation(manager.workload)
+        assert manager.check(alloc)
+
+    def test_adopted_witnesses_still_warm_start_surviving_chains(self):
+        """Pruning is selective: chains untouched by the removal survive."""
+        manager = AllocationManager()
+        manager.add(parse_transaction("R1[x] W1[y]"))
+        manager.add(parse_transaction("R2[y] W2[x]"))  # skew in {1,2}
+        manager.add(parse_transaction("W3[z]"))        # singleton
+        manager.remove(3)                              # {1,2} untouched
+        surviving = [
+            spec
+            for ctx in manager._shard_contexts.values()
+            for spec in ctx.witnesses
+        ]
+        assert surviving, "removal of an unrelated tid dropped live chains"
+        assert all(
+            {quad.tid_i for quad in spec.chain} <= {1, 2}
+            for spec in surviving
+        )
+
+
+class TestCrossShardStaleWitness:
+    """Satellite regression: reuse must reject chains crossing components.
+
+    ``incremental_counterexample`` condition (c): after a mutation splits
+    a component, a cached chain spanning the now-disconnected halves is
+    not a split schedule any more.  The conditions-only recheck can still
+    pass on a doctored witness (specs don't re-derive conflicts), so the
+    ``same_shard`` guard is what forces the full re-check.
+    """
+
+    def test_same_shard_guard_forces_full_recheck(self, monkeypatch):
+        from types import SimpleNamespace
+
+        # Build a witness over a connected workload, then present a
+        # current workload where the chain's tids are disconnected.
+        connected = workload("R1[x] W1[y]", "R2[y] W2[x]")
+        si = Allocation.si(connected)
+        first = check_robustness(connected, si).counterexample
+        split = workload("R1[a] W1[b]", "R2[c] W2[d]")  # two components
+        doctored = Counterexample(
+            first.spec, SimpleNamespace(workload=split), si
+        )
+        calls = []
+        original = incremental_module.check_robustness
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(incremental_module, "check_robustness", spy)
+        result = incremental_counterexample(doctored, split, si)
+        # The split workload is robust; blind reuse of the doctored chain
+        # would have certified non-robustness with a cross-component chain.
+        assert result is None
+        assert len(calls) == 1  # full Algorithm 1 rerun
+
+    def test_connected_chain_still_reuses(self, monkeypatch):
+        """The guard is not over-eager: same-component chains reuse."""
+        connected = workload("R1[x] W1[y]", "R2[y] W2[x]")
+        si = Allocation.si(connected)
+        first = check_robustness(connected, si).counterexample
+        calls = []
+        original = incremental_module.check_robustness
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(incremental_module, "check_robustness", spy)
+        reused = incremental_counterexample(first, connected, si)
+        assert reused is not None
+        assert reused.spec == first.spec
+        assert len(calls) == 0

@@ -266,3 +266,67 @@ def test_fallback_result_still_traced(broken_pool):
     checks = [s for s in tracer.spans if s.name == "robustness.check"]
     assert len(checks) == 2
     assert any(s.attrs.get("fallback") is True for s in checks)
+
+
+# ---------------------------------------------------------------------------
+# chunking with more workers than transactions (regression pin)
+# ---------------------------------------------------------------------------
+
+
+def test_contiguous_chunks_more_chunks_than_items_submits_no_empty_chunks():
+    """``n_chunks > len(items)`` degrades to one chunk per item.
+
+    ``_contiguous_chunks`` clamps ``n_chunks`` to ``len(items)`` before
+    the ceil-division sizing, so a ``--jobs 8`` run over three
+    transactions submits exactly three singleton chunks — never an empty
+    chunk (an empty chunk would make a worker scan zero candidates and,
+    worse, make find-first merging consider a vacuous result).
+    """
+    from repro.parallel.engine import _contiguous_chunks, _round_robin_chunks
+
+    chunks = _contiguous_chunks([1, 2, 3], 8)
+    assert chunks == [(1,), (2,), (3,)]
+    assert all(chunks)  # no empty chunk
+    assert _contiguous_chunks([], 8) == []
+    rr = _round_robin_chunks([1, 2, 3], 8)
+    assert rr == [(1,), (2,), (3,)]
+    assert all(rr)
+
+
+def test_more_jobs_than_transactions_matches_sequential():
+    """``--jobs 8`` on a three-transaction workload: same verdict/spec."""
+    wl = workload("R1[x] W1[y]", "R2[y] W2[x]", "R3[z] W3[z]")
+    alloc = Allocation.uniform(wl, IsolationLevel.SI)
+    seq = check_robustness(wl, alloc)
+    par = check_robustness(wl, alloc, n_jobs=8)
+    _assert_same_result(seq, par)
+    assert optimal_allocation(wl, n_jobs=8) == optimal_allocation(wl)
+
+
+# ---------------------------------------------------------------------------
+# whole-shard dispatch (component sharding)
+# ---------------------------------------------------------------------------
+
+
+def test_shard_dispatch_matches_sequential_sharded():
+    from repro.workloads.generator import clustered_workload
+
+    wl = clustered_workload(components=3, per_component=4, seed=2)
+    for level in (IsolationLevel.RC, IsolationLevel.SI):
+        alloc = Allocation.uniform(wl, level)
+        seq = check_robustness(wl, alloc, shard=True)
+        par = check_robustness(wl, alloc, n_jobs=2, shard=True)
+        _assert_same_result(seq, par)
+
+
+def test_shard_dispatch_falls_back_on_broken_pool(broken_pool):
+    from repro.workloads.generator import clustered_workload
+
+    wl = clustered_workload(components=3, per_component=3, seed=2)
+    alloc = Allocation.uniform(wl, IsolationLevel.SI)
+    expected = check_robustness(wl, alloc, shard=True)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        got = check_robustness(wl, alloc, n_jobs=2, shard=True)
+    assert expected.robust == got.robust
+    if not expected.robust:
+        assert expected.counterexample.spec == got.counterexample.spec

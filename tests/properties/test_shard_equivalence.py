@@ -1,0 +1,224 @@
+"""Property tests: the sharded pipeline is bit-identical to monolithic.
+
+The acceptance contract of component sharding (``repro.core.sharding``):
+on any (workload, allocation) pair, ``shard=True`` must return the
+*same* verdict, the *same* witness ``SplitScheduleSpec``, the *same*
+``enumerate_counterexamples`` spec sequence (order included) and the
+*same* optimal allocation as the monolithic path — for every engine
+(``bitset``, ``components``, ``paper``) and with ``n_jobs > 1``.
+Identity is at the *spec* level: ``MVSchedule`` objects compare by
+identity, and two independent materializations of the same spec are
+distinct objects even monolithic-vs-monolithic (matching the
+kernel-equivalence suite's contract).
+
+Extremes are covered explicitly: a single-component workload (the shard
+pipeline degenerates to exactly one monolithic run) and an all-singleton
+workload (every transaction its own shard).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+import strategies as sts
+from repro.core.allocation import (
+    is_robustly_allocatable,
+    optimal_allocation,
+    upgrade_to_robust,
+)
+from repro.core.isolation import (
+    Allocation,
+    IsolationLevel,
+    ORACLE_LEVELS,
+    POSTGRES_LEVELS,
+)
+from repro.core.robustness import check_robustness, enumerate_counterexamples
+from repro.core.sharding import ShardedContext, conflict_components
+from repro.core.split_schedule import is_valid_split_schedule
+from repro.workloads.generator import clustered_workload
+from repro.workloads.paper_examples import (
+    example26_workload,
+    example52_workload,
+    figure2_workload,
+)
+from repro.workloads.smallbank import smallbank_one_of_each
+from repro.workloads.tpcc import tpcc_one_of_each
+
+ENGINES = ("bitset", "components", "paper")
+
+
+@st.composite
+def workload_and_allocation(draw):
+    wl = draw(sts.workloads(min_transactions=1, max_transactions=4))
+    levels = {
+        tid: draw(st.sampled_from(list(IsolationLevel))) for tid in wl.tids
+    }
+    return wl, Allocation(levels)
+
+
+def assert_check_matches(wl, alloc, method="bitset", n_jobs=1):
+    mono = check_robustness(wl, alloc, method=method)
+    sharded = check_robustness(
+        wl, alloc, method=method, n_jobs=n_jobs, shard=True
+    )
+    assert mono.robust == sharded.robust
+    if not mono.robust:
+        assert mono.counterexample.spec == sharded.counterexample.spec
+        assert is_valid_split_schedule(sharded.counterexample.spec, wl, alloc)
+
+
+def assert_enumeration_matches(wl, alloc, method="bitset", n_jobs=1):
+    mono = [
+        ce.spec
+        for ce in enumerate_counterexamples(
+            wl, alloc, materialize_schedules=False, method=method
+        )
+    ]
+    sharded = [
+        ce.spec
+        for ce in enumerate_counterexamples(
+            wl,
+            alloc,
+            materialize_schedules=False,
+            method=method,
+            n_jobs=n_jobs,
+            shard=True,
+        )
+    ]
+    assert mono == sharded
+
+
+def assert_allocation_matches(wl, levels, method="bitset", n_jobs=1):
+    mono = optimal_allocation(wl, levels, method=method)
+    sharded = optimal_allocation(
+        wl, levels, method=method, n_jobs=n_jobs, shard=True
+    )
+    assert mono == sharded
+
+
+@given(workload_and_allocation())
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_sharded_verdict_and_witness_match_monolithic(pair):
+    """Same verdict, same first-witness spec, on random inputs."""
+    wl, alloc = pair
+    for method in ENGINES:
+        assert_check_matches(wl, alloc, method=method)
+
+
+@given(workload_and_allocation())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_sharded_enumeration_order_matches_monolithic(pair):
+    """Same counterexample specs, in the same order."""
+    wl, alloc = pair
+    for method in ENGINES:
+        assert_enumeration_matches(wl, alloc, method=method)
+
+
+@given(sts.workloads(min_transactions=1, max_transactions=4))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_sharded_optimal_allocation_matches_monolithic(wl):
+    """Same optimum, for both level classes, all engines."""
+    for method in ENGINES:
+        assert_allocation_matches(wl, POSTGRES_LEVELS, method=method)
+        assert_allocation_matches(wl, ORACLE_LEVELS, method=method)
+
+
+@given(workload_and_allocation())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_sharded_upgrade_and_allocatability_match_monolithic(pair):
+    wl, alloc = pair
+    assert upgrade_to_robust(wl, alloc) == upgrade_to_robust(
+        wl, alloc, shard=True
+    )
+    assert is_robustly_allocatable(wl) == is_robustly_allocatable(
+        wl, shard=True
+    )
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        figure2_workload,
+        example26_workload,
+        example52_workload,
+        smallbank_one_of_each,
+        tpcc_one_of_each,
+    ],
+)
+def test_paper_examples_sharded_equivalence(make):
+    """The paper's running examples through every composed entry point."""
+    wl = make()
+    for method in ENGINES:
+        for level in IsolationLevel:
+            alloc = Allocation.uniform(wl, level)
+            assert_check_matches(wl, alloc, method=method)
+            assert_enumeration_matches(wl, alloc, method=method)
+        assert_allocation_matches(wl, POSTGRES_LEVELS, method=method)
+        assert_allocation_matches(wl, ORACLE_LEVELS, method=method)
+
+
+def test_single_component_workload_degenerates_cleanly():
+    """One conflict component: sharding is a no-op wrapper."""
+    wl = figure2_workload()
+    assert len(conflict_components(wl)) == 1
+    for level in IsolationLevel:
+        assert_check_matches(wl, Allocation.uniform(wl, level))
+    assert_allocation_matches(wl, POSTGRES_LEVELS)
+
+
+def test_all_singleton_workload():
+    """Every transaction its own shard: trivially robust everywhere."""
+    from repro.core.workload import workload as make_workload
+
+    wl = make_workload("R1[a] W1[b]", "R2[c] W2[d]", "R3[e]")
+    assert conflict_components(wl) == ((1,), (2,), (3,))
+    for level in IsolationLevel:
+        alloc = Allocation.uniform(wl, level)
+        assert_check_matches(wl, alloc)
+        assert_enumeration_matches(wl, alloc)
+    assert_allocation_matches(wl, POSTGRES_LEVELS)
+    assert optimal_allocation(wl, shard=True) == Allocation.uniform(
+        wl, IsolationLevel.RC
+    )
+
+
+@pytest.mark.parametrize("seed", [7, 11])
+def test_parallel_sharded_equivalence(seed):
+    """Whole-shard dispatch (``n_jobs=2``) matches the sequential result."""
+    wl = clustered_workload(
+        components=3, per_component=4, objects_per_component=5, seed=seed
+    )
+    assert len(conflict_components(wl)) >= 3
+    for level in IsolationLevel:
+        alloc = Allocation.uniform(wl, level)
+        assert_check_matches(wl, alloc, n_jobs=2)
+        assert_enumeration_matches(wl, alloc, n_jobs=2)
+    assert_allocation_matches(wl, POSTGRES_LEVELS, n_jobs=2)
+    assert_allocation_matches(wl, ORACLE_LEVELS, n_jobs=2)
+
+
+def test_paper_engine_rejects_parallel_sharding():
+    wl = clustered_workload(components=2, per_component=2, seed=0)
+    with pytest.raises(ValueError, match="sequential-only"):
+        check_robustness(
+            wl,
+            Allocation.si(wl),
+            method="paper",
+            n_jobs=2,
+            shard=True,
+        )
+
+
+def test_shared_context_reuse_matches_fresh():
+    """One ShardedContext across many checks changes no verdicts."""
+    wl = clustered_workload(components=3, per_component=3, seed=5)
+    sctx = ShardedContext(wl)
+    for level in IsolationLevel:
+        alloc = Allocation.uniform(wl, level)
+        fresh = check_robustness(wl, alloc, shard=True)
+        reused = check_robustness(wl, alloc, context=sctx)  # auto-detected
+        assert fresh.robust == reused.robust
+        if not fresh.robust:
+            assert fresh.counterexample.spec == reused.counterexample.spec
+    assert optimal_allocation(wl, context=sctx) == optimal_allocation(wl)

@@ -16,6 +16,7 @@ MODULE_NAMES = [
     "repro.core.context",
     "repro.core.incremental",
     "repro.core.robustness",
+    "repro.core.sharding",
     "repro.core.transactions",
     "repro.core.workload",
     "repro.parallel.encoding",
