@@ -1,0 +1,183 @@
+"""Experiment SERVE — the allocation daemon under scripted churn.
+
+Drives a transport-free :class:`repro.service.ServiceCore` (the daemon
+minus sockets, so the numbers measure allocation maintenance and the
+command layer, not TCP) through add/remove churn scripts and measures:
+
+* ``churn_throughput`` — mutations per second at growing steady-state
+  sizes, the committed regression series (rows keyed by
+  ``transactions``, exported into BENCH_robustness.json);
+* warm vs cold restart — resuming from a snapshot against replaying the
+  whole history, the number the SERVE section of EXPERIMENTS.md quotes;
+* a SERVE table of checks per mutation at each size (the per-shard
+  re-analysis keeps it flat while the workload grows).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from conftest import print_table
+from repro.service import ServiceConfig, ServiceCore
+from repro.service.snapshot import read_snapshot, write_snapshot
+from repro.workloads.generator import clustered_workload
+
+#: Steady-state workload sizes of the churn series (transactions).
+SIZES = (8, 16, 32)
+
+#: Mutations per benchmark round: half adds, half remove+re-add pairs.
+MUTATIONS = 40
+
+
+def _script(size: int):
+    """A churn script around a steady state of ``size`` transactions.
+
+    Builds the steady state from a clustered workload (several conflict
+    components, so per-shard re-analysis has something to skip), then
+    cycles removals and re-arrivals through it.
+    """
+    base = list(
+        clustered_workload(
+            components=max(2, size // 4),
+            per_component=4,
+            objects_per_component=5,
+            seed=size,
+        )
+    )[:size]
+    return base
+
+
+def _churn(core: ServiceCore, base, mutations: int) -> int:
+    """Run the churn phase; returns the robustness checks spent."""
+    checks = 0
+    for i in range(mutations):
+        victim = base[i % len(base)]
+        response = core.handle({"op": "remove", "tid": victim.tid})
+        assert response["ok"], response
+        checks += response["checks"]
+        response = core.handle(
+            {"op": "add", "transaction": str(victim), "tid": victim.tid}
+        )
+        assert response["ok"] and response["admitted"], response
+        checks += response["checks"]
+    return checks
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_churn_throughput(benchmark, size):
+    """Sustain remove/re-add churn at a steady state of ``size``."""
+    base = _script(size)
+
+    def build_core():
+        core = ServiceCore(ServiceConfig())
+        for txn in base:
+            response = core.handle(
+                {"op": "add", "transaction": str(txn), "tid": txn.tid}
+            )
+            assert response["ok"] and response["admitted"]
+        return (core,), {}
+
+    def churn(core):
+        return _churn(core, base, MUTATIONS)
+
+    checks = benchmark.pedantic(churn, setup=build_core, rounds=3, iterations=1)
+    benchmark.extra_info["transactions"] = size
+    benchmark.extra_info["mutations"] = 2 * MUTATIONS
+    benchmark.extra_info["checks_per_mutation"] = round(
+        checks / (2 * MUTATIONS), 2
+    )
+
+
+def test_warm_vs_cold_restart(benchmark, tmp_path, capsys):
+    """SERVE restart table: snapshot resume vs full history replay."""
+    size = max(SIZES)
+    base = _script(size)
+    snap = tmp_path / "warm.json"
+
+    core = ServiceCore(ServiceConfig())
+    for txn in base:
+        core.handle({"op": "add", "transaction": str(txn), "tid": txn.tid})
+    write_snapshot(snap, core.manager.save_state())
+    reference = core.handle({"op": "allocate"})["allocation"]
+
+    def warm_restart():
+        resumed = ServiceCore(ServiceConfig(snapshot_path=str(snap)))
+        assert resumed.handle({"op": "allocate"})["allocation"] == reference
+        return resumed
+
+    def cold_restart():
+        replayed = ServiceCore(ServiceConfig())
+        for txn in base:
+            replayed.handle(
+                {"op": "add", "transaction": str(txn), "tid": txn.tid}
+            )
+        assert replayed.handle({"op": "allocate"})["allocation"] == reference
+        return replayed
+
+    t0 = time.perf_counter()
+    cold_restart()
+    cold_s = time.perf_counter() - t0
+
+    benchmark.pedantic(warm_restart, rounds=3, iterations=1)
+    t0 = time.perf_counter()
+    warm_restart()
+    warm_s = time.perf_counter() - t0
+
+    benchmark.extra_info["transactions"] = size
+    benchmark.extra_info["cold_s"] = round(cold_s, 4)
+    benchmark.extra_info["warm_s"] = round(warm_s, 4)
+    with capsys.disabled():
+        print_table(
+            f"SERVE: restart latency at |T|={size}",
+            ["mode", "seconds", "speedup"],
+            [
+                ("cold (replay history)", f"{cold_s:.4f}", "1.0x"),
+                (
+                    "warm (snapshot resume)",
+                    f"{warm_s:.4f}",
+                    f"{cold_s / warm_s:.1f}x" if warm_s else "-",
+                ),
+            ],
+        )
+
+
+def test_churn_report(benchmark, capsys):
+    """SERVE table: checks per mutation stay flat as |T| grows.
+
+    The point of routing mutations through per-shard re-analysis: the
+    work per mutation tracks the touched component, not the workload.
+    """
+
+    def compute():
+        rows = []
+        for size in SIZES:
+            base = _script(size)
+            core = ServiceCore(ServiceConfig())
+            for txn in base:
+                core.handle(
+                    {"op": "add", "transaction": str(txn), "tid": txn.tid}
+                )
+            checks = _churn(core, base, MUTATIONS)
+            shards = core.handle({"op": "status"})["shards"]
+            rows.append(
+                (
+                    size,
+                    shards,
+                    2 * MUTATIONS,
+                    checks,
+                    f"{checks / (2 * MUTATIONS):.2f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = json.dumps(rows)
+    with capsys.disabled():
+        print_table(
+            "SERVE: robustness checks under churn",
+            ["|T|", "shards", "mutations", "checks", "checks/mutation"],
+            rows,
+        )

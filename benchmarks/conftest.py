@@ -13,8 +13,8 @@ pytest-benchmark results into a small machine-readable summary
 (BENCH_robustness.json and BENCH_allocation.json are the committed
 baselines): the Algorithm 1 |T|-scaling series, the engine ablation
 (bitset / components / paper), the Algorithm 2 |T|-scaling and
-refinement-mode series, the KERNEL speedup rows, and the machine the
-numbers came from.  ``repro bench compare BASELINE CURRENT`` diffs two
+refinement-mode series, the KERNEL speedup rows, the SERVE churn
+throughput series, and the machine the numbers came from.  ``repro bench compare BASELINE CURRENT`` diffs two
 such files with noise-aware thresholds (the CI perf gate).  Under
 ``--benchmark-disable`` (the CI smoke) pytest-benchmark registers no
 results, so the series come out empty — the correctness assertions and
@@ -58,6 +58,7 @@ def _distil(benchmarks):
     shard_scaling = []
     alloc_scaling = []
     refinement = []
+    churn = []
     for meta in benchmarks:
         mean_s, min_s, rounds = _stat_seconds(meta)
         extra = dict(getattr(meta, "extra_info", {}) or {})
@@ -103,7 +104,19 @@ def _distil(benchmarks):
                     "rounds": rounds,
                 }
             )
+        elif name.startswith("test_churn_throughput"):
+            churn.append(
+                {
+                    "transactions": extra.get("transactions"),
+                    "mutations": extra.get("mutations"),
+                    "checks_per_mutation": extra.get("checks_per_mutation"),
+                    "mean_s": mean_s,
+                    "min_s": min_s,
+                    "rounds": rounds,
+                }
+            )
     scaling.sort(key=lambda r: r["transactions"] or 0)
+    churn.sort(key=lambda r: r["transactions"] or 0)
     shard_scaling.sort(key=lambda r: r["transactions"] or 0)
     alloc_scaling.sort(key=lambda r: r["transactions"] or 0)
     refinement.sort(key=lambda r: r["mode"] or "")
@@ -121,6 +134,7 @@ def _distil(benchmarks):
         "shard_scaling": shard_scaling,
         "algorithm2_scaling": alloc_scaling,
         "refinement_mode": refinement,
+        "churn_throughput": churn,
     }
 
 

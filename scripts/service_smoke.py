@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the ``repro serve`` daemon (the CI service gate).
+
+Run with::
+
+    PYTHONPATH=src python scripts/service_smoke.py [--snapshot PATH]
+
+Exercises the acceptance path of the allocation service against a real
+daemon process:
+
+1. boot ``repro serve`` on an ephemeral port with auto-snapshots;
+2. sustain a scripted 200-mutation churn (adds and remove/re-add
+   cycles) through the warm re-analysis path, with periodic ``check``
+   probes;
+3. take an explicit ``snapshot``, record the full ``allocate`` response;
+4. SIGKILL the daemon (no goodbye), restart it resuming from the
+   snapshot, and require the next ``allocate`` to be **byte-identical**
+   to the pre-kill one;
+5. mutate, ``restore``, verify the snapshot state returns exactly;
+6. scrape ``/metrics``, send ``shutdown``, require a clean exit.
+
+Exit code 0 means every stage held; any assertion prints and exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import ServiceClient  # noqa: E402
+from repro.workloads.generator import clustered_workload  # noqa: E402
+
+MUTATIONS = 200
+
+
+def start_daemon(snapshot: str, port_file: Path, metrics_port: int):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    if port_file.exists():
+        port_file.unlink()
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--metrics-port",
+            str(metrics_port),
+            "--snapshot",
+            snapshot,
+            "--snapshot-every",
+            "25",
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    for _ in range(100):
+        if port_file.exists() and port_file.read_text().strip():
+            return proc, int(port_file.read_text().strip())
+        if proc.poll() is not None:
+            raise SystemExit(f"daemon died at startup (exit {proc.returncode})")
+        time.sleep(0.1)
+    proc.kill()
+    raise SystemExit("daemon never wrote its port file")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--snapshot",
+        default="/tmp/service-smoke.snap.json",
+        help="snapshot file (uploaded as a CI artifact afterwards)",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=8137, help="metrics HTTP port"
+    )
+    args = parser.parse_args()
+    port_file = Path("/tmp/service-smoke.port")
+    snap = args.snapshot
+    Path(snap).unlink(missing_ok=True)
+
+    base = list(clustered_workload(components=6, per_component=4, seed=42))
+    proc, port = start_daemon(snap, port_file, args.metrics_port)
+    print(f"[smoke] daemon up on port {port} (pid {proc.pid})")
+
+    with ServiceClient(port=port) as client:
+        hello = client.call("hello")
+        assert hello["protocol"] == 1, hello
+
+        # -- stage 2: 200-mutation churn ------------------------------
+        mutations = 0
+        checks = 0
+        for txn in base:
+            response = client.call("add", transaction=str(txn), tid=txn.tid)
+            assert response["admitted"], response
+            mutations += 1
+            checks += response["checks"]
+        i = 0
+        while mutations < MUTATIONS:
+            victim = base[i % len(base)]
+            removal = client.call("remove", tid=victim.tid)
+            checks += removal["checks"]
+            arrival = client.call(
+                "add", transaction=str(victim), tid=victim.tid
+            )
+            assert arrival["admitted"], arrival
+            checks += arrival["checks"]
+            mutations += 2
+            i += 1
+            if i % 10 == 0:  # periodic robustness probe of the optimum
+                probe = client.call(
+                    "check", allocation=client.call("allocate")["allocation"]
+                )
+                assert probe["robust"], probe
+        status = client.call("status")
+        assert status["mutations"] >= MUTATIONS, status
+        per_mutation = checks / mutations
+        print(
+            f"[smoke] {mutations} mutations sustained,"
+            f" {checks} robustness checks ({per_mutation:.2f}/mutation),"
+            f" {status['shards']} shards"
+        )
+        assert per_mutation < len(base), (
+            "warm path must beat one-check-per-transaction per mutation"
+        )
+
+        # -- stage 3: snapshot + record the reference allocation ------
+        snapshot = client.call("snapshot")
+        print(f"[smoke] snapshot: {snapshot['bytes']} bytes -> {snap}")
+        reference = json.dumps(
+            client.call("allocate")["allocation"], sort_keys=True
+        )
+
+    # -- stage 4: kill -9, resume, byte-identical allocations ---------
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+    print("[smoke] daemon SIGKILLed; restarting from the snapshot")
+    proc, port = start_daemon(snap, port_file, args.metrics_port)
+    with ServiceClient(port=port) as client:
+        resumed = json.dumps(
+            client.call("allocate")["allocation"], sort_keys=True
+        )
+        assert resumed == reference, (
+            f"allocation after kill/restore differs:\n"
+            f"  before: {reference}\n  after:  {resumed}"
+        )
+        print("[smoke] post-restore allocation byte-identical")
+
+        # -- stage 5: mutate, restore, exact return -------------------
+        victim = base[0]
+        client.call("remove", tid=victim.tid)
+        restored = client.call("restore", verify=True)
+        assert (
+            json.dumps(restored["allocation"], sort_keys=True) == reference
+        ), restored
+        print("[smoke] explicit restore (verified) returns the exact state")
+
+        # -- stage 6: metrics + clean shutdown ------------------------
+        text = (
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{args.metrics_port}/metrics"
+            )
+            .read()
+            .decode()
+        )
+        assert "repro_service_requests_total" in text, text[:200]
+        print("[smoke] /metrics scrape OK")
+        farewell = client.request("shutdown")
+        assert farewell["ok"] and farewell["stopping"], farewell
+    exit_code = proc.wait(timeout=30)
+    assert exit_code == 0, f"daemon exited {exit_code} after shutdown"
+    assert Path(snap).exists(), "shutdown must leave a final snapshot"
+    print("[smoke] clean shutdown; service smoke PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,16 @@ Subcommands:
 * ``bench compare BASELINE CURRENT`` — compare two ``--bench-json``
   baselines (``BENCH_robustness.json`` / ``BENCH_allocation.json``)
   with noise-aware thresholds; exit 1 on regression (the CI gate).
+* ``serve`` — the long-lived allocation daemon: a line-delimited JSON
+  command protocol over TCP (and optionally a unix socket) around an
+  incremental :class:`~repro.core.incremental.AllocationManager`, with
+  warm snapshots, admission control and a ``/metrics`` endpoint.  See
+  ``docs/service.md`` for the operator guide.
+
+The input-parsing helpers shared with the daemon live in
+:mod:`repro.service.handlers`; this module only translates their
+:class:`~repro.service.handlers.CommandError` into the CLI's
+``SystemExit`` style.
 
 Workload files use the text format of
 :func:`repro.core.workload.parse_workload`::
@@ -49,80 +59,49 @@ from .analysis.report import (
     robustness_report,
 )
 from .core.allocation import optimal_allocation
-from .core.context import AnalysisContext
 from .core.isolation import Allocation, IsolationLevel
 from .core.robustness import check_robustness
 from .core.serialization import is_conflict_serializable
-from .core.sharding import ShardedContext
-from .core.workload import Workload, parse_workload
+from .core.workload import Workload
 from .observability import Tracer, current_tracer, use_tracer
-
-
-def _load_workload(path: str) -> Workload:
-    text = Path(path).read_text(encoding="utf-8")
-    return parse_workload(text)
+from .service.handlers import (
+    CommandError,
+    build_context as _build_context,
+    load_workload_file as _load_workload,
+    parse_jobs_value,
+    shard_report_line as _shard_report,
+)
+from .service import handlers as _handlers
 
 
 def _parse_allocation(
     workload: Workload, spec: Optional[str], uniform: Optional[str]
 ) -> Allocation:
-    if spec and uniform:
-        raise SystemExit("use either --allocation or --uniform, not both")
-    if spec:
-        levels = {}
-        for part in spec.split(","):
-            key, _, value = part.partition("=")
-            key = key.strip().lstrip("Tt")
-            if not key.isdigit():
-                raise SystemExit(f"bad allocation entry {part!r}; use T<i>=LEVEL")
-            levels[int(key)] = IsolationLevel.parse(value)
-        missing = set(workload.tids) - set(levels)
-        if missing:
-            raise SystemExit(
-                f"allocation misses transactions {sorted(missing)}"
+    try:
+        return _handlers.parse_allocation_spec(workload, spec, uniform)
+    except CommandError as exc:
+        raise SystemExit(
+            str(exc).replace("an allocation spec", "--allocation").replace(
+                "a uniform level", "--uniform"
             )
-        return Allocation(levels)
-    return Allocation.uniform(workload, IsolationLevel.parse(uniform or "SI"))
+        ) from None
 
 
 def _parse_levels(spec: str) -> List[IsolationLevel]:
-    return [IsolationLevel.parse(part) for part in spec.split(",")]
+    try:
+        return _handlers.parse_levels_spec(spec)
+    except CommandError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _parse_jobs(value: str) -> Optional[int]:
     """``--jobs`` argument: a positive worker count or ``auto``."""
-    if value.strip().lower() == "auto":
-        return None  # the engine's size-based heuristic
     try:
-        jobs = int(value)
-    except ValueError:
+        return parse_jobs_value(value)
+    except CommandError as exc:
         raise argparse.ArgumentTypeError(
-            f"bad --jobs value {value!r}; use a positive integer or 'auto'"
+            str(exc).replace("jobs", "--jobs", 1)
         ) from None
-    if jobs < 1:
-        raise argparse.ArgumentTypeError("--jobs must be >= 1 (or 'auto')")
-    return jobs
-
-
-def _build_context(workload: Workload, shard: bool):
-    """The analysis context for a CLI run: sharded or monolithic.
-
-    A :class:`~repro.core.sharding.ShardedContext` routes every core
-    entry point through the per-component pipeline (bit-identical
-    results; see ``docs/architecture.md``, "Component sharding").
-    """
-    if shard:
-        return ShardedContext(workload)
-    return AnalysisContext(workload)
-
-
-def _shard_report(context) -> Optional[str]:
-    """The ``--stats`` shard line for a sharded context, else ``None``."""
-    if not isinstance(context, ShardedContext):
-        return None
-    sizes = context.plan.sizes
-    rendered = ", ".join(str(size) for size in sizes) if sizes else "-"
-    return f"Shards: {len(sizes)} (sizes: {rendered})"
 
 
 def _print_phase_timings() -> None:
@@ -394,6 +373,37 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import AdmissionPolicy, ServiceConfig
+    from .service.daemon import serve as _run_daemon
+
+    try:
+        levels = tuple(_parse_levels(args.levels))
+        admission = AdmissionPolicy(
+            floor=args.admission_floor,
+            max_promotions=args.max_promotions,
+            mode=args.admission_mode,
+        )
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            socket_path=args.socket,
+            metrics_port=args.metrics_port,
+            port_file=args.port_file,
+            snapshot_path=args.snapshot,
+            snapshot_every=args.snapshot_every,
+            resume=not args.no_resume,
+            levels=levels,
+            method=args.method,
+            n_jobs=args.jobs,
+            admission=admission,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    _run_daemon(config)
+    return 0
+
+
 def _add_trace_flag(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--trace",
@@ -638,6 +648,99 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument("current", help="fresh --bench-json output")
     _add_diff_thresholds(bench_compare)
     bench_compare.set_defaults(func=_cmd_bench_compare)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the allocation service daemon (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7311,
+        help="TCP command port; 0 picks an ephemeral one (default 7311)",
+    )
+    serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="also serve the command protocol on this unix socket",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="serve HTTP GET /metrics (prometheus text) and /metrics.json here",
+    )
+    serve.add_argument(
+        "--port-file",
+        metavar="FILE",
+        help="write the bound TCP port here (for scripts using --port 0)",
+    )
+    serve.add_argument(
+        "--snapshot",
+        metavar="FILE",
+        help=(
+            "snapshot file: resumed at startup when present, written by"
+            " the snapshot command, auto-snapshots and shutdown"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="auto-snapshot after every N mutations (default 0: disabled)",
+    )
+    serve.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="start empty even when the snapshot file exists",
+    )
+    serve.add_argument(
+        "--levels",
+        default="RC,SI,SSI",
+        help="class of levels the daemon allocates over (default RC,SI,SSI)",
+    )
+    serve.add_argument(
+        "--method",
+        choices=("bitset", "components", "paper"),
+        default="bitset",
+        help="robustness engine (default bitset)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=1,
+        metavar="N|auto",
+        help="worker processes for re-analysis (default 1: in-process)",
+    )
+    serve.add_argument(
+        "--admission-floor",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help=(
+            "reject admissions dropping the fraction of transactions below"
+            " the top level under FRAC (default 0: disabled)"
+        ),
+    )
+    serve.add_argument(
+        "--max-promotions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject admissions promoting more than N existing transactions",
+    )
+    serve.add_argument(
+        "--admission-mode",
+        choices=("reject", "queue"),
+        default="reject",
+        help="what to do with refused transactions (default reject)",
+    )
+    _add_trace_flag(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     simulate = sub.add_parser("simulate", help="run the workload on the MVCC engine")
     simulate.add_argument("workload", help="workload file")

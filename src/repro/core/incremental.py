@@ -51,7 +51,7 @@ from .isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
 from .robustness import Counterexample, check_robustness
 from .sharding import ShardedContext, same_shard
 from .transactions import Transaction
-from .workload import Workload, WorkloadError
+from .workload import Workload, WorkloadError, parse_workload as _parse_workload_text
 
 
 class AllocationManager:
@@ -334,6 +334,120 @@ adopt_witnesses` prunes chains referencing transactions no longer
                 checks=self._last_check_count, shards=len(sctx.plan)
             )
         return self._allocation
+
+    # -- warm-state export/import --------------------------------------
+    #: Version stamp of the :meth:`save_state` document.  Bump on any
+    #: incompatible change; :meth:`load_state` rejects other versions.
+    STATE_VERSION = 1
+
+    def save_state(self) -> Dict[str, object]:
+        """The manager's warm state as a JSON-ready document.
+
+        Captures everything needed to resume allocation maintenance
+        after a restart *warm*: the workload (text format), the current
+        optimal allocation, the class of levels, the engine method, and
+        every shard context's witness cache (chains in MRU order, so a
+        restored manager probes the most recently useful chain first).
+        Pure data — no pickled objects — so snapshots survive version
+        skew and can be inspected with any JSON tool.
+        """
+        from .split_schedule import spec_to_state
+
+        workload = self.workload
+        witnesses: List[List[List[int]]] = []
+        seen = set()
+        for shard in sorted(self._shard_contexts):
+            for spec in self._shard_contexts[shard].witnesses:
+                if spec not in seen:
+                    seen.add(spec)
+                    witnesses.append(spec_to_state(spec, workload))
+        return {
+            "version": self.STATE_VERSION,
+            "levels": [level.name for level in self._levels],
+            "method": self._method,
+            "workload": str(workload),
+            "allocation": {
+                str(tid): level.name for tid, level in self._allocation.items()
+            },
+            "witnesses": witnesses,
+        }
+
+    @classmethod
+    def load_state(
+        cls,
+        state: Dict[str, object],
+        n_jobs: Optional[int] = 1,
+        verify: bool = False,
+    ) -> "AllocationManager":
+        """Rebuild a manager from :meth:`save_state` output.
+
+        The restored manager resumes *warm*: per-shard contexts are
+        rebuilt for the snapshot's workload and every witness chain that
+        still applies to its shard is re-adopted
+        (:meth:`~repro.core.context.AnalysisContext.adopt_witnesses`
+        prunes the rest), so the next mutation's warm-start behaviour —
+        checks executed, witness hits — is identical to a manager that
+        never restarted.  Chains that fail to decode are dropped
+        silently: the witness cache is an acceleration, never a
+        correctness input.
+
+        ``verify=True`` additionally re-checks that the snapshot's
+        allocation is robust for its workload and raises
+        :class:`~repro.core.workload.WorkloadError` when it is not —
+        the corruption-safe restore mode of ``repro serve``.
+
+        Raises:
+            ValueError: on an unsupported state version.
+            WorkloadError: on a malformed workload/allocation pair, or
+                (with ``verify=True``) a non-robust allocation.
+        """
+        from .split_schedule import spec_from_state
+
+        if state.get("version") != cls.STATE_VERSION:
+            raise ValueError(
+                f"unsupported manager state version {state.get('version')!r};"
+                f" this build reads version {cls.STATE_VERSION}"
+            )
+        levels = tuple(
+            IsolationLevel.parse(name) for name in state["levels"]  # type: ignore[union-attr]
+        )
+        manager = cls(levels=levels, method=str(state["method"]), n_jobs=n_jobs)
+        workload = _parse_workload_text(str(state["workload"]))
+        allocation = Allocation(
+            {
+                int(tid): IsolationLevel.parse(str(name))
+                for tid, name in dict(state["allocation"]).items()  # type: ignore[arg-type]
+            }
+        )
+        if set(allocation.tids) != set(workload.tids):
+            raise WorkloadError(
+                "state allocation does not cover exactly the state workload"
+            )
+        if not allocation.uses_only(manager._levels):
+            raise WorkloadError(
+                "state allocation uses levels outside the state's class"
+            )
+        specs = []
+        for encoded in state.get("witnesses", ()):  # type: ignore[union-attr]
+            try:
+                specs.append(spec_from_state(encoded, workload))
+            except (ValueError, TypeError):
+                continue  # stale or corrupt chain: drop, never trust
+        manager._transactions = {txn.tid: txn for txn in workload}
+        stats = ContextStats()
+        sctx = ShardedContext(manager.workload, stats=stats)
+        new_map: Dict[Tuple[int, ...], AnalysisContext] = {}
+        for index, shard in enumerate(sctx.plan.shards):
+            ctx = sctx.shard_context(index)
+            ctx.adopt_witnesses(specs)
+            new_map[shard] = ctx
+        manager._finish(sctx, stats, new_map, allocation)
+        if verify and not manager.check(allocation):
+            raise WorkloadError(
+                "state allocation is not robust for the state workload;"
+                " refusing to restore a corrupt snapshot"
+            )
+        return manager
 
     def check(self, allocation: Allocation) -> bool:
         """Robustness of the current workload against an arbitrary allocation.

@@ -24,7 +24,7 @@ forced choices under {RC, SI, SSI}.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from .conflicts import (
     ConflictQuadruple,
@@ -99,6 +99,53 @@ class SplitScheduleSpec:
 
     def __str__(self) -> str:
         return " ".join(str(quad) for quad in self.chain)
+
+
+def spec_to_state(spec: SplitScheduleSpec, workload: Workload) -> List[List[int]]:
+    """A JSON-ready form of a chain: ``[tid_i, pos_b, pos_a, tid_j]`` rows.
+
+    Operations are identified by their program-order position inside
+    their transaction, which round-trips exactly through the workload
+    text format — the snapshot layer
+    (:meth:`repro.core.incremental.AllocationManager.save_state`) stores
+    chains this way so a restored manager warm-starts from the same
+    witness cache.
+    """
+    return [
+        [
+            quad.tid_i,
+            workload[quad.tid_i].position(quad.b),
+            workload[quad.tid_j].position(quad.a),
+            quad.tid_j,
+        ]
+        for quad in spec.chain
+    ]
+
+
+def spec_from_state(
+    state: Sequence[Sequence[int]], workload: Workload
+) -> SplitScheduleSpec:
+    """Rebuild a chain from :func:`spec_to_state` output.
+
+    Raises:
+        ValueError: when the encoded chain does not describe a valid
+            conflicting-quadruple cycle over ``workload`` (snapshot from
+            a different workload, or corrupted rows) — callers restoring
+            a witness *cache* should drop such chains rather than fail.
+    """
+    quads = []
+    for row in state:
+        tid_i, pos_b, pos_a, tid_j = (int(part) for part in row)
+        if tid_i not in workload or tid_j not in workload:
+            raise ValueError(f"chain references unknown transaction in {row!r}")
+        ops_i = workload[tid_i].operations
+        ops_j = workload[tid_j].operations
+        if not (0 <= pos_b < len(ops_i)) or not (0 <= pos_a < len(ops_j)):
+            raise ValueError(f"chain references out-of-range operation in {row!r}")
+        quads.append(
+            ConflictQuadruple(tid_i, ops_i[pos_b], ops_j[pos_a], tid_j)
+        )
+    return SplitScheduleSpec(tuple(quads))
 
 
 def condition_failures(

@@ -8,6 +8,8 @@ profiling hooks build on:
   cost when disabled);
 * :class:`MetricsRegistry` — per-phase timers plus named counters,
   aggregated from the span stream and from worker counter deltas;
+  :func:`prometheus_text` renders a registry for the daemon's
+  ``/metrics`` endpoint;
 * :func:`use_tracer` / :func:`current_tracer` — the module-global
   current tracer the instrumented hot paths record into;
 * :func:`validate_trace` / :func:`validate_trace_file` — the documented
@@ -37,7 +39,7 @@ from .diff import (
     diff_traces,
     load_bench_file,
 )
-from .metrics import MetricsRegistry, TimerStat
+from .metrics import MetricsRegistry, TimerStat, prometheus_text
 from .profile import (
     ProfileNode,
     ROOT_KEY,
@@ -95,6 +97,7 @@ __all__ = [
     "inclusive_totals",
     "load_bench_file",
     "profile_trace_file",
+    "prometheus_text",
     "render_critical_path",
     "render_profile",
     "render_trace_report",

@@ -65,6 +65,7 @@ BENCH_SERIES: Tuple[Tuple[str, str], ...] = (
     ("shard_scaling", "transactions"),
     ("algorithm2_scaling", "transactions"),
     ("refinement_mode", "mode"),
+    ("churn_throughput", "transactions"),
 )
 
 _STATUS_ORDER = ("regression", "improvement", "ok", "skipped")

@@ -13,8 +13,9 @@ results, so totals always report work actually done, wherever it ran.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 
 @dataclass
@@ -135,3 +136,49 @@ class MetricsRegistry:
                 name: self._timers[name].as_dict() for name in sorted(self._timers)
             },
         }
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """A dotted metric name as a legal prometheus identifier."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    return f"{prefix}{cleaned}"
+
+
+def prometheus_text(
+    registry: MetricsRegistry,
+    gauges: Optional[Mapping[str, float]] = None,
+    prefix: str = "repro_",
+) -> str:
+    """The registry in the prometheus text exposition format.
+
+    Counters export as ``<prefix><name>_total``; timers as a pair of
+    ``_seconds_count`` / ``_seconds_sum`` (the classic summary shape);
+    ``gauges`` (point-in-time values such as queue depth) as plain
+    gauges.  Dots and other punctuation in names become underscores.
+
+    Examples:
+        >>> registry = MetricsRegistry()
+        >>> registry.incr("service.requests", 2)
+        >>> print(prometheus_text(registry, {"queue_depth": 0.0}).strip())
+        ... # doctest: +NORMALIZE_WHITESPACE
+        # TYPE repro_queue_depth gauge
+        repro_queue_depth 0.0
+        # TYPE repro_service_requests_total counter
+        repro_service_requests_total 2
+    """
+    lines = []
+    for name in sorted(gauges or {}):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {float(gauges[name])}")
+    for name in sorted(registry.counters):
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {registry.counters[name]}")
+    for name in sorted(registry.timers):
+        metric = _prom_name(name, prefix) + "_seconds"
+        stat = registry.timers[name]
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {stat.count}")
+        lines.append(f"{metric}_sum {stat.total_s}")
+    return "\n".join(lines) + "\n"

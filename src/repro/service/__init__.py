@@ -1,0 +1,63 @@
+"""The allocation service layer (ROADMAP item 1).
+
+Everything between the core analysis engines and the outside world
+lives here, shared by the one-shot CLI and the long-lived daemon:
+
+* :mod:`repro.service.handlers` — argument plumbing (workload files,
+  allocation/level/job specs) factored out of ``repro.cli`` so both
+  frontends parse identically;
+* :mod:`repro.service.protocol` — the line-delimited JSON command
+  envelope ``repro serve`` speaks, with per-command validation;
+* :mod:`repro.service.snapshot` — atomic, versioned, checksummed
+  snapshot files wrapping
+  :meth:`~repro.core.incremental.AllocationManager.save_state`;
+* :mod:`repro.service.core` — :class:`ServiceCore`, the transport-free
+  command executor: an :class:`~repro.core.incremental.AllocationManager`
+  plus admission control, metrics and snapshot policy;
+* :mod:`repro.service.daemon` — the socket servers (command port, unix
+  socket, HTTP ``/metrics``) and the blocking :func:`serve` entry point;
+* :mod:`repro.service.client` — a tiny line-protocol client for tests,
+  examples and operator scripts.
+
+See ``docs/service.md`` for the operator guide and the full protocol
+reference.
+"""
+
+from .client import ServiceClient
+from .core import AdmissionPolicy, ServiceConfig, ServiceCore
+from .daemon import ServiceServer, serve
+from .protocol import (
+    COMMANDS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .snapshot import (
+    SNAPSHOT_KIND,
+    SNAPSHOT_SCHEMA,
+    SnapshotError,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "COMMANDS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceCore",
+    "ServiceServer",
+    "SNAPSHOT_KIND",
+    "SNAPSHOT_SCHEMA",
+    "SnapshotError",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "read_snapshot",
+    "serve",
+    "write_snapshot",
+]

@@ -1,0 +1,89 @@
+"""A minimal line-protocol client for ``repro serve``.
+
+Used by the integration tests, the churn example and the CI smoke
+script; operators can use it from a REPL or their own tooling instead of
+hand-rolling ``nc`` pipelines::
+
+    with ServiceClient(port=7311) as client:
+        client.request("add", transaction="R[x] W[y]", tid=1)
+        print(client.request("allocate")["allocation"])
+
+One request per call, strictly pipelined (send a line, read a line);
+the connection is a plain TCP or unix stream socket.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An error envelope, raised by :meth:`ServiceClient.call`.
+
+    Attributes:
+        code: the protocol error code (``bad-request``, ...).
+        response: the full error envelope.
+    """
+
+    def __init__(self, response: Dict[str, Any]):
+        error = response.get("error") or {}
+        super().__init__(error.get("message", "service error"))
+        self.code = error.get("code", "internal")
+        self.response = response
+
+
+class ServiceClient:
+    """One connection to a running daemon (TCP port or unix socket)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        socket_path: Optional[str] = None,
+        timeout: float = 30.0,
+    ):
+        if (port is None) == (socket_path is None):
+            raise ValueError("pass exactly one of port / socket_path")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one envelope, return the raw response (ok or error)."""
+        self._next_id += 1
+        envelope = {"op": op, "id": self._next_id, **params}
+        self._file.write((json.dumps(envelope) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def call(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Like :meth:`request`, but raises :class:`ServiceError` on errors."""
+        response = self.request(op, **params)
+        if not response.get("ok"):
+            raise ServiceError(response)
+        return response
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

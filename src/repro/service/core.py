@@ -1,0 +1,642 @@
+"""The transport-free heart of ``repro serve``: :class:`ServiceCore`.
+
+A :class:`ServiceCore` owns one
+:class:`~repro.core.incremental.AllocationManager` and executes protocol
+envelopes (:mod:`repro.service.protocol`) against it — the daemon's
+socket layer only frames lines and calls :meth:`ServiceCore.handle`, so
+everything here is unit-testable without sockets and reusable in-process
+(the churn benchmark drives it directly).
+
+Three service-level behaviours live on top of the manager:
+
+* **Admission control** — an :class:`AdmissionPolicy` rejects (or
+  queues) a transaction whose admission would force a *downgrade storm*:
+  more than ``max_promotions`` already-admitted transactions pushed to a
+  higher level, or the fraction of transactions still enjoying a level
+  below the top dropping under ``floor``.  The rejection envelope
+  carries the witness chain proving the old levels cannot survive the
+  newcomer, and the rejected transaction is rolled back via
+  :meth:`~repro.core.incremental.AllocationManager.remove` — the unique
+  optimum (Proposition 4.2) guarantees the roll-back restores the exact
+  pre-admission allocation.
+* **Warm snapshots** — :meth:`snapshot`/:meth:`restore` wrap
+  ``save_state``/``load_state`` in the atomic on-disk envelope of
+  :mod:`repro.service.snapshot`; ``snapshot_every`` auto-snapshots after
+  every N mutations.
+* **Metrics** — every request is timed into a
+  :class:`~repro.observability.MetricsRegistry` (``service.<op>``
+  timers), admission decisions and per-mutation analysis counters
+  (checks, witness hits, ...) are folded into its counters, and the
+  ``metrics`` envelope / HTTP ``/metrics`` endpoint export the lot.
+
+All command execution is serialized under one lock: the manager is a
+single-writer structure, and correctness of the warm-start chain
+(witness caches, shard contexts) depends on mutations being ordered.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..core.incremental import AllocationManager
+from ..core.isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
+from ..core.robustness import check_robustness
+from ..core.transactions import Transaction, TransactionError, parse_transaction
+from ..core.workload import WorkloadError
+from ..observability import MetricsRegistry, current_tracer
+from .handlers import CommandError
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .snapshot import SnapshotError, read_snapshot, write_snapshot
+
+__all__ = ["AdmissionPolicy", "ServiceConfig", "ServiceCore"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """When to refuse a transaction whose admission degrades the optimum.
+
+    Attributes:
+        floor: minimum fraction (0..1) of transactions that must remain
+            allocated *strictly below* the top level after admission.
+            ``0.0`` (default) never rejects on aggregate cost.
+        max_promotions: maximum number of already-admitted transactions
+            whose optimal level may rise due to one admission; ``None``
+            (default) allows any number.
+        mode: ``"reject"`` refuses outright; ``"queue"`` parks the
+            refused transaction and retries it after every ``remove``
+            (capacity may have freed up).
+    """
+
+    floor: float = 0.0
+    max_promotions: Optional[int] = None
+    mode: str = "reject"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.floor <= 1.0:
+            raise ValueError("admission floor must lie in [0, 1]")
+        if self.max_promotions is not None and self.max_promotions < 0:
+            raise ValueError("max_promotions must be >= 0 (or None)")
+        if self.mode not in ("reject", "queue"):
+            raise ValueError('admission mode must be "reject" or "queue"')
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` needs to run (CLI flags, distilled).
+
+    Attributes:
+        host/port: TCP command endpoint (``port=0`` binds an ephemeral
+            port — the daemon reports the actual one).
+        socket_path: optional unix stream socket serving the same
+            protocol.
+        metrics_port: optional HTTP port exporting ``/metrics``.
+        port_file: optional path the daemon writes the bound TCP port
+            to (for scripts driving an ephemeral-port server).
+        snapshot_path: where ``snapshot``/auto-snapshot/shutdown persist
+            the warm state; also what a starting daemon resumes from.
+        snapshot_every: auto-snapshot after every N successful
+            mutations (0 disables).
+        resume: load ``snapshot_path`` at startup when it exists.
+        levels/method/n_jobs: forwarded to the
+            :class:`~repro.core.incremental.AllocationManager`.
+        admission: the :class:`AdmissionPolicy`.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7311
+    socket_path: Optional[str] = None
+    metrics_port: Optional[int] = None
+    port_file: Optional[str] = None
+    snapshot_path: Optional[str] = None
+    snapshot_every: int = 0
+    resume: bool = True
+    levels: Tuple[IsolationLevel, ...] = POSTGRES_LEVELS
+    method: str = "bitset"
+    n_jobs: Optional[int] = 1
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+
+
+class ServiceCore:
+    """Executes protocol envelopes against one allocation manager.
+
+    Examples:
+        >>> core = ServiceCore(ServiceConfig())
+        >>> core.handle({"op": "add", "transaction": "R[x] W[y]", "tid": 1})["admitted"]
+        True
+        >>> core.handle({"op": "allocate"})["allocation"]
+        {'1': 'RC'}
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.registry = MetricsRegistry()
+        self._lock = threading.RLock()
+        self._queue: List[Transaction] = []
+        self._started = time.monotonic()
+        self._mutations = 0
+        self._since_snapshot = 0
+        self._stopping = False
+        self._manager = self._initial_manager(config)
+        self._handlers: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
+            "hello": self._cmd_hello,
+            "status": self._cmd_status,
+            "add": self._cmd_add,
+            "remove": self._cmd_remove,
+            "check": self._cmd_check,
+            "allocate": self._cmd_allocate,
+            "batch": self._cmd_batch,
+            "snapshot": self._cmd_snapshot,
+            "restore": self._cmd_restore,
+            "metrics": self._cmd_metrics,
+            "stats": self._cmd_stats,
+            "shutdown": self._cmd_shutdown,
+        }
+
+    @staticmethod
+    def _initial_manager(config: ServiceConfig) -> AllocationManager:
+        """A fresh manager, or one resumed warm from the snapshot path."""
+        if config.resume and config.snapshot_path:
+            try:
+                state = read_snapshot(config.snapshot_path)
+            except SnapshotError as exc:
+                if "no snapshot at" in str(exc):
+                    pass  # first boot: nothing to resume
+                else:
+                    raise  # a *corrupt* snapshot must fail loudly
+            else:
+                return AllocationManager.load_state(state, n_jobs=config.n_jobs)
+        return AllocationManager(
+            levels=config.levels, method=config.method, n_jobs=config.n_jobs
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def manager(self) -> AllocationManager:
+        """The underlying allocation manager (read-mostly; lock mutations)."""
+        return self._manager
+
+    @property
+    def stopping(self) -> bool:
+        """Whether a ``shutdown`` envelope has been executed."""
+        return self._stopping
+
+    @property
+    def queued_tids(self) -> Tuple[int, ...]:
+        """Transaction ids parked by queue-mode admission control."""
+        return tuple(txn.tid for txn in self._queue)
+
+    # ------------------------------------------------------------------
+    def handle_line(self, line: str) -> Dict[str, Any]:
+        """Parse one wire line and execute it (the daemon's entry point)."""
+        try:
+            envelope = parse_request(line)
+        except ProtocolError as exc:
+            self.registry.incr("service.errors")
+            return error_response(None, exc.code, str(exc))
+        return self.handle(envelope)
+
+    def handle(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        """Execute one (already parsed) envelope; never raises.
+
+        Every request runs under the core lock and a
+        ``service.request`` span; durations land in the registry as
+        ``service.<op>`` timers.
+        """
+        op = str(envelope.get("op"))
+        start = time.perf_counter()
+        with self._lock:
+            handler = self._handlers.get(op)
+            if handler is None:
+                self.registry.incr("service.errors")
+                return error_response(envelope, "unknown-op", f"unknown command {op!r}")
+            with current_tracer().span("service.request", op=op):
+                try:
+                    response = handler(envelope)
+                except ProtocolError as exc:
+                    response = error_response(envelope, exc.code, str(exc))
+                except (CommandError, TransactionError) as exc:
+                    response = error_response(envelope, "bad-request", str(exc))
+                except SnapshotError as exc:
+                    response = error_response(envelope, "snapshot-error", str(exc))
+                except WorkloadError as exc:
+                    response = error_response(envelope, "conflict", str(exc))
+                except Exception as exc:  # the daemon must never die mid-line
+                    response = error_response(
+                        envelope, "internal", f"{type(exc).__name__}: {exc}"
+                    )
+        self.registry.record(f"service.{op}", time.perf_counter() - start)
+        self.registry.incr("service.requests")
+        if not response.get("ok"):
+            self.registry.incr("service.errors")
+        return response
+
+    # -- helpers -------------------------------------------------------
+    @property
+    def _top(self) -> IsolationLevel:
+        return max(self.config.levels)
+
+    def _allocation_payload(self, allocation: Allocation) -> Dict[str, str]:
+        return {str(tid): level.name for tid, level in allocation.items()}
+
+    def _histogram(self, allocation: Allocation) -> Dict[str, int]:
+        counts = {level.name: 0 for level in sorted(self.config.levels)}
+        for _tid, level in allocation.items():
+            counts[level.name] = counts.get(level.name, 0) + 1
+        return counts
+
+    def _merge_mutation_stats(self) -> None:
+        """Fold the last mutation's analysis counters into the registry.
+
+        Each mutation binds a fresh
+        :class:`~repro.core.context.ContextStats`, so the whole dict is
+        exactly that mutation's work — cumulative service totals are the
+        sum of these deltas.
+        """
+        for name, value in self._manager.last_stats.as_dict().items():
+            if value:
+                self.registry.incr(f"context.{name}", value)
+
+    def _cheap_fraction(self, allocation: Allocation) -> float:
+        """Fraction of transactions allocated strictly below the top level."""
+        total = len(allocation)
+        if total == 0:
+            return 1.0
+        below = sum(1 for _tid, level in allocation.items() if level < self._top)
+        return below / total
+
+    def _witness_payload(self, old: Allocation, txn: Transaction) -> Optional[Dict[str, Any]]:
+        """The chain proving the pre-admission levels cannot absorb ``txn``.
+
+        Runs while the newcomer is still admitted: robustness of ``old``
+        extended with the newcomer at the top level.  Non-robustness of
+        that candidate is exactly what forces existing transactions to
+        rise, and (delta lemma) its witness chain involves the newcomer
+        plus currently-admitted transactions only — never a retired tid,
+        extending PR 6's stale-chain pruning guarantee to the service
+        boundary.
+        """
+        candidate = Allocation(
+            {**{tid: level for tid, level in old.items()}, txn.tid: self._top}
+        )
+        result = check_robustness(
+            self._manager.workload,
+            candidate,
+            method=self.config.method,
+            context=self._manager.context,
+        )
+        if result.robust or result.counterexample is None:
+            return None
+        spec = result.counterexample.spec
+        return {
+            "split_tid": spec.split_tid,
+            "tids": sorted(
+                {quad.tid_i for quad in spec.chain}
+                | {quad.tid_j for quad in spec.chain}
+            ),
+            "chain": [
+                [quad.tid_i, str(quad.b), str(quad.a), quad.tid_j]
+                for quad in spec.chain
+            ],
+        }
+
+    def _admit(self, txn: Transaction) -> Dict[str, Any]:
+        """Run one admission attempt; returns the add-response payload.
+
+        The transaction is added for real, the policy is evaluated on
+        the resulting optimum, and a violating admission is rolled back
+        (unique optimum => the pre-admission allocation returns
+        exactly).
+        """
+        policy = self.config.admission
+        old = self._manager.allocation
+        new = self._manager.add(txn)
+        checks = self._manager.last_check_count
+        promotions = sorted(
+            tid for tid, level in old.items() if new[tid] > level
+        )
+        reasons = []
+        if policy.max_promotions is not None and len(promotions) > policy.max_promotions:
+            reasons.append(
+                f"admission promotes {len(promotions)} transactions"
+                f" (> max_promotions={policy.max_promotions})"
+            )
+        fraction = self._cheap_fraction(new)
+        if fraction < policy.floor - 1e-12:
+            reasons.append(
+                f"fraction below {self._top.name} would drop to {fraction:.3f}"
+                f" (< floor={policy.floor})"
+            )
+        if not reasons:
+            self._merge_mutation_stats()
+            self._record_mutation()
+            self.registry.incr("service.admitted")
+            return {
+                "admitted": True,
+                "tid": txn.tid,
+                "level": new[txn.tid].name,
+                "promotions": promotions,
+                "checks": checks,
+                "allocation": self._allocation_payload(new),
+            }
+        witness = self._witness_payload(old, txn)
+        self._merge_mutation_stats()  # the add's work plus the witness check
+        self._manager.remove(txn.tid)
+        self._merge_mutation_stats()  # the rollback's work
+        self.registry.incr("service.rejected")
+        queued = policy.mode == "queue"
+        if queued:
+            self._queue.append(txn)
+            self.registry.incr("service.queued")
+        return {
+            "admitted": False,
+            "tid": txn.tid,
+            "queued": queued,
+            "reason": "; ".join(reasons),
+            "promotions": promotions,
+            "checks": checks,
+            "witness": witness,
+            "allocation": self._allocation_payload(self._manager.allocation),
+        }
+
+    def _record_mutation(self) -> None:
+        self._mutations += 1
+        self._since_snapshot += 1
+        if (
+            self.config.snapshot_every
+            and self.config.snapshot_path
+            and self._since_snapshot >= self.config.snapshot_every
+        ):
+            self._write_snapshot(self.config.snapshot_path)
+            self.registry.incr("service.autosnapshots")
+
+    def _write_snapshot(self, path: str) -> int:
+        with current_tracer().span("service.snapshot", path=path):
+            size = write_snapshot(path, self._manager.save_state())
+        self._since_snapshot = 0
+        self.registry.incr("service.snapshots")
+        return size
+
+    def _retry_queue(self) -> Dict[str, List[int]]:
+        """Re-attempt queued admissions after capacity freed up."""
+        admitted: List[int] = []
+        dropped: List[int] = []
+        still: List[Transaction] = []
+        pending, self._queue = self._queue, []
+        for txn in pending:
+            if txn.tid in self._manager.workload:
+                dropped.append(txn.tid)  # the tid was reused meanwhile
+                continue
+            outcome = self._admit(txn)
+            if outcome["admitted"]:
+                admitted.append(txn.tid)
+            else:
+                still.append(txn)
+        # _admit re-queued the failures; keep original arrival order.
+        self._queue = still
+        return {"admitted": admitted, "dropped": dropped}
+
+    # -- command handlers ----------------------------------------------
+    def _cmd_hello(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        return ok_response(
+            envelope,
+            server="repro-serve",
+            protocol=PROTOCOL_VERSION,
+            levels=[level.name for level in sorted(self.config.levels)],
+            method=self.config.method,
+            transactions=len(self._manager.workload),
+        )
+
+    def _cmd_status(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        sctx = self._manager.context
+        sizes = list(sctx.plan.sizes) if sctx is not None else []
+        return ok_response(
+            envelope,
+            transactions=len(self._manager.workload),
+            shards=len(sizes),
+            shard_sizes=sizes,
+            queued=list(self.queued_tids),
+            mutations=self._mutations,
+            mutations_since_snapshot=self._since_snapshot,
+            snapshot_path=self.config.snapshot_path,
+            uptime_s=time.monotonic() - self._started,
+            stopping=self._stopping,
+        )
+
+    def _cmd_add(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        text = envelope["transaction"]
+        if not isinstance(text, str):
+            raise ProtocolError('"transaction" must be a string')
+        tid = envelope.get("tid")
+        if tid is not None and not isinstance(tid, int):
+            raise ProtocolError('"tid" must be an integer')
+        txn = parse_transaction(text, tid=tid)
+        if txn.tid in self._manager.workload:
+            raise WorkloadError(f"transaction {txn.tid} already present")
+        return ok_response(envelope, **self._admit(txn))
+
+    def _cmd_remove(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        tid = envelope["tid"]
+        if not isinstance(tid, int):
+            raise ProtocolError('"tid" must be an integer')
+        if tid not in self._manager.workload:
+            return error_response(
+                envelope, "not-found", f"no transaction with id {tid}"
+            )
+        allocation = self._manager.remove(tid)
+        checks = self._manager.last_check_count
+        self._merge_mutation_stats()
+        self._record_mutation()
+        retried = self._retry_queue()
+        return ok_response(
+            envelope,
+            tid=tid,
+            checks=checks,
+            allocation=self._allocation_payload(self._manager.allocation),
+            retried=retried["admitted"],
+            dropped=retried["dropped"],
+        )
+
+    def _parse_check_allocation(self, envelope: Mapping[str, Any]) -> Allocation:
+        workload = self._manager.workload
+        mapping = envelope.get("allocation")
+        uniform = envelope.get("uniform")
+        if mapping is not None and uniform is not None:
+            raise ProtocolError('use either "allocation" or "uniform", not both')
+        if mapping is not None:
+            if not isinstance(mapping, dict):
+                raise ProtocolError('"allocation" must be an object of tid -> level')
+            levels = {}
+            for key, value in mapping.items():
+                stripped = str(key).lstrip("Tt")
+                if not stripped.isdigit():
+                    raise ProtocolError(f"bad allocation key {key!r}; use a tid")
+                try:
+                    levels[int(stripped)] = IsolationLevel.parse(str(value))
+                except ValueError as exc:
+                    raise ProtocolError(str(exc)) from None
+            missing = set(workload.tids) - set(levels)
+            if missing:
+                raise ProtocolError(
+                    f"allocation misses transactions {sorted(missing)}"
+                )
+            return Allocation(levels)
+        try:
+            return Allocation.uniform(
+                workload, IsolationLevel.parse(str(uniform or "SI"))
+            )
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+
+    def _cmd_check(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        workload = self._manager.workload
+        allocation = self._parse_check_allocation(envelope)
+        sctx = self._manager.context
+        context = sctx if sctx is not None and sctx.matches(workload) else None
+        result = check_robustness(
+            workload, allocation, method=self.config.method, context=context
+        )
+        payload: Dict[str, Any] = {"robust": result.robust}
+        if not result.robust and result.counterexample is not None:
+            from ..analysis.anomalies import classify_counterexample
+
+            spec = result.counterexample.spec
+            payload["counterexample"] = {
+                "split_tid": spec.split_tid,
+                "tids": sorted(
+                {quad.tid_i for quad in spec.chain}
+                | {quad.tid_j for quad in spec.chain}
+            ),
+                "chain": [
+                    [quad.tid_i, str(quad.b), str(quad.a), quad.tid_j]
+                    for quad in spec.chain
+                ],
+                "anomaly": str(classify_counterexample(result.counterexample)),
+            }
+        return ok_response(envelope, **payload)
+
+    def _cmd_allocate(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        allocation = self._manager.allocation
+        return ok_response(
+            envelope,
+            transactions=len(allocation),
+            allocation=self._allocation_payload(allocation),
+            histogram=self._histogram(allocation),
+        )
+
+    def _cmd_batch(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        commands = envelope["commands"]
+        if not isinstance(commands, list):
+            raise ProtocolError('"commands" must be an array of envelopes')
+        results = []
+        for sub in commands:
+            if not isinstance(sub, dict):
+                results.append(
+                    error_response(None, "bad-request", "batch entry must be an object")
+                )
+                continue
+            if sub.get("op") in ("batch", "shutdown"):
+                results.append(
+                    error_response(
+                        sub, "bad-request", f'{sub.get("op")!r} cannot nest in a batch'
+                    )
+                )
+                continue
+            results.append(self.handle_line(json.dumps(sub)))
+        return ok_response(
+            envelope,
+            results=results,
+            succeeded=sum(1 for r in results if r.get("ok")),
+            failed=sum(1 for r in results if not r.get("ok")),
+        )
+
+    def _resolve_snapshot_path(self, envelope: Mapping[str, Any]) -> str:
+        path = envelope.get("path") or self.config.snapshot_path
+        if not path:
+            raise ProtocolError(
+                "no snapshot path: pass \"path\" or start the server with --snapshot"
+            )
+        return str(path)
+
+    def _cmd_snapshot(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        path = self._resolve_snapshot_path(envelope)
+        state = self._manager.save_state()
+        with current_tracer().span("service.snapshot", path=path):
+            size = write_snapshot(path, state)
+        self._since_snapshot = 0
+        self.registry.incr("service.snapshots")
+        return ok_response(
+            envelope,
+            path=path,
+            bytes=size,
+            transactions=len(self._manager.workload),
+            witnesses=len(state["witnesses"]),
+        )
+
+    def _cmd_restore(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        path = self._resolve_snapshot_path(envelope)
+        verify = bool(envelope.get("verify", False))
+        state = read_snapshot(path)
+        with current_tracer().span("service.restore", path=path):
+            manager = AllocationManager.load_state(
+                state, n_jobs=self.config.n_jobs, verify=verify
+            )
+        self._manager = manager
+        self._queue.clear()
+        self._since_snapshot = 0
+        self.registry.incr("service.restores")
+        return ok_response(
+            envelope,
+            path=path,
+            verified=verify,
+            transactions=len(manager.workload),
+            allocation=self._allocation_payload(manager.allocation),
+        )
+
+    def gauges(self) -> Dict[str, float]:
+        """Point-in-time service gauges (exported next to the registry)."""
+        sctx = self._manager.context
+        return {
+            "transactions": float(len(self._manager.workload)),
+            "shards": float(len(sctx.plan)) if sctx is not None else 0.0,
+            "queue_depth": float(len(self._queue)),
+            "mutations": float(self._mutations),
+            "mutations_since_snapshot": float(self._since_snapshot),
+            "uptime_s": time.monotonic() - self._started,
+        }
+
+    def _cmd_metrics(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        return ok_response(
+            envelope,
+            gauges=self.gauges(),
+            **self.registry.as_dict(),
+        )
+
+    def _cmd_stats(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        return ok_response(
+            envelope,
+            last_check_count=self._manager.last_check_count,
+            last_stats=self._manager.last_stats.as_dict(),
+        )
+
+    def _cmd_shutdown(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        snapshot_path = None
+        if self.config.snapshot_path and len(self._manager.workload):
+            snapshot_path = self.config.snapshot_path
+            self._write_snapshot(snapshot_path)
+        self._stopping = True
+        return ok_response(
+            envelope,
+            stopping=True,
+            snapshot=snapshot_path,
+            transactions=len(self._manager.workload),
+        )

@@ -1,0 +1,128 @@
+"""Reusable command plumbing shared by the CLI and the daemon.
+
+``repro``'s subcommands and ``repro serve``'s envelopes accept the same
+inputs — workload files, ``T1=RC,T2=SSI`` allocation specs, ``RC,SI``
+level classes, ``--jobs N|auto`` worker counts.  The parsing lived as
+private helpers inside :mod:`repro.cli`; the daemon needs the exact same
+semantics without the CLI's ``SystemExit`` error style, so the logic
+moved here (the ROADMAP's "factor the CLI's command handlers into a
+reusable service layer" note).  Errors are :class:`CommandError` —
+frontends translate: the CLI to ``SystemExit``/argparse errors, the
+daemon to ``bad-request`` envelopes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..core.context import AnalysisContext
+from ..core.isolation import Allocation, IsolationLevel
+from ..core.sharding import ShardedContext
+from ..core.workload import Workload, parse_workload
+
+__all__ = [
+    "CommandError",
+    "build_context",
+    "load_workload_file",
+    "parse_allocation_spec",
+    "parse_jobs_value",
+    "parse_levels_spec",
+    "shard_report_line",
+]
+
+
+class CommandError(ValueError):
+    """A malformed command input (bad spec, missing transaction, ...)."""
+
+
+def load_workload_file(path: str) -> Workload:
+    """Parse the workload text file at ``path``."""
+    text = Path(path).read_text(encoding="utf-8")
+    return parse_workload(text)
+
+
+def parse_allocation_spec(
+    workload: Workload, spec: Optional[str], uniform: Optional[str]
+) -> Allocation:
+    """An allocation from a ``T1=RC,...`` spec or a uniform level.
+
+    Exactly one of ``spec``/``uniform`` may be given; with neither the
+    default is uniform SI (the paper's baseline ``A_SI``).  The
+    allocation must cover the workload exactly as the CLI always
+    required.
+    """
+    if spec and uniform:
+        raise CommandError("use either an allocation spec or a uniform level, not both")
+    if spec:
+        levels = {}
+        for part in spec.split(","):
+            key, _, value = part.partition("=")
+            key = key.strip().lstrip("Tt")
+            if not key.isdigit():
+                raise CommandError(
+                    f"bad allocation entry {part!r}; use T<i>=LEVEL"
+                )
+            try:
+                levels[int(key)] = IsolationLevel.parse(value)
+            except ValueError as exc:
+                raise CommandError(str(exc)) from None
+        missing = set(workload.tids) - set(levels)
+        if missing:
+            raise CommandError(
+                f"allocation misses transactions {sorted(missing)}"
+            )
+        return Allocation(levels)
+    try:
+        return Allocation.uniform(workload, IsolationLevel.parse(uniform or "SI"))
+    except ValueError as exc:
+        raise CommandError(str(exc)) from None
+
+
+def parse_levels_spec(spec: str) -> List[IsolationLevel]:
+    """A level class from a comma list, e.g. ``"RC,SI"`` or ``"RC,SI,SSI"``."""
+    try:
+        return [IsolationLevel.parse(part) for part in spec.split(",")]
+    except ValueError as exc:
+        raise CommandError(str(exc)) from None
+
+
+def parse_jobs_value(value: Union[str, int]) -> Optional[int]:
+    """A worker count: a positive integer or ``"auto"`` (size heuristic)."""
+    if isinstance(value, int):
+        jobs = value
+    else:
+        if value.strip().lower() == "auto":
+            return None  # the engine's size-based heuristic
+        try:
+            jobs = int(value)
+        except ValueError:
+            raise CommandError(
+                f"bad jobs value {value!r}; use a positive integer or 'auto'"
+            ) from None
+    if jobs < 1:
+        raise CommandError("jobs must be >= 1 (or 'auto')")
+    return jobs
+
+
+def build_context(
+    workload: Workload, shard: bool
+) -> Union[AnalysisContext, ShardedContext]:
+    """The analysis context for one run: sharded or monolithic.
+
+    A :class:`~repro.core.sharding.ShardedContext` routes every core
+    entry point through the per-component pipeline (bit-identical
+    results; see ``docs/architecture.md``, "Component sharding").
+    """
+    if shard:
+        return ShardedContext(workload)
+    return AnalysisContext(workload)
+
+
+def shard_report_line(context: object) -> Optional[str]:
+    """The ``--stats`` shard line for a sharded context, else ``None``."""
+    if not isinstance(context, ShardedContext):
+        return None
+    sizes = context.plan.sizes
+    rendered = ", ".join(str(size) for size in sizes) if sizes else "-"
+    return f"Shards: {len(sizes)} (sizes: {rendered})"

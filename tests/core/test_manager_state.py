@@ -1,0 +1,126 @@
+"""``AllocationManager.save_state`` / ``load_state`` round-trips.
+
+The service's warm snapshots are only useful if a restored manager is
+indistinguishable from the original: same workload, same allocation,
+and — the regression guarded here — the same witness caches, so the
+next mutation's ContextStats-visible work (checks, witness hits, kernel
+builds) is identical on both sides.
+"""
+
+import pytest
+
+from repro.core.incremental import AllocationManager
+from repro.core.isolation import IsolationLevel
+from repro.core.transactions import parse_transaction
+from repro.core.workload import WorkloadError
+from repro.workloads.generator import clustered_workload
+
+
+def _filled_manager():
+    manager = AllocationManager()
+    manager.add(parse_transaction("R1[x] W1[y]"))
+    manager.add(parse_transaction("R2[y] W2[x]"))
+    manager.add(parse_transaction("R3[a] W3[b]"))
+    manager.add(parse_transaction("R4[b] W4[a]"))
+    return manager
+
+
+class TestRoundTrip:
+    def test_workload_and_allocation_survive(self):
+        manager = _filled_manager()
+        restored = AllocationManager.load_state(manager.save_state())
+        assert restored.workload == manager.workload
+        assert dict(restored.allocation.items()) == dict(
+            manager.allocation.items()
+        )
+
+    def test_state_is_json_plain(self):
+        import json
+
+        state = _filled_manager().save_state()
+        assert json.loads(json.dumps(state)) == state
+
+    def test_levels_and_method_survive(self):
+        manager = AllocationManager(
+            levels=(IsolationLevel.RC, IsolationLevel.SSI), method="components"
+        )
+        manager.add(parse_transaction("R1[x] W1[x]"))
+        restored = AllocationManager.load_state(manager.save_state())
+        next_alloc = restored.add(parse_transaction("R2[x] W2[x]"))
+        # The restored class excludes SI: every level is RC or SSI.
+        assert all(
+            level in (IsolationLevel.RC, IsolationLevel.SSI)
+            for _tid, level in next_alloc.items()
+        )
+        assert restored.save_state()["method"] == "components"
+
+    def test_empty_manager_round_trips(self):
+        restored = AllocationManager.load_state(AllocationManager().save_state())
+        assert len(restored.workload) == 0
+        assert len(restored.allocation) == 0
+
+    def test_verify_accepts_consistent_state(self):
+        manager = _filled_manager()
+        restored = AllocationManager.load_state(manager.save_state(), verify=True)
+        assert restored.workload == manager.workload
+
+    def test_clustered_workload_round_trips(self):
+        manager = AllocationManager()
+        for txn in clustered_workload(components=3, per_component=3, seed=5):
+            manager.add(txn)
+        restored = AllocationManager.load_state(manager.save_state())
+        assert dict(restored.allocation.items()) == dict(
+            manager.allocation.items()
+        )
+
+
+class TestStateValidation:
+    def test_version_mismatch(self):
+        state = _filled_manager().save_state()
+        state["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            AllocationManager.load_state(state)
+
+    def test_allocation_must_cover_workload(self):
+        state = _filled_manager().save_state()
+        state["allocation"].popitem()
+        with pytest.raises(WorkloadError):
+            AllocationManager.load_state(state)
+
+    def test_corrupt_witnesses_are_skipped_not_fatal(self):
+        state = _filled_manager().save_state()
+        state["witnesses"] = [[[1, 999, 999, 2]]] + state["witnesses"]
+        restored = AllocationManager.load_state(state)
+        assert restored.workload == _filled_manager().workload
+
+
+class TestWarmStartEquivalence:
+    """The satellite regression: restored == original, counter for counter."""
+
+    def test_next_mutation_stats_identical(self):
+        manager = _filled_manager()
+        restored = AllocationManager.load_state(manager.save_state())
+
+        newcomer = parse_transaction("R5[y] W5[x]")
+        alloc_orig = manager.add(newcomer)
+        alloc_rest = restored.add(parse_transaction("R5[y] W5[x]"))
+
+        assert dict(alloc_orig.items()) == dict(alloc_rest.items())
+        assert manager.last_check_count == restored.last_check_count
+        assert (
+            manager.last_stats.as_dict() == restored.last_stats.as_dict()
+        ), "restored witness caches must replay the exact same analysis"
+
+    def test_witness_cache_actually_carried(self):
+        """The round-trip preserves witnesses, not just the allocation:
+        the next mutation on the touched component scores witness hits."""
+        manager = _filled_manager()
+        restored = AllocationManager.load_state(manager.save_state())
+        restored.add(parse_transaction("R5[y] W5[x]"))
+        assert restored.last_stats.as_dict()["witness_hits"] > 0
+
+    def test_double_round_trip_is_stable(self):
+        manager = _filled_manager()
+        once = AllocationManager.load_state(manager.save_state())
+        twice = AllocationManager.load_state(once.save_state())
+        assert once.save_state() == twice.save_state()

@@ -1,0 +1,304 @@
+"""ServiceCore: command semantics, admission control, snapshot policy."""
+
+import pytest
+
+from repro.core.isolation import IsolationLevel
+from repro.service import (
+    AdmissionPolicy,
+    ServiceConfig,
+    ServiceCore,
+    read_snapshot,
+)
+
+
+def _core(**kwargs):
+    return ServiceCore(ServiceConfig(**kwargs))
+
+
+def _add(core, text, tid):
+    return core.handle({"op": "add", "transaction": text, "tid": tid})
+
+
+class TestBasicCommands:
+    def test_hello(self):
+        response = _core().handle({"op": "hello"})
+        assert response["ok"] and response["server"] == "repro-serve"
+        assert response["levels"] == ["RC", "SI", "SSI"]
+
+    def test_add_and_allocate(self):
+        core = _core()
+        assert _add(core, "R[x] W[y]", 1)["admitted"]
+        response = core.handle({"op": "allocate"})
+        assert response["allocation"] == {"1": "RC"}
+        assert response["histogram"] == {"RC": 1, "SI": 0, "SSI": 0}
+
+    def test_add_reports_promotions(self):
+        core = _core()
+        _add(core, "R[x] W[y]", 1)
+        response = _add(core, "R[y] W[x]", 2)
+        assert response["admitted"]
+        assert response["promotions"] == [1]
+        assert response["allocation"] == {"1": "SSI", "2": "SSI"}
+
+    def test_add_embedded_subscripts(self):
+        core = _core()
+        response = core.handle({"op": "add", "transaction": "R7[x] W7[x]"})
+        assert response["admitted"] and response["tid"] == 7
+
+    def test_duplicate_tid_conflicts(self):
+        core = _core()
+        _add(core, "R[x]", 1)
+        response = _add(core, "W[x]", 1)
+        assert not response["ok"]
+        assert response["error"]["code"] == "conflict"
+
+    def test_remove(self):
+        core = _core()
+        _add(core, "R[x] W[y]", 1)
+        _add(core, "R[y] W[x]", 2)
+        response = core.handle({"op": "remove", "tid": 2})
+        assert response["ok"]
+        assert response["allocation"] == {"1": "RC"}
+
+    def test_remove_unknown_tid(self):
+        response = _core().handle({"op": "remove", "tid": 9})
+        assert response["error"]["code"] == "not-found"
+
+    def test_check_uniform(self):
+        core = _core()
+        _add(core, "R[x] W[y]", 1)
+        _add(core, "R[y] W[x]", 2)
+        response = core.handle({"op": "check", "uniform": "SI"})
+        assert response["ok"] and response["robust"] is False
+        counterexample = response["counterexample"]
+        assert counterexample["tids"] == [1, 2]
+        assert "anomaly" in counterexample
+
+    def test_check_explicit_allocation(self):
+        core = _core()
+        _add(core, "R[x] W[y]", 1)
+        _add(core, "R[y] W[x]", 2)
+        response = core.handle(
+            {"op": "check", "allocation": {"T1": "SSI", "T2": "SSI"}}
+        )
+        assert response["robust"] is True
+
+    def test_check_incomplete_allocation(self):
+        core = _core()
+        _add(core, "R[x]", 1)
+        _add(core, "R[y]", 2)
+        response = core.handle({"op": "check", "allocation": {"T1": "RC"}})
+        assert response["error"]["code"] == "bad-request"
+
+    def test_status_counts_mutations(self):
+        core = _core()
+        _add(core, "R[x]", 1)
+        _add(core, "R[y]", 2)
+        core.handle({"op": "remove", "tid": 1})
+        response = core.handle({"op": "status"})
+        assert response["transactions"] == 1
+        assert response["mutations"] == 3
+
+    def test_stats_mirror_manager(self):
+        core = _core()
+        _add(core, "R[x] W[y]", 1)
+        response = core.handle({"op": "stats"})
+        assert response["last_check_count"] == core.manager.last_check_count
+        assert response["last_stats"] == core.manager.last_stats.as_dict()
+
+    def test_metrics_accumulate(self):
+        core = _core()
+        _add(core, "R[x] W[y]", 1)
+        response = core.handle({"op": "metrics"})
+        assert response["counters"]["service.requests"] >= 1
+        assert response["counters"]["service.admitted"] == 1
+        assert response["gauges"]["transactions"] == 1.0
+        assert "service.add" in response["timers"]
+
+    def test_internal_errors_do_not_escape(self):
+        core = _core()
+        core._handlers["status"] = lambda envelope: 1 / 0
+        response = core.handle({"op": "status"})
+        assert response["error"]["code"] == "internal"
+
+
+class TestBatch:
+    def test_sequential_results(self):
+        core = _core()
+        response = core.handle(
+            {
+                "op": "batch",
+                "commands": [
+                    {"op": "add", "transaction": "R[x] W[y]", "tid": 1},
+                    {"op": "add", "transaction": "R[y] W[x]", "tid": 2},
+                    {"op": "allocate"},
+                ],
+            }
+        )
+        assert response["ok"]
+        assert response["succeeded"] == 3 and response["failed"] == 0
+        assert response["results"][2]["allocation"] == {"1": "SSI", "2": "SSI"}
+
+    def test_batch_mixes_errors(self):
+        core = _core()
+        response = core.handle(
+            {
+                "op": "batch",
+                "commands": [{"op": "status"}, {"op": "nope"}, "not-an-object"],
+            }
+        )
+        assert response["succeeded"] == 1 and response["failed"] == 2
+
+    def test_no_nested_batch(self):
+        response = _core().handle(
+            {"op": "batch", "commands": [{"op": "batch", "commands": []}]}
+        )
+        assert response["failed"] == 1
+
+
+class TestAdmissionControl:
+    def test_max_promotions_rejects(self):
+        core = _core(admission=AdmissionPolicy(max_promotions=0))
+        _add(core, "R[x] W[y]", 1)
+        response = _add(core, "R[y] W[x]", 2)
+        assert response["ok"] and response["admitted"] is False
+        assert "max_promotions" in response["reason"]
+        # rollback: the pre-admission allocation returns exactly
+        assert response["allocation"] == {"1": "RC"}
+        assert 2 not in core.manager.workload
+
+    def test_rejection_carries_witness_chain(self):
+        core = _core(admission=AdmissionPolicy(max_promotions=0))
+        _add(core, "R[x] W[y]", 1)
+        response = _add(core, "R[y] W[x]", 2)
+        witness = response["witness"]
+        assert witness is not None
+        assert set(witness["tids"]) == {1, 2}
+        assert witness["split_tid"] in (1, 2)
+        assert all(len(quad) == 4 for quad in witness["chain"])
+
+    def test_floor_rejects(self):
+        # floor=0.5: at least half the transactions must sit below SSI.
+        core = _core(admission=AdmissionPolicy(floor=0.5))
+        _add(core, "R[x] W[y]", 1)
+        response = _add(core, "R[y] W[x]", 2)  # would make both SSI
+        assert response["admitted"] is False
+        assert "floor" in response["reason"]
+
+    def test_disjoint_transactions_always_admitted(self):
+        core = _core(admission=AdmissionPolicy(floor=1.0, max_promotions=0))
+        for tid, text in enumerate(["R[a] W[a]", "R[b] W[b]", "R[c] W[c]"], 1):
+            assert _add(core, text, tid)["admitted"]
+
+    def test_queue_mode_parks_and_retries(self):
+        core = _core(
+            admission=AdmissionPolicy(max_promotions=0, mode="queue")
+        )
+        _add(core, "R[x] W[y]", 1)
+        response = _add(core, "R[y] W[x]", 2)
+        assert response["admitted"] is False and response["queued"] is True
+        assert core.queued_tids == (2,)
+        removal = core.handle({"op": "remove", "tid": 1})
+        assert removal["retried"] == [2]
+        assert core.queued_tids == ()
+        assert dict(core.manager.allocation.items()) == {2: IsolationLevel.RC}
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(floor=1.5)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_promotions=-1)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(mode="drop")
+
+
+class TestSnapshotCommands:
+    def test_snapshot_restore_round_trip(self, tmp_path):
+        snap = str(tmp_path / "state.json")
+        core = _core(snapshot_path=snap)
+        _add(core, "R[x] W[y]", 1)
+        _add(core, "R[y] W[x]", 2)
+        before = core.handle({"op": "allocate"})["allocation"]
+        assert core.handle({"op": "snapshot"})["ok"]
+        core.handle({"op": "remove", "tid": 2})
+        response = core.handle({"op": "restore"})
+        assert response["ok"]
+        assert core.handle({"op": "allocate"})["allocation"] == before
+
+    def test_snapshot_explicit_path(self, tmp_path):
+        core = _core()
+        _add(core, "R[x]", 1)
+        path = str(tmp_path / "explicit.json")
+        response = core.handle({"op": "snapshot", "path": path})
+        assert response["ok"] and response["path"] == path
+        assert read_snapshot(path)["allocation"] == {"1": "RC"}
+
+    def test_snapshot_without_path_fails(self):
+        response = _core().handle({"op": "snapshot"})
+        assert response["error"]["code"] == "bad-request"
+
+    def test_restore_missing_file(self, tmp_path):
+        response = _core().handle(
+            {"op": "restore", "path": str(tmp_path / "nope.json")}
+        )
+        assert response["error"]["code"] == "snapshot-error"
+
+    def test_auto_snapshot_every_n_mutations(self, tmp_path):
+        snap = tmp_path / "auto.json"
+        core = _core(snapshot_path=str(snap), snapshot_every=2)
+        _add(core, "R[a]", 1)
+        assert not snap.exists()
+        _add(core, "R[b]", 2)
+        assert snap.exists()
+        assert read_snapshot(snap)["allocation"] == {"1": "RC", "2": "RC"}
+
+    def test_resume_from_snapshot(self, tmp_path):
+        snap = str(tmp_path / "resume.json")
+        first = _core(snapshot_path=snap)
+        _add(first, "R[x] W[y]", 1)
+        _add(first, "R[y] W[x]", 2)
+        first.handle({"op": "snapshot"})
+        second = _core(snapshot_path=snap)
+        assert second.handle({"op": "allocate"})["allocation"] == {
+            "1": "SSI",
+            "2": "SSI",
+        }
+
+    def test_no_resume_flag(self, tmp_path):
+        snap = str(tmp_path / "resume.json")
+        first = _core(snapshot_path=snap)
+        _add(first, "R[x]", 1)
+        first.handle({"op": "snapshot"})
+        second = _core(snapshot_path=snap, resume=False)
+        assert second.handle({"op": "status"})["transactions"] == 0
+
+    def test_shutdown_snapshots_and_stops(self, tmp_path):
+        snap = tmp_path / "final.json"
+        core = _core(snapshot_path=str(snap))
+        _add(core, "R[x]", 1)
+        response = core.handle({"op": "shutdown"})
+        assert response["stopping"] and core.stopping
+        assert snap.exists()
+
+
+class TestWarmRestoreEquivalence:
+    def test_restore_replays_identical_allocations(self, tmp_path):
+        """The acceptance bar: kill/restore, then byte-identical behaviour."""
+        snap = str(tmp_path / "warm.json")
+        core = _core(snapshot_path=snap)
+        churn = [
+            ("R[x] W[y]", 1),
+            ("R[y] W[x]", 2),
+            ("R[a] W[b]", 3),
+            ("R[b] W[a]", 4),
+        ]
+        for text, tid in churn:
+            _add(core, text, tid)
+        core.handle({"op": "snapshot"})
+
+        survivor = _core(snapshot_path=snap)  # "restart" from disk
+        follow_up = ("R[y] W[a]", 5)
+        original = _add(core, *follow_up)
+        restored = _add(survivor, *follow_up)
+        assert original["allocation"] == restored["allocation"]
+        assert original["checks"] == restored["checks"]

@@ -1,0 +1,131 @@
+"""The socket layer: TCP/unix line protocol, metrics HTTP, lifecycle."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceClient, ServiceConfig, ServiceServer
+from repro.service.client import ServiceError
+
+
+@pytest.fixture
+def server(tmp_path):
+    config = ServiceConfig(port=0, snapshot_path=str(tmp_path / "snap.json"))
+    with ServiceServer(config) as srv:
+        yield srv
+    # __exit__ closed it; wait() returns immediately afterwards
+    assert srv.wait(1)
+
+
+class TestTCP:
+    def test_hello_over_tcp(self, server):
+        with ServiceClient(port=server.port) as client:
+            response = client.call("hello")
+        assert response["server"] == "repro-serve"
+
+    def test_request_ids_echoed(self, server):
+        with ServiceClient(port=server.port) as client:
+            first = client.request("status")
+            second = client.request("status")
+        assert second["id"] == first["id"] + 1
+
+    def test_call_raises_on_error(self, server):
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.call("remove", tid=404)
+        assert excinfo.value.code == "not-found"
+
+    def test_two_clients_share_state(self, server):
+        with ServiceClient(port=server.port) as one:
+            one.call("add", transaction="R[x] W[y]", tid=1)
+        with ServiceClient(port=server.port) as two:
+            assert two.call("allocate")["allocation"] == {"1": "RC"}
+
+    def test_malformed_line_keeps_connection_alive(self, server):
+        with ServiceClient(port=server.port) as client:
+            client._file.write(b"garbage\n")
+            client._file.flush()
+            error = json.loads(client._file.readline().decode("utf-8"))
+            assert error["error"]["code"] == "bad-request"
+            assert client.call("status")["ok"]
+
+    def test_port_file(self, tmp_path):
+        port_file = tmp_path / "port.txt"
+        config = ServiceConfig(port=0, port_file=str(port_file))
+        with ServiceServer(config) as srv:
+            assert int(port_file.read_text().strip()) == srv.port
+        assert not port_file.exists()  # cleaned up on close
+
+
+class TestUnixSocket:
+    def test_same_protocol_over_unix(self, tmp_path):
+        sock = str(tmp_path / "repro.sock")
+        with ServiceServer(ServiceConfig(port=0, socket_path=sock)) as srv:
+            with ServiceClient(socket_path=sock) as client:
+                client.call("add", transaction="R[x]", tid=1)
+            with ServiceClient(port=srv.port) as tcp_client:
+                assert tcp_client.call("status")["transactions"] == 1
+
+
+class TestMetricsHTTP:
+    def test_prometheus_and_json_endpoints(self, tmp_path):
+        config = ServiceConfig(port=0, metrics_port=0)
+        with ServiceServer(config) as srv:
+            with ServiceClient(port=srv.port) as client:
+                client.call("add", transaction="R[x] W[y]", tid=1)
+            base = f"http://127.0.0.1:{srv.metrics_port}"
+            text = urllib.request.urlopen(f"{base}/metrics").read().decode()
+            assert "# TYPE repro_service_requests_total counter" in text
+            assert "repro_transactions 1.0" in text
+            doc = json.loads(
+                urllib.request.urlopen(f"{base}/metrics.json").read().decode()
+            )
+            assert doc["counters"]["service.admitted"] == 1
+            assert doc["gauges"]["transactions"] == 1.0
+
+    def test_unknown_path_404(self):
+        with ServiceServer(ServiceConfig(port=0, metrics_port=0)) as srv:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{srv.metrics_port}/nope"
+                )
+            assert excinfo.value.code == 404
+
+
+class TestLifecycle:
+    def test_shutdown_command_stops_server(self, tmp_path):
+        server = ServiceServer(ServiceConfig(port=0))
+        server.start()
+        with ServiceClient(port=server.port) as client:
+            response = client.request("shutdown")
+            assert response["ok"] and response["stopping"]
+        assert server.wait(5), "server must stop after a shutdown envelope"
+
+    def test_shutdown_writes_final_snapshot(self, tmp_path):
+        snap = tmp_path / "final.json"
+        server = ServiceServer(ServiceConfig(port=0, snapshot_path=str(snap)))
+        server.start()
+        with ServiceClient(port=server.port) as client:
+            client.call("add", transaction="R[x]", tid=1)
+            client.request("shutdown")
+        assert server.wait(5)
+        assert snap.exists()
+
+    def test_restart_resumes_from_snapshot(self, tmp_path):
+        snap = str(tmp_path / "snap.json")
+        with ServiceServer(ServiceConfig(port=0, snapshot_path=snap)) as first:
+            with ServiceClient(port=first.port) as client:
+                client.call("add", transaction="R[x] W[y]", tid=1)
+                client.call("add", transaction="R[y] W[x]", tid=2)
+                client.call("snapshot")
+        with ServiceServer(ServiceConfig(port=0, snapshot_path=snap)) as second:
+            with ServiceClient(port=second.port) as client:
+                allocation = client.call("allocate")["allocation"]
+        assert allocation == {"1": "SSI", "2": "SSI"}
+
+    def test_close_is_idempotent(self):
+        server = ServiceServer(ServiceConfig(port=0))
+        server.start()
+        server.close()
+        server.close()

@@ -1,0 +1,107 @@
+"""Snapshot files: atomicity, versioning, corruption safety."""
+
+import json
+
+import pytest
+
+from repro.core.incremental import AllocationManager
+from repro.core.transactions import parse_transaction
+from repro.service.snapshot import (
+    SNAPSHOT_KIND,
+    SNAPSHOT_SCHEMA,
+    SnapshotError,
+    read_snapshot,
+    write_snapshot,
+)
+
+
+@pytest.fixture
+def state(tmp_path):
+    manager = AllocationManager()
+    manager.add(parse_transaction("R1[x] W1[y]"))
+    manager.add(parse_transaction("R2[y] W2[x]"))
+    return manager.save_state()
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path, state):
+        path = tmp_path / "snap.json"
+        size = write_snapshot(path, state)
+        assert size == path.stat().st_size
+        assert read_snapshot(path) == state
+
+    def test_document_shape(self, tmp_path, state):
+        path = tmp_path / "snap.json"
+        write_snapshot(path, state)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["kind"] == SNAPSHOT_KIND
+        assert document["schema"] == SNAPSHOT_SCHEMA
+        assert document["state"] == state
+        assert isinstance(document["sha256"], str)
+
+    def test_overwrite_replaces(self, tmp_path, state):
+        path = tmp_path / "snap.json"
+        write_snapshot(path, {"version": 1, "other": True})
+        write_snapshot(path, state)
+        assert read_snapshot(path) == state
+
+    def test_no_temp_droppings(self, tmp_path, state):
+        path = tmp_path / "snap.json"
+        write_snapshot(path, state)
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+
+
+class TestCorruptionSafety:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no snapshot at"):
+            read_snapshot(tmp_path / "nope.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("torn write{{{", encoding="utf-8")
+        with pytest.raises(SnapshotError, match="unreadable"):
+            read_snapshot(path)
+
+    def test_wrong_kind(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps({"kind": "something-else"}), encoding="utf-8")
+        with pytest.raises(SnapshotError, match="is not a"):
+            read_snapshot(path)
+
+    def test_wrong_schema(self, tmp_path, state):
+        path = tmp_path / "snap.json"
+        write_snapshot(path, state)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["schema"] = 999
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(SnapshotError, match="schema"):
+            read_snapshot(path)
+
+    def test_checksum_mismatch(self, tmp_path, state):
+        path = tmp_path / "snap.json"
+        write_snapshot(path, state)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["state"]["workload"] = "T9: W9[q] C9"  # bit-flipped payload
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(SnapshotError, match="checksum"):
+            read_snapshot(path)
+
+    def test_missing_state(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(
+            json.dumps({"kind": SNAPSHOT_KIND, "schema": SNAPSHOT_SCHEMA}),
+            encoding="utf-8",
+        )
+        with pytest.raises(SnapshotError, match="no state payload"):
+            read_snapshot(path)
+
+
+def test_snapshot_feeds_manager_restore(tmp_path, state):
+    """A written snapshot restores to a manager with identical allocation."""
+    path = tmp_path / "snap.json"
+    write_snapshot(path, state)
+    manager = AllocationManager.load_state(read_snapshot(path))
+    assert {tid: lvl.name for tid, lvl in manager.allocation.items()} == {
+        1: "SSI",
+        2: "SSI",
+    }

@@ -53,6 +53,11 @@ def test_intra_repo_links_resolve(md_path):
 def test_required_docs_exist_and_are_linked_from_readme():
     """The documentation set the README promises actually ships."""
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    for doc in ("docs/architecture.md", "docs/benchmarks.md", "docs/usage.md"):
+    for doc in (
+        "docs/architecture.md",
+        "docs/benchmarks.md",
+        "docs/service.md",
+        "docs/usage.md",
+    ):
         assert (REPO_ROOT / doc).exists(), f"{doc} is missing"
         assert doc in readme, f"README does not link {doc}"

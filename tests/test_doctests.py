@@ -19,8 +19,10 @@ MODULE_NAMES = [
     "repro.core.sharding",
     "repro.core.transactions",
     "repro.core.workload",
+    "repro.observability.metrics",
     "repro.parallel.encoding",
     "repro.parallel.engine",
+    "repro.service.core",
     "repro.templates.allocation",
     "repro.templates.robustness",
     "repro.templates.template",
