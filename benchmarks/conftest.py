@@ -14,7 +14,8 @@ pytest-benchmark results into a small machine-readable summary
 baselines): the Algorithm 1 |T|-scaling series, the engine ablation
 (bitset / components / paper), the Algorithm 2 |T|-scaling and
 refinement-mode series, the KERNEL speedup rows, the SERVE churn
-throughput series, and the machine the numbers came from.  ``repro bench compare BASELINE CURRENT`` diffs two
+throughput series, the SIM contention-sweep rows, and the machine the
+numbers came from.  ``repro bench compare BASELINE CURRENT`` diffs two
 such files with noise-aware thresholds (the CI perf gate).  Under
 ``--benchmark-disable`` (the CI smoke) pytest-benchmark registers no
 results, so the series come out empty — the correctness assertions and
@@ -59,6 +60,7 @@ def _distil(benchmarks):
     alloc_scaling = []
     refinement = []
     churn = []
+    contention_sweep = []
     for meta in benchmarks:
         mean_s, min_s, rounds = _stat_seconds(meta)
         extra = dict(getattr(meta, "extra_info", {}) or {})
@@ -104,6 +106,8 @@ def _distil(benchmarks):
                     "rounds": rounds,
                 }
             )
+        elif name.startswith("test_contention_sweep"):
+            contention_sweep.extend(extra.get("rows", []))
         elif name.startswith("test_churn_throughput"):
             churn.append(
                 {
@@ -135,6 +139,7 @@ def _distil(benchmarks):
         "algorithm2_scaling": alloc_scaling,
         "refinement_mode": refinement,
         "churn_throughput": churn,
+        "contention_sweep": contention_sweep,
     }
 
 

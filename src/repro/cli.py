@@ -14,7 +14,11 @@ Subcommands:
   sequential engine).
 * ``simulate <workload-file> [--uniform SI] [--seed N] [--runs N]`` — run
   the workload on the MVCC engine and report commits/aborts and whether
-  the executions were serializable.
+  the executions were serializable.  ``--engine events`` runs the
+  discrete-event simulator instead (throughput and latency percentiles);
+  the sentinel workload ``sweep`` runs a contention sweep comparing the
+  optimal allocation against all-SSI and all-SI
+  (``repro simulate sweep --benchmark smallbank --json out.json``).
 * ``stats <workload-file>`` — structural contention statistics.
 * ``templates check|allocate <template-file>`` — template-level robustness
   (bounded exact check + static sufficient condition) and optimal
@@ -285,12 +289,17 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.workload == "sweep":
+        return _cmd_simulate_sweep(args)
+    if args.engine == "events":
+        return _cmd_simulate_events(args)
     from .mvcc import run_workload, trace_to_schedule
 
     workload = _load_workload(args.workload)
     allocation = _parse_allocation(workload, args.allocation, args.uniform)
     serializable_runs = 0
     commits = aborts = 0
+    blocked = retries = 0
     for run in range(args.runs):
         trace, stats = run_workload(workload, allocation, seed=args.seed + run)
         schedule = trace_to_schedule(trace, workload)
@@ -298,6 +307,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         serializable_runs += serializable
         commits += stats.commits
         aborts += stats.total_aborts
+        blocked += stats.blocked_ticks
+        retries += stats.retries
         print(
             f"run {run}: commits={stats.commits} aborts={stats.total_aborts}"
             f" serializable={serializable}"
@@ -306,6 +317,93 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"\n{serializable_runs}/{args.runs} executions serializable;"
         f" {commits} commits, {aborts} aborts in total"
     )
+    if args.stats:
+        print(f"blocked_ticks={blocked} retries={retries}")
+    return 0
+
+
+def _cmd_simulate_events(args: argparse.Namespace) -> int:
+    """``repro simulate FILE --engine events``: one discrete-event run."""
+    from .mvcc import SimConfig, simulate_workload, trace_to_schedule
+
+    workload = _load_workload(args.workload)
+    allocation = _parse_allocation(workload, args.allocation, args.uniform)
+    config = SimConfig(sessions=args.sessions, seed=args.seed)
+    trace, stats = simulate_workload(
+        workload, allocation, config, repeat=args.repeat
+    )
+    if args.repeat == 1:
+        schedule = trace_to_schedule(trace, workload)
+        print(f"serializable={is_conflict_serializable(schedule)}")
+    latency = stats.latency_percentiles()
+    print(
+        f"commits={stats.commits} aborts={stats.total_aborts}"
+        f" operations={stats.operations} sim_time={stats.sim_time:.1f}"
+        f" throughput={stats.throughput:.3f}"
+    )
+    print(
+        f"latency p50={latency['p50']:.1f} p95={latency['p95']:.1f}"
+        f" p99={latency['p99']:.1f}"
+    )
+    if args.stats:
+        print(
+            f"blocks={stats.blocks} retries={stats.retries}"
+            f" wait_time={stats.wait_time:.1f} wall_s={stats.wall_s:.3f}"
+        )
+    return 0
+
+
+def _parse_sweep_point(text: str) -> object:
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_simulate_sweep(args: argparse.Namespace) -> int:
+    """``repro simulate sweep``: contention sweep across allocations."""
+    from .mvcc.sweep import contention_sweep
+
+    points = None
+    if args.points:
+        points = [
+            _parse_sweep_point(part.strip())
+            for part in args.points.split(",")
+            if part.strip()
+        ]
+    strategies = tuple(
+        part.strip() for part in args.strategies.split(",") if part.strip()
+    )
+    try:
+        result = contention_sweep(
+            benchmark=args.benchmark,
+            points=points,
+            transactions=args.transactions,
+            repeat=args.repeat,
+            sessions=args.sessions,
+            seed=args.seed,
+            strategies=strategies,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(result.table())
+    print(
+        f"\n{result.total_operations} simulated operations across"
+        f" {len(result.points)} points"
+    )
+    if args.stats:
+        for point in result.points:
+            print(
+                f"{point.case}: operations={point.operations}"
+                f" sim_time={point.sim_time:.1f} wall_s={point.wall_s:.3f}"
+            )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.to_json(), indent=2), encoding="utf-8"
+        )
+        print(f"Sweep results written to {args.json}")
     return 0
 
 
@@ -742,12 +840,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(serve)
     serve.set_defaults(func=_cmd_serve)
 
-    simulate = sub.add_parser("simulate", help="run the workload on the MVCC engine")
-    simulate.add_argument("workload", help="workload file")
+    simulate = sub.add_parser(
+        "simulate",
+        help=(
+            "run a workload on the MVCC engine; the sentinel workload"
+            " 'sweep' runs a contention sweep instead"
+        ),
+    )
+    simulate.add_argument(
+        "workload", help="workload file, or the literal 'sweep' for a sweep"
+    )
     simulate.add_argument("--allocation", help="per-transaction levels")
     simulate.add_argument("--uniform", help="one level for all transactions")
     simulate.add_argument("--seed", type=int, default=0, help="base RNG seed")
     simulate.add_argument("--runs", type=int, default=5, help="number of executions")
+    simulate.add_argument(
+        "--engine",
+        choices=("ticks", "events"),
+        default="ticks",
+        help=(
+            "execution engine for workload files: the tick scheduler"
+            " (default) or the discrete-event simulator"
+        ),
+    )
+    simulate.add_argument(
+        "--benchmark",
+        default="smallbank",
+        help="sweep benchmark (smallbank, ycsb, tpcc, figure2, example26)",
+    )
+    simulate.add_argument(
+        "--points",
+        help="comma-separated contention-knob values for the sweep",
+    )
+    simulate.add_argument(
+        "--transactions",
+        type=int,
+        default=20,
+        help="base workload size the allocation is computed on (sweep)",
+    )
+    simulate.add_argument(
+        "--repeat",
+        type=int,
+        default=50,
+        help="instance-stream multiplier (sweep and --engine events)",
+    )
+    simulate.add_argument(
+        "--sessions",
+        type=int,
+        default=8,
+        help="concurrent simulated sessions (sweep and --engine events)",
+    )
+    simulate.add_argument(
+        "--strategies",
+        default="optimal,ssi,si",
+        help="allocation strategies the sweep compares (default optimal,ssi,si)",
+    )
+    simulate.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the machine-readable sweep results to FILE",
+    )
+    simulate.add_argument(
+        "--stats",
+        action="store_true",
+        help="print execution counters (blocks, retries, wait/wall time)",
+    )
     _add_trace_flag(simulate)
     simulate.set_defaults(func=_cmd_simulate)
     return parser

@@ -24,10 +24,22 @@ from .procedures import (
     run_procedures,
 )
 from .scheduler import ExecutionStats, InterleavingScheduler, run_workload
+from .simulator import DiscreteEventSimulator, SimConfig, SimStats, simulate_workload
 from .storage import Version, VersionedStore
-from .trace import Trace, TraceEvent, trace_to_schedule
+from .sweep import SweepPoint, SweepResult, contention_sweep
+from .trace import (
+    EVENT_TRACE_VERSION,
+    Trace,
+    TraceEvent,
+    trace_from_json,
+    trace_to_json,
+    trace_to_schedule,
+    validate_event_trace,
+)
 
 __all__ = [
+    "DiscreteEventSimulator",
+    "EVENT_TRACE_VERSION",
     "ExecutionStats",
     "InterleavingScheduler",
     "MVCCEngine",
@@ -35,6 +47,10 @@ __all__ = [
     "ProcedureRun",
     "ProcedureScheduler",
     "Read",
+    "SimConfig",
+    "SimStats",
+    "SweepPoint",
+    "SweepResult",
     "Trace",
     "TraceEvent",
     "TransactionAborted",
@@ -42,7 +58,12 @@ __all__ = [
     "Version",
     "VersionedStore",
     "Write",
+    "contention_sweep",
     "run_procedures",
     "run_workload",
+    "simulate_workload",
+    "trace_from_json",
+    "trace_to_json",
     "trace_to_schedule",
+    "validate_event_trace",
 ]

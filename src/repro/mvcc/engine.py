@@ -114,6 +114,11 @@ class MVCCEngine:
         self._intents: Dict[str, int] = {}  # obj -> tid holding the write intent
         self._commit_clock = 0
         self._event_clock = 0
+        #: Committed SSI transactions (the dangerous-structure pool) and the
+        #: rw-antidependency edges among them, cached as each one commits so
+        #: a commit-time check never rescans old history.
+        self._ssi_peers: Dict[int, _CommittedTransaction] = {}
+        self._ssi_edges: Dict[int, Set[int]] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -240,6 +245,8 @@ class MVCCEngine:
             if self._intents.get(obj) == tid:
                 del self._intents[obj]
         self._committed[tid] = candidate
+        if txn.level is IsolationLevel.SSI:
+            self._adopt_ssi_peer(candidate)
         del self._active[tid]
         current_tracer().count("mvcc.commits")
         return self._commit_clock
@@ -285,28 +292,99 @@ class MVCCEngine:
         between concurrent transactions with ``C3 <= C1`` and ``C3 < C2``.
         It completes exactly when its last participant commits, so checking
         every SSI commit keeps committed traces structure-free.
+
+        The candidate's commit event is strictly later than every committed
+        peer's, so it can never play ``T3`` (which needs ``C3 <= C1`` and
+        ``C3 < C2``): only the ``T1`` and ``T2`` roles must be probed.  The
+        edges *among* committed peers were cached when each of them
+        committed (:meth:`_adopt_ssi_peer`), so the check costs one scan of
+        the live peer pool instead of a cubic rescan of all history —
+        what lets the discrete-event simulator sustain long all-SSI runs.
         """
-        ssi_peers = [
-            record
-            for record in self._committed.values()
-            if record.level is IsolationLevel.SSI
-        ]
-        pool = ssi_peers + [candidate]
-        for t2 in pool:
-            for t1 in pool:
-                if t1.tid == t2.tid or not self._concurrent(t1, t2):
-                    continue
-                if not self._rw_edge(t1, t2):
-                    continue
-                for t3 in pool:
-                    if t3.tid == t2.tid or not self._concurrent(t2, t3):
-                        continue
-                    if not (
-                        t3.commit_event <= t1.commit_event
-                        and t3.commit_event < t2.commit_event
-                    ):
-                        continue
-                    if self._rw_edge(t2, t3):
-                        if candidate.tid in (t1.tid, t2.tid, t3.tid):
-                            return True
+        peers = self._ssi_peers
+        out_c = [p for p in peers.values() if self._rw_edge(candidate, p)]
+        in_c = [p for p in peers.values() if self._rw_edge(p, candidate)]
+        # Candidate as T2: T1 -> candidate -> T3 with C3 <= C1 (C3 < C2 is
+        # automatic — every peer committed before the candidate).
+        for t1 in in_c:
+            if not self._concurrent(t1, candidate):
+                continue
+            for t3 in out_c:
+                if t3.commit_event <= t1.commit_event and self._concurrent(
+                    candidate, t3
+                ):
+                    return True
+        # Candidate as T1: candidate -> T2 -> T3 along a cached peer edge
+        # (C3 <= C1 is automatic).
+        for t2 in out_c:
+            if not self._concurrent(candidate, t2):
+                continue
+            for t3_tid in self._ssi_edges.get(t2.tid, ()):
+                t3 = peers[t3_tid]
+                if t3.commit_event < t2.commit_event and self._concurrent(t2, t3):
+                    return True
         return False
+
+    def _adopt_ssi_peer(self, record: "_CommittedTransaction") -> None:
+        """Cache a freshly committed SSI transaction and its peer rw-edges."""
+        edges = self._ssi_edges.setdefault(record.tid, set())
+        for peer in self._ssi_peers.values():
+            if self._rw_edge(record, peer):
+                edges.add(peer.tid)
+            if self._rw_edge(peer, record):
+                self._ssi_edges.setdefault(peer.tid, set()).add(record.tid)
+        self._ssi_peers[record.tid] = record
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> Dict[str, int]:
+        """Discard engine state no future execution step can observe.
+
+        Long simulations otherwise accumulate unbounded history: version
+        chains grow per commit, and every committed SSI transaction stays
+        in the dangerous-structure pool forever.  Compaction truncates
+        both behind conservative watermarks, leaving behaviour *exactly*
+        unchanged:
+
+        * version chains are pruned below the oldest snapshot any active
+          transaction holds (a future snapshot is at least as new);
+        * a committed SSI peer is retired once it can no longer appear in
+          a dangerous structure with any future candidate: its commit
+          event must exceed either the first event of some possible future
+          candidate (``watermark``) or, one antidependency hop out, the
+          first event of a peer that does (``horizon``) — structures have
+          three members, so one hop is the full reach.
+
+        ``committed`` introspection only retains the SSI pool afterwards;
+        callers wanting full history (the interleaving scheduler, the
+        engine tests) simply never call ``compact()``.  Returns the
+        counts of pruned versions and retired peers.
+        """
+        active = self._active.values()
+        min_snapshot = min(
+            (t.snapshot_seq for t in active if t.snapshot_seq is not None),
+            default=self._commit_clock,
+        )
+        pruned_versions = self.store.prune(min_snapshot)
+        watermark = min(
+            (t.first_event for t in active if t.first_event is not None),
+            default=self._event_clock,
+        )
+        recent = [r for r in self._ssi_peers.values() if r.commit_event > watermark]
+        horizon = min([watermark] + [r.first_event for r in recent])
+        keep = {
+            tid for tid, r in self._ssi_peers.items() if r.commit_event > horizon
+        }
+        retired = len(self._ssi_peers) - len(keep)
+        if retired or len(self._committed) > len(keep):
+            self._ssi_peers = {
+                tid: r for tid, r in self._ssi_peers.items() if tid in keep
+            }
+            self._ssi_edges = {
+                tid: {peer for peer in peers if peer in keep}
+                for tid, peers in self._ssi_edges.items()
+                if tid in keep
+            }
+            self._committed = dict(self._ssi_peers)
+        return {"pruned_versions": pruned_versions, "retired_peers": retired}

@@ -43,6 +43,7 @@ class ExecutionStats:
     blocked_ticks: int = 0
     ticks: int = 0
     retries: int = 0
+    """Attempts actually restarted — a give-up that raises is no retry."""
 
     @property
     def total_aborts(self) -> int:
@@ -68,6 +69,9 @@ class _Session:
     attempt: int = 0
     op_index: int = 0
     waiting_for: Optional[int] = None
+    #: object of the engine-level block behind ``waiting_for`` (``None``
+    #: for deadlock-victim parking) — drives the ``unblock`` trace event.
+    blocked_obj: Optional[str] = None
     begun: bool = False
 
     @property
@@ -156,6 +160,17 @@ class InterleavingScheduler:
                 if session.waiting_for in self.engine.active_tids:
                     continue  # still blocked
                 session.waiting_for = None
+                if session.blocked_obj is not None:
+                    self.trace.append(
+                        TraceEvent(
+                            "unblock",
+                            session.current.tid,  # type: ignore[union-attr]
+                            session.attempt,
+                            session.blocked_obj,
+                            None,
+                        )
+                    )
+                    session.blocked_obj = None
             runnable.append(session)
         return runnable
 
@@ -210,6 +225,16 @@ class InterleavingScheduler:
         except TransactionBlocked as blocked:
             self.stats.blocked_ticks += 1
             session.waiting_for = blocked.waiting_for
+            session.blocked_obj = blocked.obj
+            self.trace.append(
+                TraceEvent(
+                    "block",
+                    txn.tid,
+                    session.attempt,
+                    blocked.obj,
+                    blocked.waiting_for // 1000,
+                )
+            )
             return  # retry the same operation once unblocked
         except TransactionAborted as aborted:
             self.trace.append(
@@ -221,22 +246,61 @@ class InterleavingScheduler:
         session.op_index += 1
 
     def _retry(self, session: _Session) -> None:
-        self.stats.retries += 1
+        # The budget check comes first: a give-up never executes another
+        # attempt, so it must not count as a retry.
         if session.attempt + 1 >= self.max_attempts:
             raise RuntimeError(
                 f"transaction {session.current.tid} exceeded"  # type: ignore[union-attr]
                 f" {self.max_attempts} attempts (livelock?)"
             )
+        self.stats.retries += 1
         session.restart()
+
+    def _wait_cycle(
+        self, waiting: List[_Session], owner: Dict[int, _Session]
+    ) -> Optional[List[_Session]]:
+        """An actual cycle of the wait-for graph, or ``None`` if there is none.
+
+        Walks ``waiting_for`` pointers from every waiting session.  A walk
+        that reaches a session already on its own path has found a cycle
+        (the path suffix); a walk that dead-ends — the edge names an
+        engine tid no session owns any more (stale), or re-enters a walk
+        that already dead-ended — proves nothing and the next start is
+        tried.
+        """
+        visited: set = set()
+        for start in waiting:
+            if start.session_id in visited:
+                continue
+            index: Dict[int, int] = {}
+            path: List[_Session] = []
+            node: Optional[_Session] = start
+            while node is not None and node.session_id not in visited:
+                visited.add(node.session_id)
+                index[node.session_id] = len(path)
+                path.append(node)
+                node = (
+                    owner.get(node.waiting_for)
+                    if node.waiting_for is not None
+                    else None
+                )
+            if node is not None and node.session_id in index:
+                return path[index[node.session_id]:]
+        return None
 
     def _break_deadlock(self) -> None:
         """Abort one session of the wait-for cycle.
 
         When no session is runnable, every live session waits on a write
         intent held by another live (hence also waiting) session, so the
-        wait-for graph contains a cycle.  The victim is the cycle member
-        with the fewest attempts so far (fairness: repeat offenders are
-        spared, spreading aborts instead of starving one transaction).
+        wait-for graph normally contains a cycle.  The victim is the
+        cycle member with the fewest attempts so far (fairness: repeat
+        offenders are spared, spreading aborts instead of starving one
+        transaction) — and only an actual cycle member: a ``waiting_for``
+        edge naming an engine tid whose session already moved on (stale)
+        must not widen the victim pool to innocent bystanders.  When no
+        cycle exists at all, the stale pointers are cleared and their
+        sessions simply become runnable again.
         """
         waiting = [s for s in self._sessions if not s.done and s.waiting_for is not None]
         if not waiting:
@@ -244,14 +308,14 @@ class InterleavingScheduler:
         owner = {
             self._attempt_tid(s): s for s in self._sessions if not s.done and s.current
         }
-        # Follow waiting_for pointers until a session repeats: that suffix
-        # is the cycle.
-        seen: List[_Session] = []
-        node: Optional[_Session] = waiting[0]
-        while node is not None and node not in seen:
-            seen.append(node)
-            node = owner.get(node.waiting_for) if node.waiting_for else None
-        cycle = seen[seen.index(node):] if node in seen else waiting  # type: ignore[arg-type]
+        cycle = self._wait_cycle(waiting, owner)
+        if cycle is None:
+            stale = [s for s in waiting if s.waiting_for not in owner]
+            assert stale, "no wait-for cycle found yet every edge resolves"
+            for session in stale:
+                session.waiting_for = None
+                session.blocked_obj = None
+            return
         victim = min(cycle, key=lambda s: (s.attempt, s.session_id))
         blocker = victim.waiting_for
         engine_tid = self._attempt_tid(victim)
@@ -264,8 +328,10 @@ class InterleavingScheduler:
         self._retry(victim)
         # Keep the victim parked until its blocker finishes, otherwise it
         # re-acquires its first intent immediately and the same cycle
-        # re-forms (livelock).
+        # re-forms (livelock).  This parking is not an engine-level block,
+        # so it carries no blocked_obj and emits no block/unblock events.
         victim.waiting_for = blocker
+        victim.blocked_obj = None
 
 
 def run_workload(

@@ -1,0 +1,552 @@
+"""Coroutine-driven discrete-event simulator for the MVCC engine.
+
+The :class:`~repro.mvcc.scheduler.InterleavingScheduler` explores the
+interleaving space one scheduling *tick* at a time: blocked sessions are
+re-polled every tick, time is a tick counter, and throughput is commits
+per tick.  That model is faithful but slow — a blocked session burns a
+tick per poll — and it has no notion of latency.
+
+:class:`DiscreteEventSimulator` replaces ticks with simulated time:
+
+* transactions run as **generator coroutines** that yield operation
+  requests and receive read results back (``result = yield op``);
+* the clock advances through a **heap of events** ``(time, seq, session)``
+  — nothing executes between events, so a million-operation run costs a
+  million heap pops, not a million polls per blocked writer;
+* write intents become **FIFO wait-queues with explicit wake-ups**: a
+  blocked writer parks in the queue of its object and consumes no events
+  until the intent holder commits or aborts, which wakes exactly the
+  queue head;
+* **deadlocks** are detected at block time by walking the wait-for graph
+  (session → intent holder); the victim is the cycle member with the
+  fewest attempts (ties to the lower session id), matching the
+  interleaving scheduler's fairness rule;
+* **per-transaction latency** is recorded from arrival (the session picks
+  the instance up) to commit, feeding the histograms the contention
+  sweeps report.
+
+Semantics are the engine's, identical to the interleaving scheduler's:
+Definition 2.4-allowed committed traces, first-committer-wins,
+SSI dangerous-structure aborts, seeded reproducibility (the seed only
+jitters operation service times).  The property suite pins this.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from collections import deque
+
+from ..core.isolation import Allocation, IsolationLevel
+from ..core.operations import Operation, read as read_op, write as write_op
+from ..core.transactions import Transaction
+from ..core.workload import Workload
+from ..observability import current_tracer
+from .engine import MVCCEngine, TransactionAborted, TransactionBlocked
+from .storage import Version
+from .trace import Trace, TraceEvent
+
+#: A transaction body: yields operations, receives read results.
+TransactionBody = Generator[Operation, Optional[Version], None]
+
+
+def transaction_coroutine(txn: Transaction) -> TransactionBody:
+    """The default coroutine body: replay the transaction's program order.
+
+    Reads receive the observed :class:`~repro.mvcc.storage.Version` back
+    from the simulator; a static workload body ignores it, but a custom
+    body factory may branch on values.
+    """
+    result: Optional[Version] = None
+    for op in txn.operations:
+        result = yield op
+        del result  # static bodies are value-oblivious
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of one simulation run.
+
+    Attributes:
+        sessions: concurrent client sessions; instances are dealt to
+            sessions round-robin.
+        seed: RNG seed for service-time jitter; ``None`` disables jitter
+            entirely (constant service times).
+        max_attempts: per-instance retry budget before the run raises
+            ``RuntimeError`` (livelock guard, as in the scheduler).
+        op_time: mean simulated service time per operation.
+        jitter: ± fraction of the mean drawn uniformly per operation —
+            the only use of the RNG, so one seed fixes the whole run.
+        ssi_overhead: fractional service-time surcharge per operation of
+            an SSI transaction, modelling the conflict-tracking cost of
+            serializability (Alomari et al. [4]; production SSI maintains
+            SIREAD locks on every read).  The surcharge is what a mixed
+            allocation buys back at runtime: transactions Algorithm 2
+            sends to RC/SI skip it — and the longer SSI service times
+            also widen concurrency windows, so all-SSI additionally pays
+            more first-committer-wins aborts under contention.
+        abort_backoff: simulated delay before an aborted instance retries
+            (keeps deadlock cycles from re-forming instantly).
+        record_trace: record :class:`TraceEvent`s; turning it off changes
+            nothing but the trace (the byte-identity the tests pin).
+        compact_every: commits between ``engine.compact()`` calls
+            (``0`` disables compaction; long runs then grow unboundedly).
+    """
+
+    sessions: int = 8
+    seed: Optional[int] = 0
+    max_attempts: int = 50
+    op_time: float = 1.0
+    jitter: float = 0.5
+    ssi_overhead: float = 0.25
+    abort_backoff: float = 2.0
+    record_trace: bool = True
+    compact_every: int = 256
+
+
+@dataclass
+class SimStats:
+    """Aggregate statistics of one simulated run.
+
+    Attributes:
+        commits: instances committed.
+        aborts: abort counts by reason.
+        operations: engine operations executed (reads, writes, commit
+            attempts — the unit of the ≥1M-operations criterion).
+        blocks: times a writer parked in a wait-queue.
+        retries: instance attempts beyond the first.
+        sim_time: simulated clock at the end of the run.
+        wall_s: real seconds the run took.
+        wait_time: total simulated time spent parked in wait-queues.
+        latencies: per committed instance, arrival-to-commit simulated time.
+    """
+
+    commits: int = 0
+    aborts: Dict[str, int] = field(default_factory=dict)
+    operations: int = 0
+    blocks: int = 0
+    retries: int = 0
+    sim_time: float = 0.0
+    wall_s: float = 0.0
+    wait_time: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def total_aborts(self) -> int:
+        """Aborts across all reasons."""
+        return sum(self.aborts.values())
+
+    @property
+    def throughput(self) -> float:
+        """Committed instances per unit of simulated time."""
+        return self.commits / self.sim_time if self.sim_time else 0.0
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted attempts per started attempt."""
+        attempts = self.commits + self.total_aborts
+        return self.total_aborts / attempts if attempts else 0.0
+
+    def record_abort(self, reason: str) -> None:
+        self.aborts[reason] = self.aborts.get(reason, 0) + 1
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """``p50``/``p95``/``p99`` of commit latency (0.0 when empty)."""
+        if not self.latencies:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        ordered = sorted(self.latencies)
+        last = len(ordered) - 1
+        return {
+            name: ordered[min(last, int(q * len(ordered)))]
+            for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+        }
+
+    def latency_histogram(self, bins: int = 10) -> List[Tuple[float, int]]:
+        """Equal-width histogram of commit latencies as (upper edge, count)."""
+        if not self.latencies or bins <= 0:
+            return []
+        top = max(self.latencies)
+        width = (top / bins) or 1.0
+        counts = [0] * bins
+        for value in self.latencies:
+            counts[min(bins - 1, int(value / width))] += 1
+        return [(width * (i + 1), counts[i]) for i in range(bins)]
+
+
+@dataclass
+class _Instance:
+    """One transaction instance awaiting execution."""
+
+    tid: int
+    txn: Transaction
+
+
+@dataclass
+class _SimSession:
+    """One client session working through its queue of instances."""
+
+    session_id: int
+    queue: Deque[_Instance] = field(default_factory=deque)
+    current: Optional[_Instance] = None
+    body: Optional[TransactionBody] = None
+    pending_op: Optional[Operation] = None
+    last_result: Optional[Version] = None
+    attempt: int = 0
+    begun: bool = False
+    arrival: float = 0.0
+    blocked_on: Optional[str] = None
+    block_start: float = 0.0
+    held: List[str] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.current is None and not self.queue
+
+
+def replicate_workload(
+    workload: Workload, allocation: Allocation, repeat: int = 1
+) -> Tuple[Workload, Allocation, Dict[int, int]]:
+    """Clone a workload ``repeat`` times with fresh instance tids.
+
+    Allocation is decided once per *program* (the base workload) and
+    inherited by every instance of it — deciding on the instance level
+    would be both infeasible (the allocation problem over 100k
+    transactions) and wrong (real systems allocate per statement/program,
+    not per execution).  With ``repeat == 1`` the base workload and
+    allocation are returned unchanged.
+
+    Returns:
+        ``(instances, instance_allocation, instance_to_base)``.
+    """
+    if repeat <= 1:
+        return workload, allocation, {tid: tid for tid in workload.tids}
+    transactions: List[Transaction] = []
+    levels: Dict[int, object] = {}
+    mapping: Dict[int, int] = {}
+    next_tid = 1
+    for _ in range(repeat):
+        for base in workload:
+            ops = [
+                read_op(next_tid, op.obj) if op.is_read else write_op(next_tid, op.obj)
+                for op in base.body
+            ]
+            transactions.append(Transaction(next_tid, ops))
+            levels[next_tid] = allocation[base.tid]
+            mapping[next_tid] = base.tid
+            next_tid += 1
+    return Workload(transactions), Allocation(levels), mapping
+
+
+class DiscreteEventSimulator:
+    """Executes a workload under simulated time on the MVCC engine.
+
+    Args:
+        workload: the transaction instances to run.
+        allocation: the isolation level of each instance.
+        config: simulation knobs (see :class:`SimConfig`).
+        body_factory: builds the coroutine body of each instance;
+            defaults to :func:`transaction_coroutine` (replay program
+            order).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        allocation: Allocation,
+        config: Optional[SimConfig] = None,
+        body_factory: Callable[[Transaction], TransactionBody] = transaction_coroutine,
+    ):
+        self.workload = workload
+        self.allocation = allocation
+        self.config = config or SimConfig()
+        if self.config.max_attempts > 1000:
+            raise ValueError("max_attempts must be <= 1000 (engine tid scheme)")
+        self._body_factory = body_factory
+        count = max(1, min(self.config.sessions, len(workload)) or 1)
+        self._sessions = [_SimSession(i) for i in range(count)]
+        for index, txn in enumerate(workload):
+            self._sessions[index % count].queue.append(_Instance(txn.tid, txn))
+        self._rng = (
+            random.Random(self.config.seed) if self.config.seed is not None else None
+        )
+        self.engine = MVCCEngine()
+        self.trace = Trace()
+        self.stats = SimStats()
+        self._now = 0.0
+        self._seq = 0
+        self._heap: List[Tuple[float, int, int]] = []
+        self._wait_queues: Dict[str, Deque[int]] = {}
+        self._tid_session: Dict[int, int] = {}
+        self._commits_since_compact = 0
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _service(self, session: _SimSession) -> float:
+        instance = session.current or (session.queue[0] if session.queue else None)
+        base = self.config.op_time
+        if (
+            instance is not None
+            and self.config.ssi_overhead
+            and self.allocation[instance.tid] is IsolationLevel.SSI
+        ):
+            base *= 1.0 + self.config.ssi_overhead
+        if self._rng is None or not self.config.jitter:
+            return base
+        spread = self.config.jitter * base
+        return base + spread * (2.0 * self._rng.random() - 1.0)
+
+    def _schedule(self, session: _SimSession, delay: float) -> None:
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, self._seq, session.session_id))
+
+    def _emit(self, *args: object) -> None:
+        if self.config.record_trace:
+            self.trace.append(TraceEvent(*args))  # type: ignore[arg-type]
+
+    def _engine_tid(self, session: _SimSession) -> int:
+        assert session.current is not None
+        return session.current.tid * 1000 + session.attempt
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        """Run every instance to commit and return the execution trace."""
+        started = _time.perf_counter()
+        with current_tracer().span(
+            "sim.run",
+            instances=len(self.workload),
+            sessions=len(self._sessions),
+        ) as run_span:
+            for session in self._sessions:
+                if session.queue:
+                    self._schedule(session, self._service(session))
+            while self._heap:
+                self._now, _, session_id = heappop(self._heap)
+                self._step(self._sessions[session_id])
+            stranded = [s for s in self._sessions if not s.done]
+            if stranded:
+                raise RuntimeError(
+                    f"simulation stalled with sessions {[s.session_id for s in stranded]}"
+                    " neither runnable nor waiting"
+                )
+            self.stats.sim_time = self._now
+            run_span.set(
+                commits=self.stats.commits,
+                aborts=self.stats.total_aborts,
+                operations=self.stats.operations,
+                sim_time=self.stats.sim_time,
+            )
+        self.stats.wall_s = _time.perf_counter() - started
+        return self.trace
+
+    def _step(self, session: _SimSession) -> None:
+        if session.current is None:
+            if not session.queue:
+                return
+            session.current = session.queue.popleft()
+            session.attempt = 0
+            session.arrival = self._now
+            self._reset_attempt(session)
+            self._tid_session[session.current.tid] = session.session_id
+        txn = session.current
+        engine_tid = self._engine_tid(session)
+        if not session.begun:
+            self.engine.begin(engine_tid, self.allocation[txn.tid])
+            session.begun = True
+            self._emit("begin", txn.tid, session.attempt, None, None)
+        if session.pending_op is None:
+            assert session.body is not None
+            try:
+                session.pending_op = session.body.send(session.last_result)
+            except StopIteration:
+                raise RuntimeError(
+                    f"transaction {txn.tid} body ended without a commit"
+                ) from None
+            session.last_result = None
+        op = session.pending_op
+        self.stats.operations += 1
+        try:
+            if op.is_read:
+                version = self.engine.read(engine_tid, op.obj)
+                observed = version.writer_tid // 1000 if version.writer_tid else 0
+                self._emit("read", txn.tid, session.attempt, op.obj, observed)
+                session.last_result = version
+            elif op.is_write:
+                self.engine.write(
+                    engine_tid, op.obj, value=(txn.tid, session.attempt)
+                )
+                self._emit("write", txn.tid, session.attempt, op.obj, None)
+                session.held.append(op.obj)
+            else:
+                self.engine.commit(engine_tid)
+                self._emit("commit", txn.tid, session.attempt, None, None)
+                self.stats.commits += 1
+                self.stats.latencies.append(self._now - session.arrival)
+                self._release(session)
+                session.current = None
+                session.body = None
+                self._maybe_compact()
+                if session.queue:
+                    self._schedule(session, self._service(session))
+                return
+        except TransactionBlocked as blocked:
+            self._park(session, blocked)
+            return
+        except TransactionAborted as aborted:
+            self._emit("abort", txn.tid, session.attempt, None, None)
+            self.stats.record_abort(aborted.reason)
+            self._release(session)
+            # A first-committer-wins abort on a freshly woken writer leaves
+            # the freed intent unclaimed: pass the wake-up on, or the rest
+            # of the queue sleeps forever.
+            if op.is_write and self.engine.intent_holder(op.obj) is None:
+                self._wake(op.obj)
+            self._retry(session)
+            return
+        session.pending_op = None
+        self._schedule(session, self._service(session))
+
+    # ------------------------------------------------------------------
+    # Blocking, wake-ups, deadlock
+    # ------------------------------------------------------------------
+    def _park(self, session: _SimSession, blocked: TransactionBlocked) -> None:
+        """FIFO-park the session behind the intent holder; no event burns
+        while it waits — the holder's release wakes it explicitly."""
+        txn = session.current
+        assert txn is not None
+        self.stats.blocks += 1
+        session.blocked_on = blocked.obj
+        session.block_start = self._now
+        self._wait_queues.setdefault(blocked.obj, deque()).append(session.session_id)
+        self._emit(
+            "block", txn.tid, session.attempt, blocked.obj, blocked.waiting_for // 1000
+        )
+        cycle = self._find_cycle(session)
+        if cycle is not None:
+            self._break_deadlock(cycle)
+
+    def _wake(self, obj: str) -> None:
+        """Wake the head waiter of ``obj``'s queue, if any."""
+        queue = self._wait_queues.get(obj)
+        if not queue:
+            return
+        session = self._sessions[queue.popleft()]
+        assert session.blocked_on == obj and session.current is not None
+        session.blocked_on = None
+        self.stats.wait_time += self._now - session.block_start
+        self._emit("unblock", session.current.tid, session.attempt, obj, None)
+        self._schedule(session, 0.0)
+
+    def _unpark(self, session: _SimSession) -> None:
+        """Remove a deadlock victim from its wait-queue without waking it."""
+        if session.blocked_on is None:
+            return
+        queue = self._wait_queues.get(session.blocked_on)
+        if queue is not None:
+            try:
+                queue.remove(session.session_id)
+            except ValueError:
+                pass
+        self.stats.wait_time += self._now - session.block_start
+        session.blocked_on = None
+
+    def _release(self, session: _SimSession) -> None:
+        """After commit/abort, wake the head waiter of every freed intent."""
+        held, session.held = session.held, []
+        for obj in held:
+            self._wake(obj)
+
+    def _find_cycle(self, start: _SimSession) -> Optional[List[_SimSession]]:
+        """The wait-for cycle through ``start``, or ``None``.
+
+        Edges are read off live engine state (session → blocked object →
+        intent holder → holder's session), so there are no stale pointers
+        to mishandle — the graph cannot name a transaction that already
+        finished.
+        """
+        path: List[_SimSession] = []
+        index: Dict[int, int] = {}
+        node: Optional[_SimSession] = start
+        while node is not None and node.session_id not in index:
+            index[node.session_id] = len(path)
+            path.append(node)
+            if node.blocked_on is None:
+                return None
+            holder = self.engine.intent_holder(node.blocked_on)
+            if holder is None:
+                return None
+            holder_sid = self._tid_session.get(holder // 1000)
+            node = self._sessions[holder_sid] if holder_sid is not None else None
+        if node is None:
+            return None
+        return path[index[node.session_id]:]
+
+    def _break_deadlock(self, cycle: List[_SimSession]) -> None:
+        """Abort the cycle member with the fewest attempts (scheduler rule)."""
+        victim = min(cycle, key=lambda s: (s.attempt, s.session_id))
+        assert victim.current is not None
+        engine_tid = self._engine_tid(victim)
+        if engine_tid in self.engine.active_tids:
+            self.engine.abort(engine_tid)
+        self._emit("abort", victim.current.tid, victim.attempt, None, None)
+        self.stats.record_abort("deadlock")
+        self._unpark(victim)
+        self._release(victim)
+        self._retry(victim)
+
+    def _retry(self, session: _SimSession) -> None:
+        # Budget check before counting, as in the scheduler: a give-up
+        # that raises is no retry.
+        assert session.current is not None
+        if session.attempt + 1 >= self.config.max_attempts:
+            raise RuntimeError(
+                f"transaction {session.current.tid} exceeded"
+                f" {self.config.max_attempts} attempts (livelock?)"
+            )
+        self.stats.retries += 1
+        session.attempt += 1
+        self._reset_attempt(session)
+        # Linear backoff: repeat offenders wait longer, so under heavy
+        # first-committer-wins contention no instance starves against the
+        # retry budget.
+        self._schedule(
+            session, self.config.abort_backoff * session.attempt + self._service(session)
+        )
+
+    def _reset_attempt(self, session: _SimSession) -> None:
+        assert session.current is not None
+        session.body = self._body_factory(session.current.txn)
+        session.pending_op = None
+        session.last_result = None
+        session.begun = False
+        session.held = []
+
+    def _maybe_compact(self) -> None:
+        every = self.config.compact_every
+        if not every:
+            return
+        self._commits_since_compact += 1
+        if self._commits_since_compact >= every:
+            self._commits_since_compact = 0
+            self.engine.compact()
+
+
+def simulate_workload(
+    workload: Workload,
+    allocation: Allocation,
+    config: Optional[SimConfig] = None,
+    repeat: int = 1,
+) -> Tuple[Trace, SimStats]:
+    """Convenience wrapper: replicate, simulate, return trace and stats."""
+    instances, instance_allocation, _ = replicate_workload(
+        workload, allocation, repeat
+    )
+    simulator = DiscreteEventSimulator(instances, instance_allocation, config)
+    trace = simulator.run()
+    return trace, simulator.stats

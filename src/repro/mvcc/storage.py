@@ -6,10 +6,18 @@ conceptual ``op_0``.  Uncommitted writes live in per-transaction write
 buffers (see :mod:`repro.mvcc.engine`), never in the store — the store
 only ever serves committed data, mirroring the paper's assumption that
 only committed versions are readable.
+
+Snapshot reads bisect a parallel commit-sequence index, so a lookup is
+``O(log chain)`` even on hot objects with very long histories — the
+property the discrete-event simulator leans on to push millions of
+operations.  :meth:`VersionedStore.prune` additionally truncates history
+no active snapshot can see (the engine's ``compact()`` drives it), so
+long simulations run in bounded memory.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -35,15 +43,25 @@ class Version:
         return self.commit_seq == 0
 
 
+_INITIAL = Version(0, 0)
+
+
 class VersionedStore:
     """Committed version chains for all objects, in commit order."""
 
     def __init__(self) -> None:
         self._chains: Dict[str, List[Version]] = {}
+        #: Parallel per-object list of commit seqs, kept sorted for bisect.
+        self._seqs: Dict[str, List[int]] = {}
 
     def chain(self, obj: str) -> List[Version]:
-        """The committed versions of ``obj``, oldest first (initial included)."""
-        return [Version(0, 0)] + self._chains.get(obj, [])
+        """The committed versions of ``obj``, oldest first (initial included).
+
+        After :meth:`prune` the oldest retained committed version stands
+        in for everything truncated before it; the conceptual initial
+        version is still reported first.
+        """
+        return [_INITIAL] + self._chains.get(obj, [])
 
     def install(self, obj: str, writer_tid: int, commit_seq: int, value: object) -> None:
         """Install a committed version of ``obj``.
@@ -52,12 +70,14 @@ class VersionedStore:
         assigns monotone commit sequence numbers).
         """
         chain = self._chains.setdefault(obj, [])
+        seqs = self._seqs.setdefault(obj, [])
         if chain and chain[-1].commit_seq >= commit_seq:
             raise ValueError(
                 f"version of {obj!r} installed out of commit order "
                 f"({commit_seq} after {chain[-1].commit_seq})"
             )
         chain.append(Version(writer_tid, commit_seq, value))
+        seqs.append(commit_seq)
 
     def latest_committed(self, obj: str, as_of_seq: Optional[int] = None) -> Version:
         """The most recent version of ``obj`` visible at ``as_of_seq``.
@@ -66,17 +86,42 @@ class VersionedStore:
         otherwise versions with ``commit_seq > as_of_seq`` are invisible.
         Falls back to the initial version when nothing qualifies.
         """
-        best = Version(0, 0)
-        for version in self._chains.get(obj, ()):
-            if as_of_seq is not None and version.commit_seq > as_of_seq:
-                break
-            best = version
-        return best
+        chain = self._chains.get(obj)
+        if not chain:
+            return _INITIAL
+        if as_of_seq is None:
+            return chain[-1]
+        index = bisect_right(self._seqs[obj], as_of_seq) - 1
+        if index < 0:
+            return _INITIAL
+        return chain[index]
 
     def has_newer_than(self, obj: str, seq: int) -> bool:
         """Whether a version of ``obj`` committed after sequence ``seq``."""
         chain = self._chains.get(obj)
         return bool(chain) and chain[-1].commit_seq > seq
+
+    def prune(self, min_seq: int) -> int:
+        """Drop history invisible to every snapshot at or after ``min_seq``.
+
+        For each chain, versions strictly older than the newest version
+        with ``commit_seq <= min_seq`` are discarded — any read with
+        ``as_of_seq >= min_seq`` resolves to that newest version or a
+        later one, so the truncated prefix is unreachable.  Returns the
+        number of versions discarded.
+        """
+        dropped = 0
+        for obj, seqs in self._seqs.items():
+            cut = bisect_right(seqs, min_seq) - 1
+            if cut > 0:
+                del self._chains[obj][:cut]
+                del seqs[:cut]
+                dropped += cut
+        return dropped
+
+    def version_count(self) -> int:
+        """Committed (non-initial) versions currently retained."""
+        return sum(len(chain) for chain in self._chains.values())
 
     def objects(self) -> List[str]:
         """All objects with at least one non-initial committed version."""

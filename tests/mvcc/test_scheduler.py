@@ -5,6 +5,7 @@ import pytest
 from repro.core.isolation import Allocation
 from repro.core.workload import workload
 from repro.mvcc import InterleavingScheduler, run_workload
+from repro.mvcc.trace import EVENT_KINDS_V1
 
 
 class TestBasicExecution:
@@ -89,3 +90,153 @@ class TestSessionDealing:
         wl = workload("R1[a]")
         trace, stats = run_workload(wl, Allocation.rc(wl), sessions=4, seed=0)
         assert stats.commits == 1
+
+
+class TestRetryAccounting:
+    def test_give_up_does_not_count_as_retry(self):
+        """Regression: a max-attempts give-up is not a retry.
+
+        ``retries`` counts attempts actually restarted.  The overcount
+        bug incremented the counter before the budget check, so the
+        raising give-up inflated it by one.
+        """
+        wl = workload("R1[hot] W1[hot]", "R2[hot] W2[hot]")
+        scheduler = InterleavingScheduler(
+            wl, Allocation.si(wl), seed=0, max_attempts=1
+        )
+        with pytest.raises(RuntimeError, match="attempts"):
+            scheduler.run()
+        assert scheduler.stats.total_aborts >= 1  # the abort did happen
+        assert scheduler.stats.retries == 0  # ... but nothing restarted
+
+    def test_retries_match_aborts_on_completed_runs(self):
+        """On a run that finishes, every abort was followed by a retry."""
+        wl = workload(*[f"R{i}[hot] W{i}[hot]" for i in range(1, 6)])
+        _, stats = run_workload(wl, Allocation.si(wl), seed=4)
+        assert stats.total_aborts > 0
+        assert stats.retries == stats.total_aborts
+
+
+class TestDeadlockVictims:
+    @staticmethod
+    def _blocked_pair():
+        """A scheduler with a genuine T2/T3 wait cycle and T1 idle.
+
+        T1 (session 0) never steps; sessions 1 and 2 are stepped into a
+        classic opposite-order intent deadlock.
+        """
+        wl = workload("W1[z] W1[q]", "W2[a] W2[b]", "W3[b] W3[a]")
+        scheduler = InterleavingScheduler(wl, Allocation.rc(wl), seed=None)
+        s0, s1, s2 = scheduler._sessions
+        scheduler._step(s1)  # T2: W[a]
+        scheduler._step(s2)  # T3: W[b]
+        scheduler._step(s1)  # T2: W[b] -> blocks on T3
+        scheduler._step(s2)  # T3: W[a] -> blocks on T2
+        assert s1.waiting_for is not None and s2.waiting_for is not None
+        return scheduler, s0, s1, s2
+
+    def test_victim_restricted_to_cycle_members(self):
+        """Regression: a stale wait-for edge must not widen the victim pool.
+
+        Session 0 carries a fabricated ``waiting_for`` pointer at an
+        engine tid nobody owns (the state a session is left in after its
+        blocker retired).  The pre-fix fallback picked the deadlock
+        victim among *all* waiting sessions — with the fairness key
+        ``(attempt, session_id)`` that would victimize the innocent
+        session 0.  The fix restricts the choice to actual cycle
+        members.
+        """
+        scheduler, s0, s1, s2 = self._blocked_pair()
+        s0.waiting_for = 999_999  # stale: no session owns this tid
+        s0.blocked_obj = "z"
+
+        scheduler._break_deadlock()
+
+        assert s0.attempt == 0 and s0.waiting_for == 999_999  # untouched
+        assert scheduler.stats.aborts == {"deadlock": 1}
+        # The victim is the (attempt, session_id)-minimal cycle member.
+        assert s1.attempt == 1
+        assert s2.attempt == 0
+
+    def test_all_stale_pointers_cleared_without_abort(self):
+        """With no cycle at all, stale waiters become runnable again."""
+        wl = workload("R1[x]")
+        scheduler = InterleavingScheduler(wl, Allocation.rc(wl), seed=None)
+        (s0,) = scheduler._sessions
+        s0.waiting_for = 999_999
+        s0.blocked_obj = "x"
+
+        scheduler._break_deadlock()
+
+        assert s0.waiting_for is None and s0.blocked_obj is None
+        assert scheduler.stats.aborts == {}
+        scheduler.run()
+        assert scheduler.stats.commits == 1
+        # The fabricated block never reached the trace, so no unblock
+        # event may appear either.
+        assert all(e.kind != "unblock" for e in scheduler.trace)
+
+
+class TestBlockEvents:
+    def test_block_and_unblock_events_traced(self):
+        wl = workload("W1[a] W1[b]", "W2[b] W2[a]")
+        trace, stats = run_workload(wl, Allocation.rc(wl), seed=None)
+        assert stats.commits == 2
+        blocks = [e for e in trace if e.kind == "block"]
+        unblocks = [e for e in trace if e.kind == "unblock"]
+        assert blocks, str(trace)
+        for event in blocks:
+            assert event.obj is not None  # the contended object
+            assert event.observed is not None  # the intent holder's tid
+        for event in unblocks:
+            assert event.obj is not None and event.observed is None
+        # Every engine-level unblock follows a block on the same object
+        # by the same transaction.
+        seen = set()
+        for event in trace:
+            if event.kind == "block":
+                seen.add((event.tid, event.obj))
+            elif event.kind == "unblock":
+                assert (event.tid, event.obj) in seen
+
+    def test_v1_projection_unchanged_by_block_events(self):
+        """The operation-level trace is byte-identical to the pre-v2 one.
+
+        Golden string captured before block/unblock events existed: the
+        new kinds are purely additive, so filtering them out must
+        reproduce the old trace exactly.
+        """
+        wl = workload("W1[a] W1[b]", "W2[b] W2[a]")
+        trace, _ = run_workload(wl, Allocation.rc(wl), seed=None)
+        filtered = " ".join(
+            str(e) for e in trace if e.kind in EVENT_KINDS_V1
+        )
+        assert filtered == "B1 W1[a] B2 W2[b] A1 W2[a] C2 B1 W1[a] W1[b] C1"
+
+    def test_v1_projection_golden_across_levels(self):
+        """Golden operation traces at RC/SI/SSI (seed 0, pre-v2 capture)."""
+        wl = workload(
+            "R1[x] W1[y]", "R2[y] W2[x]", "R3[x] W3[x]", "R4[x] W4[x]"
+        )
+        golden = {
+            "rc": (
+                "B4 R4[x]<-0 W4[x] B1 R1[x]<-0 B3 R3[x]<-0 C4 B2 R2[y]<-0"
+                " W2[x] C2 W3[x] W1[y] C1 C3"
+            ),
+            "si": (
+                "B4 R4[x]<-0 W4[x] B1 R1[x]<-0 B3 R3[x]<-0 C4 B2 R2[y]<-0"
+                " W2[x] C2 A3 W1[y] C1 B3 R3[x]<-2 W3[x] C3"
+            ),
+            "ssi": (
+                "B4 R4[x]<-0 W4[x] B1 R1[x]<-0 B3 R3[x]<-0 C4 B2 R2[y]<-0"
+                " W2[x] C2 A3 W1[y] A1 B3 R3[x]<-2 B1 R1[x]<-2 W1[y] W3[x]"
+                " C1 C3"
+            ),
+        }
+        for level, expected in golden.items():
+            alloc = getattr(Allocation, level)(wl)
+            trace, _ = run_workload(wl, alloc, seed=0)
+            filtered = " ".join(
+                str(e) for e in trace if e.kind in EVENT_KINDS_V1
+            )
+            assert filtered == expected, level

@@ -57,6 +57,7 @@ def test_required_docs_exist_and_are_linked_from_readme():
         "docs/architecture.md",
         "docs/benchmarks.md",
         "docs/service.md",
+        "docs/simulation.md",
         "docs/usage.md",
     ):
         assert (REPO_ROOT / doc).exists(), f"{doc} is missing"
