@@ -5,8 +5,12 @@ minus sockets, so the numbers measure allocation maintenance and the
 command layer, not TCP) through add/remove churn scripts and measures:
 
 * ``churn_throughput`` — mutations per second at growing steady-state
-  sizes, the committed regression series (rows keyed by
-  ``transactions``, exported into BENCH_robustness.json);
+  sizes through batched (coalesced) envelopes, the committed regression
+  series (rows keyed by ``transactions``, exported into
+  BENCH_robustness.json);
+* ``plan_maintenance`` — per-mutation dynamic shard-plan upkeep
+  (:class:`repro.core.sharding.DynamicShardPlan` remove/add cycles),
+  which must stay flat/sub-linear while ``|T|`` grows;
 * warm vs cold restart — resuming from a snapshot against replaying the
   whole history, the number the SERVE section of EXPERIMENTS.md quotes;
 * a SERVE table of checks per mutation at each size (the per-shard
@@ -21,15 +25,26 @@ import time
 import pytest
 
 from conftest import print_table
+from repro.core.sharding import DynamicShardPlan
+from repro.core.workload import Workload
 from repro.service import ServiceConfig, ServiceCore
 from repro.service.snapshot import read_snapshot, write_snapshot
 from repro.workloads.generator import clustered_workload
 
 #: Steady-state workload sizes of the churn series (transactions).
-SIZES = (8, 16, 32)
+SIZES = (8, 16, 32, 64)
 
-#: Mutations per benchmark round: half adds, half remove+re-add pairs.
+#: Mutations per benchmark round: remove+re-add pairs.
 MUTATIONS = 40
+
+#: Mutation envelopes (remove + re-add pairs) coalesced per batch.
+BATCH_PAIRS = 4
+
+#: Workload sizes of the plan-maintenance series (transactions).
+PLAN_SIZES = (16, 32, 64, 128)
+
+#: Plan mutations (remove + re-add pairs) per plan-maintenance round.
+PLAN_MUTATIONS = 32
 
 
 def _script(size: int):
@@ -50,18 +65,34 @@ def _script(size: int):
     return base
 
 
-def _churn(core: ServiceCore, base, mutations: int) -> int:
-    """Run the churn phase; returns the robustness checks spent."""
+def _churn(
+    core: ServiceCore, base, mutations: int, coalesce: bool = True
+) -> int:
+    """Run the churn phase in batched envelopes; returns the checks spent.
+
+    Each envelope groups :data:`BATCH_PAIRS` remove + re-add pairs into
+    one ``batch`` command — the sustained-churn client shape the
+    service's mutation coalescing is built for (one re-analysis per
+    touched component instead of one per mutation).  ``coalesce=False``
+    forces the sequential per-entry path, which is what the checks-per-
+    mutation report measures (the coalesced path recognizes remove +
+    re-add of an identical transaction as a no-op and spends zero).
+    """
     checks = 0
-    for i in range(mutations):
-        victim = base[i % len(base)]
-        response = core.handle({"op": "remove", "tid": victim.tid})
-        assert response["ok"], response
-        checks += response["checks"]
+    i = 0
+    while i < mutations:
+        commands = []
+        for _ in range(min(BATCH_PAIRS, mutations - i)):
+            victim = base[i % len(base)]
+            commands.append({"op": "remove", "tid": victim.tid})
+            commands.append(
+                {"op": "add", "transaction": str(victim), "tid": victim.tid}
+            )
+            i += 1
         response = core.handle(
-            {"op": "add", "transaction": str(victim), "tid": victim.tid}
+            {"op": "batch", "commands": commands, "coalesce": coalesce}
         )
-        assert response["ok"] and response["admitted"], response
+        assert response["ok"] and response["failed"] == 0, response
         checks += response["checks"]
     return checks
 
@@ -89,6 +120,36 @@ def test_churn_throughput(benchmark, size):
     benchmark.extra_info["checks_per_mutation"] = round(
         checks / (2 * MUTATIONS), 2
     )
+
+
+@pytest.mark.parametrize("size", PLAN_SIZES)
+def test_plan_maintenance(benchmark, size):
+    """Per-mutation shard-plan upkeep is flat/sub-linear in ``|T|``.
+
+    Cycles remove + re-add through a :class:`DynamicShardPlan` (with a
+    canonical-view refresh per mutation, exactly what the manager's
+    freeze path costs) — the row's per-mutation time must not grow with
+    the workload size, unlike a fresh ``ShardPlan(workload)`` per
+    mutation whose union-find is O(total ops).
+    """
+    base = _script(size)
+    workload = Workload(base)
+
+    def build_plan():
+        return (DynamicShardPlan(workload),), {}
+
+    def cycle(plan):
+        for k in range(PLAN_MUTATIONS):
+            victim = base[k % len(base)]
+            plan.remove(victim.tid)
+            plan.shards
+            plan.add(victim)
+            plan.shards
+        return len(plan)
+
+    benchmark.pedantic(cycle, setup=build_plan, rounds=5, iterations=1)
+    benchmark.extra_info["transactions"] = size
+    benchmark.extra_info["mutations"] = 2 * PLAN_MUTATIONS
 
 
 def test_warm_vs_cold_restart(benchmark, tmp_path, capsys):
@@ -160,7 +221,7 @@ def test_churn_report(benchmark, capsys):
                 core.handle(
                     {"op": "add", "transaction": str(txn), "tid": txn.tid}
                 )
-            checks = _churn(core, base, MUTATIONS)
+            checks = _churn(core, base, MUTATIONS, coalesce=False)
             shards = core.handle({"op": "status"})["shards"]
             rows.append(
                 (

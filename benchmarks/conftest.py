@@ -60,6 +60,7 @@ def _distil(benchmarks):
     alloc_scaling = []
     refinement = []
     churn = []
+    plan_maintenance = []
     contention_sweep = []
     for meta in benchmarks:
         mean_s, min_s, rounds = _stat_seconds(meta)
@@ -119,8 +120,19 @@ def _distil(benchmarks):
                     "rounds": rounds,
                 }
             )
+        elif name.startswith("test_plan_maintenance"):
+            plan_maintenance.append(
+                {
+                    "transactions": extra.get("transactions"),
+                    "mutations": extra.get("mutations"),
+                    "mean_s": mean_s,
+                    "min_s": min_s,
+                    "rounds": rounds,
+                }
+            )
     scaling.sort(key=lambda r: r["transactions"] or 0)
     churn.sort(key=lambda r: r["transactions"] or 0)
+    plan_maintenance.sort(key=lambda r: r["transactions"] or 0)
     shard_scaling.sort(key=lambda r: r["transactions"] or 0)
     alloc_scaling.sort(key=lambda r: r["transactions"] or 0)
     refinement.sort(key=lambda r: r["mode"] or "")
@@ -139,6 +151,7 @@ def _distil(benchmarks):
         "algorithm2_scaling": alloc_scaling,
         "refinement_mode": refinement,
         "churn_throughput": churn,
+        "plan_maintenance": plan_maintenance,
         "contention_sweep": contention_sweep,
     }
 

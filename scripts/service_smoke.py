@@ -103,9 +103,10 @@ def main() -> int:
         hello = client.call("hello")
         assert hello["protocol"] == 1, hello
 
-        # -- stage 2: 200-mutation churn ------------------------------
+        # -- stage 2: 200-mutation churn (batched envelopes) ----------
         mutations = 0
         checks = 0
+        coalesced = 0
         for txn in base:
             response = client.call("add", transaction=str(txn), tid=txn.tid)
             assert response["admitted"], response
@@ -113,26 +114,34 @@ def main() -> int:
             checks += response["checks"]
         i = 0
         while mutations < MUTATIONS:
-            victim = base[i % len(base)]
-            removal = client.call("remove", tid=victim.tid)
-            checks += removal["checks"]
-            arrival = client.call(
-                "add", transaction=str(victim), tid=victim.tid
-            )
-            assert arrival["admitted"], arrival
-            checks += arrival["checks"]
-            mutations += 2
-            i += 1
-            if i % 10 == 0:  # periodic robustness probe of the optimum
+            commands = []
+            for _ in range(4):  # 4 remove/re-add pairs per envelope
+                victim = base[i % len(base)]
+                commands.append({"op": "remove", "tid": victim.tid})
+                commands.append(
+                    {"op": "add", "transaction": str(victim), "tid": victim.tid}
+                )
+                i += 1
+            batch = client.call("batch", commands=commands)
+            assert batch["failed"] == 0, batch
+            for entry in batch["results"]:
+                if entry["op"] == "add":
+                    assert entry["admitted"], entry
+            checks += batch["checks"]
+            coalesced += batch["coalesced"]
+            mutations += len(commands)
+            if i % 12 == 0:  # periodic robustness probe of the optimum
                 probe = client.call(
                     "check", allocation=client.call("allocate")["allocation"]
                 )
                 assert probe["robust"], probe
         status = client.call("status")
         assert status["mutations"] >= MUTATIONS, status
+        assert coalesced > 0, "batched churn must exercise coalescing"
         per_mutation = checks / mutations
         print(
-            f"[smoke] {mutations} mutations sustained,"
+            f"[smoke] {mutations} mutations sustained"
+            f" ({coalesced} coalesced),"
             f" {checks} robustness checks ({per_mutation:.2f}/mutation),"
             f" {status['shards']} shards"
         )

@@ -26,10 +26,15 @@ conflict graph, and a single add/remove only reshapes the components that
 touch the mutated transaction.  :class:`AllocationManager` therefore keeps
 one :class:`~repro.core.context.AnalysisContext` *per component*, carries
 untouched components' contexts (conflict indexes, kernels, witness
-caches) across mutations verbatim, and re-analyzes only the merged or
-split components — churn cost tracks the largest affected component, not
-``|T|``.  Witness chains from retired contexts are adopted by their
-successors after pruning chains that reference removed transactions
+caches) *and sub-workloads* across mutations verbatim, and re-analyzes
+only the merged or split components — churn cost tracks the largest
+affected component, not ``|T|``.  The partition itself is maintained
+incrementally by a :class:`~repro.core.sharding.DynamicShardPlan` (no
+per-mutation union-find over the whole workload), and
+:meth:`AllocationManager.apply_batch` coalesces a batch of mutations
+into **one** floors-aware re-analysis per touched component.  Witness
+chains from retired contexts are adopted by their successors after
+pruning chains that reference removed transactions
 (:meth:`~repro.core.context.AnalysisContext.adopt_witnesses`), so a
 warm start can never act on a chain naming a transaction that is gone.
 
@@ -42,16 +47,19 @@ estimates), and untouched components contribute exactly zero.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..observability import current_tracer
 from .allocation import _robust_with_warm_start, refine_allocation
 from .context import AnalysisContext, ContextStats
 from .isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
 from .robustness import Counterexample, check_robustness
-from .sharding import ShardedContext, same_shard
+from .sharding import DynamicShardPlan, ShardedContext, same_shard
 from .transactions import Transaction
 from .workload import Workload, WorkloadError, parse_workload as _parse_workload_text
+
+#: One batch entry: ``("add", Transaction)`` or ``("remove", tid)``.
+BatchMutation = Tuple[str, Union[Transaction, int]]
 
 
 class AllocationManager:
@@ -98,8 +106,16 @@ class AllocationManager:
         self._allocation = Allocation({})
         self._sctx: Optional[ShardedContext] = None
         self._shard_contexts: Dict[Tuple[int, ...], AnalysisContext] = {}
+        self._shard_workloads: Dict[Tuple[int, ...], Workload] = {}
         self._last_stats = ContextStats()
         self._last_check_count = 0
+        self._plan = DynamicShardPlan(stats=self._last_stats)
+        self._plan_totals: Dict[str, int] = {
+            "plan_builds": 0,
+            "plan_merges": 0,
+            "plan_splits": 0,
+            "plan_reuse": 0,
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -146,111 +162,143 @@ class AllocationManager:
         """
         return self._last_stats
 
+    @property
+    def plan_stats(self) -> Dict[str, int]:
+        """Cumulative shard-plan maintenance counters over the manager's life.
+
+        Per-mutation values live on :attr:`last_stats`
+        (``plan_merges``, ``plan_splits``, ``plan_reuse``,
+        ``plan_builds``); this dict is their running total — the
+        service's ``/metrics`` gauges.
+        """
+        return dict(self._plan_totals)
+
     # ------------------------------------------------------------------
-    def _replan(
-        self, workload: Workload
+    def _begin_mutation(self) -> ContextStats:
+        """A fresh stats object, bound to the plan for this mutation."""
+        stats = ContextStats()
+        self._plan.stats = stats
+        return stats
+
+    def _rebuild_context(
+        self, stats: ContextStats, dirty: Set[int]
     ) -> Tuple[
+        Workload,
         ShardedContext,
-        ContextStats,
         Dict[Tuple[int, ...], AnalysisContext],
+        Dict[Tuple[int, ...], Workload],
         List[int],
     ]:
-        """A sharded context for ``workload``, reusing untouched shards.
+        """A sharded context over the maintained plan, reusing what stands.
 
-        Returns the context, the mutation's fresh stats object (bound to
-        every shard context built from here on), the successor shard-map,
-        and the indexes of shards that need a fresh context — exactly the
-        components the mutation merged, split, or created.
+        ``dirty`` is the set of transaction ids whose component
+        assignment (or content) the mutation may have changed: newly
+        added transactions plus the survivors of every removal-hit
+        component.  Shards disjoint from ``dirty`` carry their
+        sub-workload *and* context over by identity — O(1) per shard,
+        no dict compares, no conflict-index rebuilds.  Shards touching
+        ``dirty`` come back in ``fresh`` and get new contexts seeded
+        with every overlapping retired context's witness cache
+        (:meth:`~repro.core.context.AnalysisContext.adopt_witnesses`
+        prunes chains referencing transactions no longer present, so
+        warm starts never trust a chain naming a removed transaction).
         """
-        stats = ContextStats()
-        sctx = ShardedContext(workload, stats=stats)
+        workload = Workload(self._transactions.values())
+        sctx = ShardedContext(workload, stats=stats, plan=self._plan.freeze())
         new_map: Dict[Tuple[int, ...], AnalysisContext] = {}
+        new_workloads: Dict[Tuple[int, ...], Workload] = {}
         fresh: List[int] = []
         for index, shard in enumerate(sctx.plan.shards):
+            carried_wl = self._shard_workloads.get(shard)
             old_ctx = self._shard_contexts.get(shard)
-            if old_ctx is not None and old_ctx.matches(
-                sctx.shard_workload(index)
+            if carried_wl is not None and old_ctx is not None and (
+                old_ctx.workload is carried_wl
             ):
-                sctx.adopt_context(index, old_ctx)
-                new_map[shard] = old_ctx
-            else:
-                fresh.append(index)
-        return sctx, stats, new_map, fresh
-
-    def _build_fresh(
-        self,
-        sctx: ShardedContext,
-        new_map: Dict[Tuple[int, ...], AnalysisContext],
-        fresh: List[int],
-    ) -> None:
-        """Build the touched shards' contexts, carrying witnesses over.
-
-        Every retired context that overlaps a fresh shard donates its
-        witness cache; :meth:`~repro.core.context.AnalysisContext.\
-adopt_witnesses` prunes chains referencing transactions no longer
-        present (or re-added with different operations), so warm starts
-        never trust a chain naming a removed transaction.
-        """
+                if dirty.isdisjoint(shard):
+                    sctx.adopt_workload(index, carried_wl)
+                    sctx.adopt_context(index, old_ctx)
+                    new_map[shard] = old_ctx
+                    new_workloads[shard] = carried_wl
+                    continue
+                # A dirty shard whose members AND operations ended up
+                # unchanged (e.g. a batch removed and re-added the same
+                # transaction) keeps its optimum — carry by content.
+                if carried_wl == sctx.shard_workload(index):
+                    sctx.adopt_workload(index, carried_wl)
+                    sctx.adopt_context(index, old_ctx)
+                    new_map[shard] = old_ctx
+                    new_workloads[shard] = carried_wl
+                    continue
+            fresh.append(index)
         for index in fresh:
             ctx = sctx.shard_context(index)
             members = set(sctx.plan.shards[index])
             for key, old_ctx in self._shard_contexts.items():
-                if members & set(key):
+                if not members.isdisjoint(key):
                     ctx.adopt_witnesses(old_ctx.witnesses)
             new_map[sctx.plan.shards[index]] = ctx
+            new_workloads[sctx.plan.shards[index]] = sctx.shard_workload(index)
+        return workload, sctx, new_map, new_workloads, fresh
 
     def _finish(
         self,
         sctx: ShardedContext,
         stats: ContextStats,
         new_map: Dict[Tuple[int, ...], AnalysisContext],
+        new_workloads: Dict[Tuple[int, ...], Workload],
         allocation: Allocation,
     ) -> None:
         """Commit a mutation's context, stats and allocation."""
         self._allocation = allocation
         self._sctx = sctx
         self._shard_contexts = new_map
+        self._shard_workloads = new_workloads
         self._last_stats = stats
         self._last_check_count = stats.checks
+        for name in self._plan_totals:
+            self._plan_totals[name] += getattr(stats, name)
 
     def add(self, transaction: Transaction) -> Allocation:
         """Add a transaction; returns the new optimal allocation.
 
-        Only the conflict component absorbing the newcomer (the merge of
-        every old component it conflicts with) is re-analyzed; all other
-        components keep their contexts and their levels untouched.
-        Within the touched component the warm start is the same as ever:
-        if the old levels still suffice with the newcomer at the top
-        level, only the newcomer is refined; otherwise the component's
-        refinement reruns with each old transaction's search floored at
-        its previous optimal level (pointwise monotonicity).
-        Counterexamples discovered along the way are cached on the
-        component's context and revalidated against later candidates
-        before any full search.
+        The shard plan absorbs the newcomer incrementally — only the
+        components reachable from its objects are merged, in
+        ``O(ops of transaction)`` — and only the resulting component is
+        re-analyzed; all other components keep their sub-workloads,
+        contexts and levels untouched.  Within the touched component the
+        warm start is the same as ever: if the old levels still suffice
+        with the newcomer at the top level, only the newcomer is
+        refined; otherwise the component's refinement reruns with each
+        old transaction's search floored at its previous optimal level
+        (pointwise monotonicity).  Counterexamples discovered along the
+        way are cached on the component's context and revalidated
+        against later candidates before any full search.
         """
         if transaction.tid in self._transactions:
             raise WorkloadError(f"transaction {transaction.tid} already present")
+        stats = self._begin_mutation()
         self._transactions[transaction.tid] = transaction
+        self._plan.add(transaction)
         with current_tracer().span(
             "incremental.add", tid=transaction.tid, size=len(self._transactions)
         ) as add_span:
-            allocation = self._add(transaction)
+            allocation = self._add(transaction, stats)
             add_span.set(
                 checks=self._last_check_count,
                 shards=len(self._sctx.plan),
                 touched=len(self._sctx.plan.shards[
-                    self._sctx.plan.shard_of[transaction.tid]
+                    self._plan.shard_index(transaction.tid)
                 ]),
             )
         return allocation
 
-    def _add(self, transaction: Transaction) -> Allocation:
+    def _add(self, transaction: Transaction, stats: ContextStats) -> Allocation:
         """The :meth:`add` refinement body (spanned by the wrapper)."""
-        workload = self.workload
-        sctx, stats, new_map, fresh = self._replan(workload)
-        touched = sctx.plan.shard_of[transaction.tid]
+        workload, sctx, new_map, new_workloads, fresh = self._rebuild_context(
+            stats, {transaction.tid}
+        )
+        touched = self._plan.shard_index(transaction.tid)
         assert fresh == [touched], "add must touch exactly the merged shard"
-        self._build_fresh(sctx, new_map, fresh)
         ctx = sctx.shard_context(touched)
         shard = sctx.plan.shards[touched]
         sub_workload = sctx.shard_workload(touched)
@@ -291,28 +339,33 @@ adopt_witnesses` prunes chains referencing transactions no longer
         levels = {tid: old[tid] for tid in workload.tids if tid in old}
         for tid in shard:
             levels[tid] = current[tid]
-        self._finish(sctx, stats, new_map, Allocation(levels))
+        self._finish(sctx, stats, new_map, new_workloads, Allocation(levels))
         return self._allocation
 
     def remove(self, tid: int) -> Allocation:
         """Remove a transaction; returns the new optimal allocation.
 
         Removal preserves robustness, so the remaining levels are still
-        robust — but possibly no longer minimal.  Only the fragments of
-        the removed transaction's old component are refined (downward,
-        from their previous levels); every other component's optimum is
-        untouched by construction, so its context and levels carry over
-        with zero work.
+        robust — but possibly no longer minimal.  The plan re-checks
+        connectivity only over the departed component's survivors (a
+        singleton or leaf departure skips even that), and only the
+        resulting fragments are refined (downward, from their previous
+        levels); every other component's optimum is untouched by
+        construction, so its sub-workload, context and levels carry
+        over with zero work — a departing singleton costs no robustness
+        check and no conflict-index build at all.
         """
         if tid not in self._transactions:
             raise WorkloadError(f"no transaction with id {tid}")
+        stats = self._begin_mutation()
         del self._transactions[tid]
+        survivors = self._plan.remove(tid)
         with current_tracer().span(
             "incremental.remove", tid=tid, size=len(self._transactions)
         ) as remove_span:
-            workload = self.workload
-            sctx, stats, new_map, fresh = self._replan(workload)
-            self._build_fresh(sctx, new_map, fresh)
+            workload, sctx, new_map, new_workloads, fresh = (
+                self._rebuild_context(stats, set(survivors))
+            )
             old = self._allocation
             levels = {t: old[t] for t in workload.tids}
             for index in fresh:
@@ -329,9 +382,148 @@ adopt_witnesses` prunes chains referencing transactions no longer
                 )
                 for t in shard:
                     levels[t] = refined[t]
-            self._finish(sctx, stats, new_map, Allocation(levels))
+            self._finish(sctx, stats, new_map, new_workloads, Allocation(levels))
             remove_span.set(
                 checks=self._last_check_count, shards=len(sctx.plan)
+            )
+        return self._allocation
+
+    def apply_batch(self, mutations: Iterable[BatchMutation]) -> Allocation:
+        """Apply a batch of mutations with one re-analysis per touched shard.
+
+        ``mutations`` is an ordered sequence of ``("add", Transaction)``
+        / ``("remove", tid)`` entries.  The whole batch is validated
+        first (a duplicate add or a remove of an absent tid raises
+        :class:`~repro.core.workload.WorkloadError` *before* any state
+        changes), then every plan update is applied, and finally each
+        touched component is re-analyzed **once** against the coalesced
+        membership instead of once per mutation:
+
+        * a component that only absorbed newcomers starts from the old
+          levels with the newcomers at the top, floored at the old
+          optimum (pointwise monotonicity — valid because none of its
+          prior members departed);
+        * a component that only lost members starts from the old levels
+          (robust by removal monotonicity) and refines downward;
+        * a component that both gained and lost members warm-starts
+          from the old-levels-plus-newcomers candidate when that is
+          robust, and from uniform top otherwise (no floors — removals
+          may have freed capacity below the old optimum).
+
+        Because the optimum is unique (Proposition 4.2) the resulting
+        allocation is bit-identical to applying the same mutations one
+        at a time — pinned by the stateful equivalence suite — while
+        the delta-restricted analysis cost amortizes across the batch.
+        Returns the new optimal allocation.
+        """
+        ops: List[BatchMutation] = []
+        present = set(self._transactions)
+        for entry in mutations:
+            kind, value = entry
+            if kind == "add":
+                if not isinstance(value, Transaction):
+                    raise WorkloadError('batch "add" takes a Transaction')
+                if value.tid in present:
+                    raise WorkloadError(
+                        f"transaction {value.tid} already present"
+                    )
+                present.add(value.tid)
+            elif kind == "remove":
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise WorkloadError('batch "remove" takes a transaction id')
+                if value not in present:
+                    raise WorkloadError(f"no transaction with id {value}")
+                present.discard(value)
+            else:
+                raise WorkloadError(f"unknown batch mutation kind {kind!r}")
+            ops.append((kind, value))
+        if not ops:
+            return self._allocation
+        stats = self._begin_mutation()
+        with current_tracer().span(
+            "incremental.batch", mutations=len(ops)
+        ) as batch_span:
+            dirty: Set[int] = set()
+            newcomers: Set[int] = set()
+            removal_hit: Set[int] = set()
+            for kind, value in ops:
+                if kind == "add":
+                    txn = value  # type: ignore[assignment]
+                    self._transactions[txn.tid] = txn
+                    self._plan.add(txn)
+                    dirty.add(txn.tid)
+                    newcomers.add(txn.tid)
+                else:
+                    tid = value  # type: ignore[assignment]
+                    del self._transactions[tid]
+                    survivors = self._plan.remove(tid)
+                    dirty.update(survivors)
+                    removal_hit.update(survivors)
+                    dirty.discard(tid)
+                    newcomers.discard(tid)
+            dirty &= set(self._transactions)
+            removal_hit &= set(self._transactions)
+            workload, sctx, new_map, new_workloads, fresh = (
+                self._rebuild_context(stats, dirty)
+            )
+            old = self._allocation
+            top = self._levels[-1]
+            levels = {t: old[t] for t in workload.tids if t in old}
+            for index in fresh:
+                shard = sctx.plan.shards[index]
+                sub_workload = sctx.shard_workload(index)
+                ctx = sctx.shard_context(index)
+                shard_new = [t for t in shard if t in newcomers]
+                survivors_old = {
+                    t: old[t] for t in shard if t not in newcomers
+                }
+                candidate = Allocation(
+                    {**survivors_old, **{t: top for t in shard_new}}
+                )
+                if not shard_new:
+                    # Pure shrinkage: the old levels are a robust start.
+                    refined = refine_allocation(
+                        sub_workload,
+                        candidate,
+                        self._levels,
+                        method=self._method,
+                        context=ctx,
+                        n_jobs=self._n_jobs,
+                    )
+                else:
+                    floors = None
+                    if not any(t in removal_hit for t in shard):
+                        # Growth only: nobody departed, so the old
+                        # optimum floors the survivors (monotonicity).
+                        floors = dict(survivors_old)
+                        for t in shard_new:
+                            floors[t] = self._levels[0]
+                    if _robust_with_warm_start(
+                        sub_workload,
+                        candidate,
+                        self._method,
+                        ctx,
+                        n_jobs=self._n_jobs,
+                    ):
+                        start = candidate
+                    else:
+                        start = Allocation.uniform(sub_workload, top)
+                    refined = refine_allocation(
+                        sub_workload,
+                        start,
+                        self._levels,
+                        method=self._method,
+                        context=ctx,
+                        n_jobs=self._n_jobs,
+                        floors=floors,
+                    )
+                for t in shard:
+                    levels[t] = refined[t]
+            self._finish(sctx, stats, new_map, new_workloads, Allocation(levels))
+            batch_span.set(
+                checks=self._last_check_count,
+                shards=len(sctx.plan),
+                touched=len(fresh),
             )
         return self._allocation
 
@@ -345,9 +537,11 @@ adopt_witnesses` prunes chains referencing transactions no longer
 
         Captures everything needed to resume allocation maintenance
         after a restart *warm*: the workload (text format), the current
-        optimal allocation, the class of levels, the engine method, and
-        every shard context's witness cache (chains in MRU order, so a
-        restored manager probes the most recently useful chain first).
+        optimal allocation, the class of levels, the engine method, the
+        shard plan (so a restore resumes the dynamic partition without a
+        full union-find build), and every shard context's witness cache
+        (chains in MRU order, so a restored manager probes the most
+        recently useful chain first).
         Pure data — no pickled objects — so snapshots survive version
         skew and can be inspected with any JSON tool.
         """
@@ -370,6 +564,7 @@ adopt_witnesses` prunes chains referencing transactions no longer
                 str(tid): level.name for tid, level in self._allocation.items()
             },
             "witnesses": witnesses,
+            "plan": [list(shard) for shard in self._plan.shards],
         }
 
     @classmethod
@@ -435,13 +630,29 @@ adopt_witnesses` prunes chains referencing transactions no longer
                 continue  # stale or corrupt chain: drop, never trust
         manager._transactions = {txn.tid: txn for txn in workload}
         stats = ContextStats()
-        sctx = ShardedContext(manager.workload, stats=stats)
+        plan: Optional[DynamicShardPlan] = None
+        persisted = state.get("plan")
+        if isinstance(persisted, list):
+            try:
+                plan = DynamicShardPlan.from_partition(
+                    workload,
+                    [tuple(int(t) for t in comp) for comp in persisted],
+                    stats=stats,
+                )
+            except (WorkloadError, TypeError, ValueError):
+                plan = None  # stale or corrupt partition: rebuild, never trust
+        if plan is None:
+            plan = DynamicShardPlan(workload, stats=stats)
+        manager._plan = plan
+        sctx = ShardedContext(manager.workload, stats=stats, plan=plan.freeze())
         new_map: Dict[Tuple[int, ...], AnalysisContext] = {}
+        new_workloads: Dict[Tuple[int, ...], Workload] = {}
         for index, shard in enumerate(sctx.plan.shards):
             ctx = sctx.shard_context(index)
             ctx.adopt_witnesses(specs)
             new_map[shard] = ctx
-        manager._finish(sctx, stats, new_map, allocation)
+            new_workloads[shard] = sctx.shard_workload(index)
+        manager._finish(sctx, stats, new_map, new_workloads, allocation)
         if verify and not manager.check(allocation):
             raise WorkloadError(
                 "state allocation is not robust for the state workload;"
@@ -460,7 +671,9 @@ adopt_witnesses` prunes chains referencing transactions no longer
         workload = self.workload
         sctx = self._sctx
         if sctx is None or not sctx.matches(workload):
-            sctx = ShardedContext(workload, stats=self._last_stats)
+            sctx = ShardedContext(
+                workload, stats=self._last_stats, plan=self._plan.freeze()
+            )
             self._sctx = sctx
         return check_robustness(
             workload,

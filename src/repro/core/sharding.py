@@ -48,6 +48,7 @@ from .kernel import UnionFind
 from .workload import Workload, WorkloadError
 
 __all__ = [
+    "DynamicShardPlan",
     "ShardPlan",
     "ShardedContext",
     "check_robustness_sharded",
@@ -127,16 +128,43 @@ class ShardPlan:
     Attributes:
         shards: the components, ordered by smallest transaction id,
             members ascending.
-        shard_of: transaction id -> shard index.
+        shard_of: transaction id -> shard index (built lazily — the
+            sequential scan and the parallel engine only walk
+            ``shards``, so most plans never pay for the mapping).
     """
 
-    __slots__ = ("shards", "shard_of")
+    __slots__ = ("shards", "_shard_of")
 
     def __init__(self, workload: Workload):
         self.shards = conflict_components(workload)
-        self.shard_of: Dict[int, int] = {
-            tid: i for i, shard in enumerate(self.shards) for tid in shard
-        }
+        self._shard_of: Optional[Dict[int, int]] = None
+
+    @classmethod
+    def from_components(
+        cls, shards: Sequence[Tuple[int, ...]]
+    ) -> "ShardPlan":
+        """A plan over an already-known partition (no union-find).
+
+        The components must be in canonical order — smallest member
+        ascending, members ascending — exactly what
+        :func:`conflict_components` and
+        :meth:`DynamicShardPlan.shards` produce; the caller owns that
+        invariant (it is what makes the frozen plan bit-identical to a
+        fresh ``ShardPlan(workload)``).
+        """
+        plan = cls.__new__(cls)
+        plan.shards = tuple(tuple(shard) for shard in shards)
+        plan._shard_of = None
+        return plan
+
+    @property
+    def shard_of(self) -> Dict[int, int]:
+        """Transaction id -> shard index (built on first access)."""
+        if self._shard_of is None:
+            self._shard_of = {
+                tid: i for i, shard in enumerate(self.shards) for tid in shard
+            }
+        return self._shard_of
 
     @property
     def sizes(self) -> Tuple[int, ...]:
@@ -145,6 +173,342 @@ class ShardPlan:
 
     def __len__(self) -> int:
         return len(self.shards)
+
+
+class DynamicShardPlan:
+    """A mutable component partition maintained incrementally under churn.
+
+    The streaming counterpart of :class:`ShardPlan` (ROADMAP item 2's
+    remaining headroom): instead of re-running the full union-find over
+    *all* transactions on every mutation, the plan keeps a per-object →
+    accessor index and updates only the components reachable from the
+    mutated transaction's objects:
+
+    * :meth:`add` unions the components its objects touch — amortized
+      ``O(ops of txn)``, independent of ``|T|``;
+    * :meth:`remove` unindexes the transaction and re-checks
+      connectivity *only over the departed component's members* (lazy
+      split detection).  A departing singleton, or a transaction with at
+      most one conflict neighbour (a leaf cannot disconnect the rest),
+      short-circuits to ``O(1)``/``O(ops)`` with no recheck at all.
+
+    Equivalence is the contract: after any mutation sequence,
+    :attr:`shards` is identical — order, members, everything — to a
+    fresh ``ShardPlan(workload).shards`` over the same transactions
+    (pinned by ``tests/properties/test_plan_maintenance.py``).  The
+    canonical view is cached per component, so untouched components'
+    member tuples are never rebuilt.
+
+    ``stats`` is a (rebindable) :class:`~repro.core.context.ContextStats`
+    receiving the ``plan_builds`` / ``plan_merges`` / ``plan_splits`` /
+    ``plan_reuse`` counters; the
+    :class:`~repro.core.incremental.AllocationManager` points it at each
+    mutation's fresh stats object so plan work is attributed per
+    mutation.
+    """
+
+    __slots__ = (
+        "stats",
+        "_read_sets",
+        "_write_sets",
+        "_readers",
+        "_writers",
+        "_comp_of",
+        "_members",
+        "_next_comp",
+        "_min_tid",
+        "_member_tuples",
+        "_shards_cache",
+        "_index_cache",
+    )
+
+    def __init__(
+        self,
+        workload: Optional[Workload] = None,
+        stats: Optional[ContextStats] = None,
+    ):
+        self.stats = stats if stats is not None else ContextStats()
+        self._read_sets: Dict[int, frozenset] = {}
+        self._write_sets: Dict[int, frozenset] = {}
+        self._readers: Dict[str, set] = {}
+        self._writers: Dict[str, set] = {}
+        self._comp_of: Dict[int, int] = {}
+        self._members: Dict[int, set] = {}
+        self._next_comp = 0
+        self._min_tid: Dict[int, int] = {}
+        self._member_tuples: Dict[int, Tuple[int, ...]] = {}
+        self._shards_cache: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._index_cache: Optional[Dict[int, int]] = None
+        if workload is not None and len(workload):
+            self._install(workload, conflict_components(workload))
+            self.stats.plan_builds += 1
+
+    @classmethod
+    def from_partition(
+        cls,
+        workload: Workload,
+        components: Sequence[Sequence[int]],
+        stats: Optional[ContextStats] = None,
+    ) -> "DynamicShardPlan":
+        """Resume a plan from a known partition, skipping the union-find.
+
+        Used by snapshot restore: the persisted partition is validated
+        to cover exactly the workload's transaction ids (disjointly) —
+        anything else raises :class:`WorkloadError`, and the caller
+        falls back to a full build.  Counts one ``plan_reuse``, not a
+        ``plan_builds``.
+        """
+        seen: set = set()
+        for component in components:
+            for tid in component:
+                if tid in seen:
+                    raise WorkloadError(
+                        f"persisted shard plan repeats transaction {tid}"
+                    )
+                seen.add(tid)
+        if seen != set(workload.tids):
+            raise WorkloadError(
+                "persisted shard plan does not cover exactly the workload"
+            )
+        plan = cls(stats=stats)
+        plan._install(
+            workload, tuple(tuple(sorted(c)) for c in components)
+        )
+        plan.stats.plan_reuse += 1
+        return plan
+
+    # -- internal construction -----------------------------------------
+    def _install(self, workload: Workload, components) -> None:
+        for txn in workload:
+            self._index_transaction(txn)
+        for component in components:
+            comp = self._next_comp
+            self._next_comp += 1
+            members = set(component)
+            self._members[comp] = members
+            self._min_tid[comp] = min(members)
+            for tid in members:
+                self._comp_of[tid] = comp
+
+    def _index_transaction(self, txn) -> None:
+        tid = txn.tid
+        self._read_sets[tid] = txn.read_set
+        self._write_sets[tid] = txn.write_set
+        for obj in txn.write_set:
+            self._writers.setdefault(obj, set()).add(tid)
+        for obj in txn.read_set:
+            self._readers.setdefault(obj, set()).add(tid)
+
+    def _invalidate(self, *comps: int) -> None:
+        self._shards_cache = None
+        self._index_cache = None
+        for comp in comps:
+            self._member_tuples.pop(comp, None)
+
+    # -- mutations -----------------------------------------------------
+    def add(self, txn) -> Tuple[int, ...]:
+        """Admit ``txn``, merging every component it conflicts into.
+
+        Returns the resulting component's members (ascending).  Cost is
+        ``O(ops of txn)`` plus the size of the merged components —
+        never a function of the workload size.
+        """
+        tid = txn.tid
+        if tid in self._comp_of:
+            raise WorkloadError(f"transaction {tid} already in the shard plan")
+        neighbours: set = set()
+        for obj in txn.write_set:
+            writers = self._writers.get(obj)
+            if writers:
+                # All of the object's accessors already share a component.
+                neighbours.add(self._comp_of[next(iter(writers))])
+            else:
+                # First writer of the object: its readers, previously
+                # unlinked through it, may sit in several components.
+                for other in self._readers.get(obj, ()):
+                    neighbours.add(self._comp_of[other])
+        for obj in txn.read_set:
+            writers = self._writers.get(obj)
+            if writers:
+                neighbours.add(self._comp_of[next(iter(writers))])
+        self._index_transaction(txn)
+        if not neighbours:
+            comp = self._next_comp
+            self._next_comp += 1
+            self._members[comp] = {tid}
+            self._min_tid[comp] = tid
+            self._invalidate()
+        else:
+            comp = max(neighbours, key=lambda c: len(self._members[c]))
+            low = self._min_tid[comp]
+            for other in neighbours:
+                if other == comp:
+                    continue
+                absorbed = self._members.pop(other)
+                low = min(low, self._min_tid.pop(other))
+                for member in absorbed:
+                    self._comp_of[member] = comp
+                self._members[comp].update(absorbed)
+            self._members[comp].add(tid)
+            self._min_tid[comp] = min(low, tid)
+            self._comp_of[tid] = comp
+            self.stats.plan_merges += len(neighbours) - 1
+            self._invalidate(comp, *neighbours)
+            return self._member_tuple(comp)
+        self._comp_of[tid] = comp
+        return (tid,)
+
+    def remove(self, tid: int) -> Tuple[int, ...]:
+        """Retire ``tid``; returns the departed component's survivors.
+
+        The survivors (ascending, possibly empty) are exactly the
+        transactions whose component assignment may have changed — the
+        manager re-analyzes their shards and no others.  Connectivity is
+        re-checked only over those survivors, and only when ``tid`` had
+        two or more distinct conflict neighbours (a singleton or leaf
+        departure cannot disconnect anything — ``plan_reuse``).
+        """
+        comp = self._comp_of.pop(tid, None)
+        if comp is None:
+            raise WorkloadError(f"no transaction {tid} in the shard plan")
+        read_set = self._read_sets.pop(tid)
+        write_set = self._write_sets.pop(tid)
+        for obj in write_set:
+            accessors = self._writers[obj]
+            accessors.discard(tid)
+            if not accessors:
+                del self._writers[obj]
+        for obj in read_set:
+            accessors = self._readers[obj]
+            accessors.discard(tid)
+            if not accessors:
+                del self._readers[obj]
+        members = self._members[comp]
+        members.discard(tid)
+        self._invalidate(comp)
+        if not members:
+            del self._members[comp]
+            del self._min_tid[comp]
+            self.stats.plan_reuse += 1
+            return ()
+        survivors = tuple(sorted(members))
+        if self._conflict_degree_at_most_one(read_set, write_set):
+            # A leaf's departure leaves the rest connected: no recheck.
+            self._min_tid[comp] = survivors[0]
+            self.stats.plan_reuse += 1
+            return survivors
+        pieces = self._split_pieces(members)
+        if len(pieces) == 1:
+            self._min_tid[comp] = survivors[0]
+            return survivors
+        del self._members[comp]
+        del self._min_tid[comp]
+        for piece in pieces:
+            fresh = self._next_comp
+            self._next_comp += 1
+            self._members[fresh] = set(piece)
+            self._min_tid[fresh] = piece[0]
+            self._member_tuples[fresh] = piece
+            for member in piece:
+                self._comp_of[member] = fresh
+        self.stats.plan_splits += len(pieces) - 1
+        return survivors
+
+    def _conflict_degree_at_most_one(self, read_set, write_set) -> bool:
+        """Whether the departed accesses conflicted with at most one tid."""
+        neighbour: Optional[int] = None
+        for obj in write_set:
+            for other in self._writers.get(obj, ()):
+                if neighbour is None:
+                    neighbour = other
+                elif other != neighbour:
+                    return False
+            for other in self._readers.get(obj, ()):
+                if neighbour is None:
+                    neighbour = other
+                elif other != neighbour:
+                    return False
+        for obj in read_set:
+            for other in self._writers.get(obj, ()):
+                if neighbour is None:
+                    neighbour = other
+                elif other != neighbour:
+                    return False
+        return True
+
+    def _split_pieces(self, members: set) -> List[Tuple[int, ...]]:
+        """Connected pieces of the surviving members, localized.
+
+        A union-find over *only* the departed component's survivors and
+        the objects they touch — every accessor of an object written
+        inside the component is itself inside it, so no other
+        component's transactions can be dragged in.
+        """
+        uf = UnionFind(members)
+        seen: set = set()
+        for member in members:
+            for obj in self._write_sets[member]:
+                seen.add(obj)
+            for obj in self._read_sets[member]:
+                seen.add(obj)
+        for obj in seen:
+            writers = self._writers.get(obj)
+            if not writers:
+                continue
+            anchor = next(iter(writers))
+            for other in writers:
+                uf.union(anchor, other)
+            for other in self._readers.get(obj, ()):
+                uf.union(anchor, other)
+        groups: Dict[int, List[int]] = {}
+        for member in sorted(members):
+            groups.setdefault(uf.find(member), []).append(member)
+        return [tuple(group) for group in groups.values()]
+
+    # -- canonical (ShardPlan-equivalent) view -------------------------
+    def _member_tuple(self, comp: int) -> Tuple[int, ...]:
+        cached = self._member_tuples.get(comp)
+        if cached is None:
+            cached = tuple(sorted(self._members[comp]))
+            self._member_tuples[comp] = cached
+        return cached
+
+    def _canonical(self) -> Tuple[Tuple[int, ...], ...]:
+        if self._shards_cache is None:
+            order = sorted(self._members, key=self._min_tid.__getitem__)
+            self._shards_cache = tuple(
+                self._member_tuple(comp) for comp in order
+            )
+            self._index_cache = {comp: i for i, comp in enumerate(order)}
+        return self._shards_cache
+
+    @property
+    def shards(self) -> Tuple[Tuple[int, ...], ...]:
+        """The components in :class:`ShardPlan` canonical order."""
+        return self._canonical()
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """Shard sizes, in shard order."""
+        return tuple(len(shard) for shard in self.shards)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def shard_index(self, tid: int) -> int:
+        """The canonical shard index owning ``tid`` (O(1) after a freeze)."""
+        self._canonical()
+        return self._index_cache[self._comp_of[tid]]  # type: ignore[index]
+
+    def freeze(self) -> ShardPlan:
+        """An immutable :class:`ShardPlan` snapshot of the current partition.
+
+        Shares the cached member tuples — freezing after a mutation
+        costs one ``O(components)`` ordering pass, not a rebuild — and
+        is safe to hand to a :class:`ShardedContext` (later plan
+        mutations never touch a frozen snapshot).
+        """
+        return ShardPlan.from_components(self._canonical())
 
 
 class ShardedContext:
@@ -211,6 +575,19 @@ class ShardedContext:
             cached = AnalysisContext(self.shard_workload(index), stats=self.stats)
             self._contexts[index] = cached
         return cached
+
+    def adopt_workload(self, index: int, workload: Workload) -> None:
+        """Install a pre-built sub-workload for shard ``index``.
+
+        The incremental manager carries untouched shards' sub-workloads
+        across mutations so that :meth:`adopt_context`'s validation hits
+        the identity fast path (``is``) instead of re-comparing
+        transaction dicts.  The caller owns the invariant that
+        ``workload`` equals ``self.workload.restricted_to(shards[index])``
+        — only ever true for components none of whose members were
+        touched by the mutation.
+        """
+        self._workloads[index] = workload
 
     def adopt_context(self, index: int, context: AnalysisContext) -> None:
         """Install a pre-built sub-context for shard ``index``.

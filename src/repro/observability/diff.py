@@ -66,6 +66,7 @@ BENCH_SERIES: Tuple[Tuple[str, str], ...] = (
     ("algorithm2_scaling", "transactions"),
     ("refinement_mode", "mode"),
     ("churn_throughput", "transactions"),
+    ("plan_maintenance", "transactions"),
     ("contention_sweep", "case"),
 )
 

@@ -19,6 +19,13 @@ Three service-level behaviours live on top of the manager:
   :meth:`~repro.core.incremental.AllocationManager.remove` — the unique
   optimum (Proposition 4.2) guarantees the roll-back restores the exact
   pre-admission allocation.
+* **Batch coalescing** — a ``batch`` envelope's consecutive
+  add/remove entries execute as ONE
+  :meth:`~repro.core.incremental.AllocationManager.apply_batch` (one
+  re-analysis per touched conflict component) with admission evaluated
+  against the coalesced outcome; any per-entry error or policy
+  violation falls back to the exact sequential path (pass
+  ``"coalesce": false`` to force it).
 * **Warm snapshots** — :meth:`snapshot`/:meth:`restore` wrap
   ``save_state``/``load_state`` in the atomic on-disk envelope of
   :mod:`repro.service.snapshot`; ``snapshot_every`` auto-snapshots after
@@ -533,30 +540,160 @@ class ServiceCore:
             histogram=self._histogram(allocation),
         )
 
+    def _run_coalesced(
+        self,
+        run: List[Tuple[int, Mapping[str, Any]]],
+        results: List[Optional[Dict[str, Any]]],
+    ) -> Optional[Dict[str, int]]:
+        """Execute a run of add/remove envelopes as ONE manager batch.
+
+        Pre-validates every entry against the evolving tid set without
+        touching state; any entry that would error (bad field, duplicate
+        tid, unknown tid) aborts coalescing and returns ``None`` — the
+        caller replays the run sequentially so per-entry error envelopes
+        are exactly the non-coalesced ones.  On a clean batch the
+        admission policy is evaluated once against the coalesced
+        outcome; a violation rolls the whole batch back (inverse
+        mutations in reverse order restore the exact prior allocation —
+        unique optimum) and again returns ``None``, so the sequential
+        replay decides per-entry which admissions survive and carries
+        the per-entry witness payloads.  On success the per-entry
+        responses are synthesized (marked ``"coalesced": true``) and a
+        ``{"checks", "coalesced"}`` summary is returned.
+        """
+        manager = self._manager
+        workload = manager.workload
+        present = set(workload.tids)
+        ops: List[Tuple[str, Any]] = []
+        inverse: List[Tuple[str, Any]] = []
+        live: Dict[int, Transaction] = {}
+        for _slot, sub in run:
+            if sub.get("op") == "add":
+                text = sub.get("transaction")
+                tid = sub.get("tid")
+                if not isinstance(text, str) or (
+                    tid is not None and not isinstance(tid, int)
+                ):
+                    return None
+                try:
+                    txn = parse_transaction(text, tid=tid)
+                except TransactionError:
+                    return None
+                if txn.tid in present:
+                    return None
+                present.add(txn.tid)
+                live[txn.tid] = txn
+                ops.append(("add", txn))
+                inverse.append(("remove", txn.tid))
+            else:
+                tid = sub.get("tid")
+                if not isinstance(tid, int) or tid not in present:
+                    return None
+                present.discard(tid)
+                victim = live.pop(tid, None) or workload[tid]
+                ops.append(("remove", tid))
+                inverse.append(("add", victim))
+        inverse.reverse()
+        old = manager.allocation
+        new = manager.apply_batch(ops)
+        checks = manager.last_check_count
+        self._merge_mutation_stats()
+        promotions: List[int] = []
+        if any(kind == "add" for kind, _ in ops):
+            policy = self.config.admission
+            promotions = sorted(
+                tid for tid, level in old.items()
+                if tid in new and new[tid] > level
+            )
+            reasons = []
+            if (
+                policy.max_promotions is not None
+                and len(promotions) > policy.max_promotions
+            ):
+                reasons.append("too many promotions")
+            if self._cheap_fraction(new) < policy.floor - 1e-12:
+                reasons.append("floor violated")
+            if reasons:
+                manager.apply_batch(inverse)
+                self._merge_mutation_stats()  # the probe + rollback's work
+                return None
+        for (slot, sub), (kind, value) in zip(run, ops):
+            if kind == "add":
+                results[slot] = ok_response(
+                    sub,
+                    admitted=True,
+                    tid=value.tid,
+                    level=new[value.tid].name if value.tid in new else None,
+                    coalesced=True,
+                )
+                self.registry.incr("service.admitted")
+            else:
+                results[slot] = ok_response(
+                    sub, tid=value, coalesced=True, retried=[], dropped=[]
+                )
+        for _ in ops:
+            self._record_mutation()
+        return {"checks": checks, "coalesced": len(ops)}
+
     def _cmd_batch(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
         commands = envelope["commands"]
         if not isinstance(commands, list):
             raise ProtocolError('"commands" must be an array of envelopes')
-        results = []
-        for sub in commands:
+        coalesce = envelope.get("coalesce", True)
+        if not isinstance(coalesce, bool):
+            raise ProtocolError('"coalesce" must be a boolean')
+        results: List[Optional[Dict[str, Any]]] = [None] * len(commands)
+        checks = 0
+        coalesced = 0
+        run: List[Tuple[int, Mapping[str, Any]]] = []
+
+        def flush() -> None:
+            nonlocal checks, coalesced
+            if not run:
+                return
+            if coalesce and len(run) > 1 and not self._queue:
+                summary = self._run_coalesced(run, results)
+                if summary is not None:
+                    checks += summary["checks"]
+                    coalesced += summary["coalesced"]
+                    run.clear()
+                    return
+            for slot, sub in run:
+                response = self.handle_line(json.dumps(sub))
+                results[slot] = response
+                if isinstance(response.get("checks"), int):
+                    checks += response["checks"]
+            run.clear()
+
+        for slot, sub in enumerate(commands):
             if not isinstance(sub, dict):
-                results.append(
-                    error_response(None, "bad-request", "batch entry must be an object")
+                flush()
+                results[slot] = error_response(
+                    None, "bad-request", "batch entry must be an object"
                 )
                 continue
             if sub.get("op") in ("batch", "shutdown"):
-                results.append(
-                    error_response(
-                        sub, "bad-request", f'{sub.get("op")!r} cannot nest in a batch'
-                    )
+                flush()
+                results[slot] = error_response(
+                    sub, "bad-request", f'{sub.get("op")!r} cannot nest in a batch'
                 )
                 continue
-            results.append(self.handle_line(json.dumps(sub)))
+            if sub.get("op") in ("add", "remove"):
+                run.append((slot, sub))
+                continue
+            flush()  # reads must observe the preceding mutations
+            response = self.handle_line(json.dumps(sub))
+            results[slot] = response
+            if isinstance(response.get("checks"), int):
+                checks += response["checks"]
+        flush()
         return ok_response(
             envelope,
             results=results,
-            succeeded=sum(1 for r in results if r.get("ok")),
-            failed=sum(1 for r in results if not r.get("ok")),
+            succeeded=sum(1 for r in results if r and r.get("ok")),
+            failed=sum(1 for r in results if not (r and r.get("ok"))),
+            checks=checks,
+            coalesced=coalesced,
         )
 
     def _resolve_snapshot_path(self, envelope: Mapping[str, Any]) -> str:
@@ -605,7 +742,7 @@ class ServiceCore:
     def gauges(self) -> Dict[str, float]:
         """Point-in-time service gauges (exported next to the registry)."""
         sctx = self._manager.context
-        return {
+        gauges = {
             "transactions": float(len(self._manager.workload)),
             "shards": float(len(sctx.plan)) if sctx is not None else 0.0,
             "queue_depth": float(len(self._queue)),
@@ -613,6 +750,9 @@ class ServiceCore:
             "mutations_since_snapshot": float(self._since_snapshot),
             "uptime_s": time.monotonic() - self._started,
         }
+        for name, value in self._manager.plan_stats.items():
+            gauges[name] = float(value)
+        return gauges
 
     def _cmd_metrics(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
         return ok_response(

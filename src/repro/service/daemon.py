@@ -223,9 +223,14 @@ def serve(config: ServiceConfig) -> ServiceCore:
         endpoints.append(f"http://{config.host}:{server.metrics_port}/metrics")
     print(f"repro serve: listening on {', '.join(endpoints)}")
     if config.snapshot_path:
+        manager = server.core.manager
+        plan = "warm shard plan" if (
+            len(manager.workload)
+            and manager.plan_stats.get("plan_builds", 0) == 0
+        ) else "fresh shard plan"
         print(
             f"repro serve: snapshot path {config.snapshot_path}"
-            f" ({len(server.core.manager.workload)} transactions resumed)"
+            f" ({len(manager.workload)} transactions resumed, {plan})"
         )
     server.start()
     try:

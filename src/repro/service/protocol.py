@@ -66,7 +66,7 @@ COMMANDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     "remove": (("tid",), ()),
     "check": ((), ("allocation", "uniform")),
     "allocate": ((), ()),
-    "batch": (("commands",), ()),
+    "batch": (("commands",), ("coalesce",)),
     "snapshot": ((), ("path",)),
     "restore": ((), ("path", "verify")),
     "metrics": ((), ()),

@@ -272,5 +272,9 @@ class TestStats:
             "oracle_hits",
             "pair_builds",
             "pair_hits",
+            "plan_builds",
+            "plan_merges",
+            "plan_reuse",
+            "plan_splits",
             "witness_hits",
         }

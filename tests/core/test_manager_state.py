@@ -124,3 +124,48 @@ class TestWarmStartEquivalence:
         once = AllocationManager.load_state(manager.save_state())
         twice = AllocationManager.load_state(once.save_state())
         assert once.save_state() == twice.save_state()
+
+
+class TestPlanPersistence:
+    """Snapshots carry the shard plan; restore resumes it, never rebuilds."""
+
+    def test_state_includes_the_partition(self):
+        manager = _filled_manager()
+        state = manager.save_state()
+        assert state["plan"] == [list(s) for s in manager.context.plan.shards]
+
+    def test_restore_reuses_the_persisted_plan(self):
+        manager = _filled_manager()
+        restored = AllocationManager.load_state(manager.save_state())
+        assert restored.plan_stats["plan_builds"] == 0, (
+            "restore must resume the persisted partition, not re-run the"
+            " full union-find"
+        )
+        assert restored.plan_stats["plan_reuse"] >= 1
+        assert restored.context.plan.shards == manager.context.plan.shards
+
+    def test_corrupt_plan_falls_back_to_full_build(self):
+        state = _filled_manager().save_state()
+        state["plan"] = [[1, 2], [2, 3, 4]]  # overlapping: invalid
+        restored = AllocationManager.load_state(state)
+        assert restored.plan_stats["plan_builds"] == 1
+        assert restored.workload == _filled_manager().workload
+
+    def test_missing_plan_field_falls_back_to_full_build(self):
+        state = _filled_manager().save_state()
+        del state["plan"]  # pre-plan-persistence snapshot
+        restored = AllocationManager.load_state(state)
+        assert restored.plan_stats["plan_builds"] == 1
+        assert dict(restored.allocation.items()) == dict(
+            _filled_manager().allocation.items()
+        )
+
+    def test_next_mutation_plan_work_identical(self):
+        """The satellite bar: restored == original on the *plan* counters
+        of the next mutation too, not just checks and witnesses."""
+        manager = _filled_manager()
+        restored = AllocationManager.load_state(manager.save_state())
+        manager.remove(3)
+        restored.remove(3)
+        assert manager.last_stats.as_dict() == restored.last_stats.as_dict()
+        assert manager.context.plan.shards == restored.context.plan.shards

@@ -1,0 +1,174 @@
+"""Stateful property tests of incremental shard-plan maintenance.
+
+The two non-negotiable equivalences of the dynamic plan work
+(``DynamicShardPlan`` + ``AllocationManager.apply_batch``):
+
+* **partition equality** — after any interleaving of adds, removes and
+  batches, the manager's maintained partition is *identical* (order,
+  members, everything) to a fresh ``ShardPlan(workload)`` over the same
+  transactions;
+* **allocation exactness** — the maintained allocation is bit-identical
+  to the batch Algorithm 2 optimum, and the coalesced ``apply_batch``
+  path lands on exactly the same state as replaying the same mutations
+  one by one through ``add``/``remove``.
+
+A fixed-seed deterministic run repeats the same churn at ``n_jobs=2``
+(the process-pool fan-out) and requires identical allocations — the
+optimum is unique (Proposition 4.2), so parallelism must not change it.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.allocation import optimal_allocation
+from repro.core.incremental import AllocationManager
+from repro.core.operations import read, write
+from repro.core.sharding import ShardPlan
+from repro.core.transactions import Transaction
+
+OBJECTS = ("x", "y", "z", "u")
+
+
+def _random_txn(data, tid):
+    count = data.draw(st.integers(min_value=1, max_value=2))
+    objects = data.draw(
+        st.lists(
+            st.sampled_from(OBJECTS),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    ops = []
+    for obj in objects:
+        mode = data.draw(st.sampled_from(("r", "w", "rw")))
+        if mode in ("r", "rw"):
+            ops.append(read(tid, obj))
+        if mode in ("w", "rw"):
+            ops.append(write(tid, obj))
+    return Transaction(tid, ops)
+
+
+class PlanMaintenanceMachine(RuleBasedStateMachine):
+    """Coalesced manager vs sequential shadow vs from-scratch oracles."""
+
+    def __init__(self):
+        super().__init__()
+        self.batched = AllocationManager()
+        self.sequential = AllocationManager()
+        self.next_tid = 1
+
+    def _fresh_txn(self, data):
+        txn = _random_txn(data, self.next_tid)
+        self.next_tid += 1
+        return txn
+
+    @rule(data=st.data())
+    def add_transaction(self, data):
+        txn = self._fresh_txn(data)
+        self.batched.add(txn)
+        self.sequential.add(Transaction(txn.tid, txn.operations))
+
+    @precondition(lambda self: len(self.batched.workload) > 0)
+    @rule(data=st.data())
+    def remove_transaction(self, data):
+        tid = data.draw(st.sampled_from(self.batched.workload.tids))
+        self.batched.remove(tid)
+        self.sequential.remove(tid)
+
+    @rule(data=st.data())
+    def apply_batch(self, data):
+        """One coalesced batch vs the same mutations replayed one by one."""
+        live = set(self.batched.workload.tids)
+        mutations = []
+        for _ in range(data.draw(st.integers(min_value=1, max_value=4))):
+            if live and data.draw(st.booleans()):
+                tid = data.draw(st.sampled_from(sorted(live)))
+                live.discard(tid)
+                mutations.append(("remove", tid))
+            else:
+                txn = self._fresh_txn(data)
+                live.add(txn.tid)
+                mutations.append(("add", txn))
+        self.batched.apply_batch(mutations)
+        for op, value in mutations:
+            if op == "add":
+                self.sequential.add(Transaction(value.tid, value.operations))
+            else:
+                self.sequential.remove(value)
+
+    @invariant()
+    def partition_equals_fresh_shardplan(self):
+        workload = self.batched.workload
+        expected = ShardPlan(workload).shards if len(workload) else ()
+        assert self.batched.context is None or (
+            self.batched.context.plan.shards == expected
+        )
+
+    @invariant()
+    def allocations_bit_identical(self):
+        batched = dict(self.batched.allocation.items())
+        assert batched == dict(self.sequential.allocation.items())
+        assert batched == dict(
+            optimal_allocation(self.batched.workload).items()
+        )
+
+
+TestPlanMaintenanceMachine = PlanMaintenanceMachine.TestCase
+TestPlanMaintenanceMachine.settings = settings(
+    max_examples=15, stateful_step_count=8, deadline=None
+)
+
+
+def _scripted_churn(manager, seed=2026, steps=30):
+    """A fixed-seed add/remove/batch script; returns allocation snapshots."""
+    rng = random.Random(seed)
+    objects = ("x", "y", "z", "u", "v")
+    next_tid = 1
+    live = set()
+    snapshots = []
+    for step in range(steps):
+        roll = rng.random()
+        if live and roll < 0.3:
+            tid = rng.choice(sorted(live))
+            live.discard(tid)
+            manager.remove(tid)
+        elif roll < 0.6 or not live:
+            ops = []
+            for obj in rng.sample(objects, rng.randint(1, 2)):
+                if rng.random() < 0.7:
+                    ops.append(read(next_tid, obj))
+                if rng.random() < 0.7 or not ops:
+                    ops.append(write(next_tid, obj))
+            manager.add(Transaction(next_tid, ops))
+            live.add(next_tid)
+            next_tid += 1
+        else:
+            mutations = []
+            batch_live = set(live)
+            for _ in range(rng.randint(1, 3)):
+                if batch_live and rng.random() < 0.5:
+                    tid = rng.choice(sorted(batch_live))
+                    batch_live.discard(tid)
+                    mutations.append(("remove", tid))
+                else:
+                    ops = [write(next_tid, rng.choice(objects))]
+                    mutations.append(("add", Transaction(next_tid, ops)))
+                    batch_live.add(next_tid)
+                    next_tid += 1
+            manager.apply_batch(mutations)
+            live = batch_live
+        snapshots.append(
+            {tid: level.name for tid, level in manager.allocation.items()}
+        )
+    return snapshots
+
+
+def test_n_jobs_two_is_bit_identical():
+    """The same scripted churn at n_jobs=1 and n_jobs=2 never diverges."""
+    serial = _scripted_churn(AllocationManager(n_jobs=1))
+    parallel = _scripted_churn(AllocationManager(n_jobs=2))
+    assert serial == parallel

@@ -156,6 +156,185 @@ class TestBatch:
         assert response["failed"] == 1
 
 
+class TestBatchCoalescing:
+    """Runs of adds/removes collapse into ONE manager batch per run."""
+
+    def test_mutation_run_is_coalesced(self):
+        core = _core()
+        response = core.handle(
+            {
+                "op": "batch",
+                "commands": [
+                    {"op": "add", "transaction": "R[x] W[y]", "tid": 1},
+                    {"op": "add", "transaction": "R[y] W[x]", "tid": 2},
+                ],
+            }
+        )
+        assert response["ok"] and response["failed"] == 0
+        assert response["coalesced"] == 2
+        assert all(r["coalesced"] for r in response["results"])
+        assert response["results"][0]["admitted"]
+        assert response["results"][1]["level"] == "SSI"
+        assert core.handle({"op": "allocate"})["allocation"] == {
+            "1": "SSI",
+            "2": "SSI",
+        }
+
+    def test_coalesce_false_forces_sequential(self):
+        core = _core()
+        response = core.handle(
+            {
+                "op": "batch",
+                "coalesce": False,
+                "commands": [
+                    {"op": "add", "transaction": "R[x] W[y]", "tid": 1},
+                    {"op": "add", "transaction": "R[y] W[x]", "tid": 2},
+                ],
+            }
+        )
+        assert response["coalesced"] == 0
+        assert all("coalesced" not in r for r in response["results"])
+        assert core.handle({"op": "allocate"})["allocation"] == {
+            "1": "SSI",
+            "2": "SSI",
+        }
+
+    def test_coalesced_state_equals_sequential(self):
+        commands = [
+            {"op": "add", "transaction": "R[x] W[y]", "tid": 1},
+            {"op": "add", "transaction": "R[y] W[x]", "tid": 2},
+            {"op": "remove", "tid": 1},
+            {"op": "add", "transaction": "R[a] W[b]", "tid": 3},
+        ]
+        fast, slow = _core(), _core()
+        fast.handle({"op": "batch", "commands": commands})
+        slow.handle({"op": "batch", "commands": commands, "coalesce": False})
+        assert (
+            fast.handle({"op": "allocate"})["allocation"]
+            == slow.handle({"op": "allocate"})["allocation"]
+        )
+        assert fast.manager.context.plan.shards == (
+            slow.manager.context.plan.shards
+        )
+
+    def test_remove_readd_spends_zero_checks(self):
+        """The sustained-churn shape: a coalesced remove + identical
+        re-add leaves the component content-unchanged — no re-analysis."""
+        core = _core()
+        _add(core, "R[x] W[y]", 1)
+        _add(core, "R[y] W[x]", 2)
+        response = core.handle(
+            {
+                "op": "batch",
+                "commands": [
+                    {"op": "remove", "tid": 2},
+                    {"op": "add", "transaction": "R[y] W[x]", "tid": 2},
+                ],
+            }
+        )
+        assert response["coalesced"] == 2 and response["failed"] == 0
+        assert response["checks"] == 0
+        assert core.handle({"op": "allocate"})["allocation"] == {
+            "1": "SSI",
+            "2": "SSI",
+        }
+
+    def test_admission_violation_falls_back_to_sequential(self):
+        core = _core(admission=AdmissionPolicy(max_promotions=0))
+        _add(core, "R[x] W[y]", 1)
+        response = core.handle(
+            {
+                "op": "batch",
+                "commands": [
+                    {"op": "add", "transaction": "R[y] W[x]", "tid": 2},
+                    {"op": "add", "transaction": "R[q] W[q]", "tid": 3},
+                ],
+            }
+        )
+        # The coalesced outcome promotes T1, so the batch is rolled back
+        # and replayed per entry: T2 rejected (with its witness), T3 in.
+        assert response["coalesced"] == 0
+        rejected, admitted = response["results"]
+        assert rejected["admitted"] is False and "coalesced" not in rejected
+        assert set(rejected["witness"]["tids"]) == {1, 2}
+        assert admitted["admitted"] is True
+        assert sorted(core.manager.workload.tids) == [1, 3]
+        assert core.handle({"op": "allocate"})["allocation"] == {
+            "1": "RC",
+            "3": "RC",
+        }
+
+    def test_invalid_entry_falls_back_to_sequential(self):
+        core = _core()
+        _add(core, "R[x]", 1)
+        response = core.handle(
+            {
+                "op": "batch",
+                "commands": [
+                    {"op": "add", "transaction": "R[y]", "tid": 2},
+                    {"op": "add", "transaction": "W[x]", "tid": 1},  # dup
+                ],
+            }
+        )
+        assert response["coalesced"] == 0
+        assert response["succeeded"] == 1 and response["failed"] == 1
+        assert response["results"][1]["error"]["code"] == "conflict"
+        assert sorted(core.manager.workload.tids) == [1, 2]
+
+    def test_reads_split_the_run(self):
+        """A read between mutations must observe the preceding ones, so
+        it flushes the run (length-1 runs execute sequentially)."""
+        core = _core()
+        response = core.handle(
+            {
+                "op": "batch",
+                "commands": [
+                    {"op": "add", "transaction": "R[x]", "tid": 1},
+                    {"op": "status"},
+                    {"op": "add", "transaction": "R[y]", "tid": 2},
+                ],
+            }
+        )
+        assert response["coalesced"] == 0
+        assert response["results"][1]["transactions"] == 1
+
+    def test_queue_mode_disables_coalescing(self):
+        core = _core(
+            admission=AdmissionPolicy(max_promotions=0, mode="queue")
+        )
+        _add(core, "R[x] W[y]", 1)
+        _add(core, "R[y] W[x]", 2)  # parked
+        assert core.queued_tids == (2,)
+        response = core.handle(
+            {
+                "op": "batch",
+                "commands": [
+                    {"op": "add", "transaction": "R[a] W[a]", "tid": 3},
+                    {"op": "add", "transaction": "R[b] W[b]", "tid": 4},
+                ],
+            }
+        )
+        # Coalescing would skip the parked queue's retry hooks.
+        assert response["coalesced"] == 0 and response["failed"] == 0
+
+    def test_plan_gauges_exported(self):
+        core = _core()
+        core.handle(
+            {
+                "op": "batch",
+                "commands": [
+                    {"op": "add", "transaction": "R[x] W[y]", "tid": 1},
+                    {"op": "add", "transaction": "R[y] W[x]", "tid": 2},
+                ],
+            }
+        )
+        gauges = core.handle({"op": "metrics"})["gauges"]
+        for name in ("plan_builds", "plan_merges", "plan_splits", "plan_reuse"):
+            assert name in gauges
+        assert gauges["plan_merges"] >= 0.0
+        assert gauges["shards"] == 1.0
+
+
 class TestAdmissionControl:
     def test_max_promotions_rejects(self):
         core = _core(admission=AdmissionPolicy(max_promotions=0))

@@ -113,16 +113,34 @@ class TestLifecycle:
         assert snap.exists()
 
     def test_restart_resumes_from_snapshot(self, tmp_path):
+        """Kill/restore warm equivalence: the restored daemon carries the
+        allocation, the shard plan, and the witness caches — so the next
+        mutation spends exactly the same checks as the uninterrupted one."""
         snap = str(tmp_path / "snap.json")
         with ServiceServer(ServiceConfig(port=0, snapshot_path=snap)) as first:
             with ServiceClient(port=first.port) as client:
                 client.call("add", transaction="R[x] W[y]", tid=1)
                 client.call("add", transaction="R[y] W[x]", tid=2)
                 client.call("snapshot")
+                before = client.call("status")
+                # The uninterrupted side of the next-mutation probe.
+                probe = client.call("add", transaction="R[x] W[x]", tid=3)
         with ServiceServer(ServiceConfig(port=0, snapshot_path=snap)) as second:
             with ServiceClient(port=second.port) as client:
                 allocation = client.call("allocate")["allocation"]
+                after = client.call("status")
+                # Plan identity: same shards, rebuilt from the snapshot's
+                # partition (not re-derived from scratch).
+                assert after["shard_sizes"] == before["shard_sizes"]
+                resumed_probe = client.call(
+                    "add", transaction="R[x] W[x]", tid=3
+                )
         assert allocation == {"1": "SSI", "2": "SSI"}
+        assert resumed_probe["checks"] == probe["checks"], (
+            "a restored daemon must spend the same robustness checks on"
+            " the next mutation as the uninterrupted one"
+        )
+        assert resumed_probe["level"] == probe["level"]
 
     def test_close_is_idempotent(self):
         server = ServiceServer(ServiceConfig(port=0))
