@@ -12,12 +12,17 @@ daemon process:
 2. sustain a scripted 200-mutation churn (adds and remove/re-add
    cycles) through the warm re-analysis path, with periodic ``check``
    probes;
-3. take an explicit ``snapshot``, record the full ``allocate`` response;
-4. SIGKILL the daemon (no goodbye), restart it resuming from the
+3. scrape the post-churn ``/metrics`` and require well-formed latency
+   quantile and windowed-rate lines; pull the slowest request span tree
+   with ``repro trace dump`` (the daemon was never started with
+   ``--trace``); render two live ``repro service top`` frames; validate
+   every line of the ``--eventlog`` JSON-lines mirror;
+4. take an explicit ``snapshot``, record the full ``allocate`` response;
+5. SIGKILL the daemon (no goodbye), restart it resuming from the
    snapshot, and require the next ``allocate`` to be **byte-identical**
    to the pre-kill one;
-5. mutate, ``restore``, verify the snapshot state returns exactly;
-6. scrape ``/metrics``, send ``shutdown``, require a clean exit.
+6. mutate, ``restore``, verify the snapshot state returns exactly;
+7. scrape ``/metrics``, send ``shutdown``, require a clean exit.
 
 Exit code 0 means every stage held; any assertion prints and exits 1.
 """
@@ -27,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import signal
 import subprocess
 import sys
@@ -37,17 +43,50 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.observability import validate_eventlog_file  # noqa: E402
 from repro.service import ServiceClient  # noqa: E402
 from repro.workloads.generator import clustered_workload  # noqa: E402
 
 MUTATIONS = 200
 
+#: Strict line shapes the post-churn scrape must contain: a latency
+#: quantile from the streaming histograms and a windowed-rate gauge.
+QUANTILE_LINE = re.compile(
+    r'^repro_service_add_seconds\{quantile="0\.99"\} [0-9][0-9.eE+-]*$',
+    re.MULTILINE,
+)
+RATE_LINE = re.compile(
+    r"^repro_rate_requests_per_s [0-9][0-9.eE+-]*$", re.MULTILINE
+)
 
-def start_daemon(snapshot: str, port_file: Path, metrics_port: int):
+
+def _cli_env():
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
         "PYTHONPATH", ""
     )
+    return env
+
+
+def run_cli(*args: str) -> str:
+    """Run ``repro ARGS`` as a subprocess; returns stdout, asserts exit 0."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=_cli_env(),
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, (
+        f"repro {' '.join(args)} exited {result.returncode}:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+def start_daemon(
+    snapshot: str, port_file: Path, metrics_port: int, eventlog: str
+):
     if port_file.exists():
         port_file.unlink()
     proc = subprocess.Popen(
@@ -66,8 +105,10 @@ def start_daemon(snapshot: str, port_file: Path, metrics_port: int):
             snapshot,
             "--snapshot-every",
             "25",
+            "--eventlog",
+            eventlog,
         ],
-        env=env,
+        env=_cli_env(),
         cwd=REPO_ROOT,
     )
     for _ in range(100):
@@ -93,10 +134,12 @@ def main() -> int:
     args = parser.parse_args()
     port_file = Path("/tmp/service-smoke.port")
     snap = args.snapshot
+    eventlog = snap + ".events.jsonl"
     Path(snap).unlink(missing_ok=True)
+    Path(eventlog).unlink(missing_ok=True)
 
     base = list(clustered_workload(components=6, per_component=4, seed=42))
-    proc, port = start_daemon(snap, port_file, args.metrics_port)
+    proc, port = start_daemon(snap, port_file, args.metrics_port, eventlog)
     print(f"[smoke] daemon up on port {port} (pid {proc.pid})")
 
     with ServiceClient(port=port) as client:
@@ -149,18 +192,72 @@ def main() -> int:
             "warm path must beat one-check-per-transaction per mutation"
         )
 
-        # -- stage 3: snapshot + record the reference allocation ------
+        # -- stage 3: live telemetry against the churned daemon -------
+        text = (
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{args.metrics_port}/metrics"
+            )
+            .read()
+            .decode()
+        )
+        assert QUANTILE_LINE.search(text), (
+            "no p99 quantile line for service.add in:\n"
+            + "\n".join(l for l in text.splitlines() if "service_add" in l)
+        )
+        assert RATE_LINE.search(text), (
+            "no windowed requests-rate gauge in:\n"
+            + "\n".join(l for l in text.splitlines() if "rate_" in l)
+        )
+        dump = json.loads(
+            run_cli("trace", "dump", "--port", str(port), "--json")
+        )
+        assert dump["added"] >= MUTATIONS / 8, dump["added"]
+        assert dump["slowest"], "flight recorder retained no slowest traces"
+        span_names = {
+            span["name"] for span in dump["slowest"][0]["spans"]
+        }
+        assert "service.request" in span_names, span_names
+        print(
+            f"[smoke] trace dump: {dump['added']} requests observed,"
+            f" slowest is '{dump['slowest'][0]['op']}'"
+            f" at {dump['slowest'][0]['duration_s'] * 1e3:.2f}ms"
+            " (daemon runs without --trace)"
+        )
+        frames = run_cli(
+            "service",
+            "top",
+            "--port",
+            str(port),
+            "--iterations",
+            "2",
+            "--interval",
+            "0.2",
+            "--no-clear",
+        )
+        assert "repro service top" in frames, frames[:200]
+        assert "p99" in frames and "req/s" in frames, frames[:400]
+        print("[smoke] service top rendered 2 live frames")
+        events = validate_eventlog_file(eventlog)
+        kinds = {
+            json.loads(line)["kind"]
+            for line in Path(eventlog).read_text().splitlines()
+            if line.strip()
+        }
+        assert events > 0 and "request" in kinds, (events, kinds)
+        print(f"[smoke] eventlog valid: {events} events, kinds {sorted(kinds)}")
+
+        # -- stage 4: snapshot + record the reference allocation ------
         snapshot = client.call("snapshot")
         print(f"[smoke] snapshot: {snapshot['bytes']} bytes -> {snap}")
         reference = json.dumps(
             client.call("allocate")["allocation"], sort_keys=True
         )
 
-    # -- stage 4: kill -9, resume, byte-identical allocations ---------
+    # -- stage 5: kill -9, resume, byte-identical allocations ---------
     os.kill(proc.pid, signal.SIGKILL)
     proc.wait()
     print("[smoke] daemon SIGKILLed; restarting from the snapshot")
-    proc, port = start_daemon(snap, port_file, args.metrics_port)
+    proc, port = start_daemon(snap, port_file, args.metrics_port, eventlog)
     with ServiceClient(port=port) as client:
         resumed = json.dumps(
             client.call("allocate")["allocation"], sort_keys=True
@@ -171,7 +268,7 @@ def main() -> int:
         )
         print("[smoke] post-restore allocation byte-identical")
 
-        # -- stage 5: mutate, restore, exact return -------------------
+        # -- stage 6: mutate, restore, exact return -------------------
         victim = base[0]
         client.call("remove", tid=victim.tid)
         restored = client.call("restore", verify=True)
@@ -180,7 +277,7 @@ def main() -> int:
         ), restored
         print("[smoke] explicit restore (verified) returns the exact state")
 
-        # -- stage 6: metrics + clean shutdown ------------------------
+        # -- stage 7: metrics + clean shutdown ------------------------
         text = (
             urllib.request.urlopen(
                 f"http://127.0.0.1:{args.metrics_port}/metrics"

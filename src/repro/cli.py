@@ -54,7 +54,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .analysis.report import (
     allocation_report,
@@ -460,6 +460,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
             args.current,
             max_regress=args.max_regress / 100.0,
             abs_floor_s=args.abs_floor_ms / 1e3,
+            series=args.series,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
@@ -469,6 +470,55 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         print(f"Bench compare: {args.baseline} -> {args.current}")
         print(report.render())
     return report.exit_code
+
+
+def _daemon_endpoint(args: argparse.Namespace) -> Dict[str, object]:
+    """Client connection kwargs from ``--host/--port/--socket`` flags."""
+    if args.socket:
+        return {"socket_path": args.socket}
+    return {"host": args.host, "port": args.port}
+
+
+def _cmd_trace_dump(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+    from .service.top import render_trace_dump
+
+    params = {}
+    if args.last is not None:
+        params["last"] = args.last
+    if args.slowest is not None:
+        params["slowest"] = args.slowest
+    try:
+        with ServiceClient(**_daemon_endpoint(args)) as client:  # type: ignore[arg-type]
+            response = client.call("dump-traces", **params)
+    except ServiceError as exc:
+        raise SystemExit(f"trace dump failed: {exc}") from None
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot reach daemon: {exc}") from None
+    payload = {
+        key: response[key]
+        for key in ("added", "last", "slowest")
+        if key in response
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_trace_dump(payload))
+    return 0
+
+
+def _cmd_service_top(args: argparse.Namespace) -> int:
+    from .service.top import run_top
+
+    try:
+        return run_top(
+            interval=args.interval,
+            iterations=args.iterations,
+            clear=not args.no_clear,
+            **_daemon_endpoint(args),  # type: ignore[arg-type]
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -495,11 +545,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             method=args.method,
             n_jobs=args.jobs,
             admission=admission,
+            eventlog_path=args.eventlog,
+            slo_p99_ms=args.slo_p99_ms,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     _run_daemon(config)
     return 0
+
+
+def _add_daemon_endpoint(sub_parser: argparse.ArgumentParser) -> None:
+    """``--host/--port/--socket`` flags for commands talking to a daemon."""
+    sub_parser.add_argument(
+        "--host", default="127.0.0.1", help="daemon host (default 127.0.0.1)"
+    )
+    sub_parser.add_argument(
+        "--port",
+        type=int,
+        default=7311,
+        help="daemon TCP command port (default 7311)",
+    )
+    sub_parser.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="connect over this unix socket instead of TCP",
+    )
 
 
 def _add_trace_flag(sub_parser: argparse.ArgumentParser) -> None:
@@ -730,6 +800,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_flame.set_defaults(func=_cmd_trace_flame)
 
+    trace_dump = trace_sub.add_parser(
+        "dump",
+        help=(
+            "pull the flight recorder's retained request span trees from"
+            " a running daemon (no --trace needed)"
+        ),
+    )
+    _add_daemon_endpoint(trace_dump)
+    trace_dump.add_argument(
+        "--last",
+        type=int,
+        metavar="N",
+        help="limit the most-recent set to N traces",
+    )
+    trace_dump.add_argument(
+        "--slowest",
+        type=int,
+        metavar="N",
+        help="limit the slowest set to N traces",
+    )
+    trace_dump.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw dump-traces payload instead of span trees",
+    )
+    trace_dump.set_defaults(func=_cmd_trace_dump)
+
     bench = sub.add_parser(
         "bench", help="benchmark baseline tooling (compare)"
     )
@@ -744,6 +841,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
     bench_compare.add_argument("current", help="fresh --bench-json output")
+    bench_compare.add_argument(
+        "--series",
+        action="append",
+        metavar="NAME",
+        help=(
+            "compare only this series (repeatable); a requested series"
+            " missing from either baseline is an error, not a skip"
+        ),
+    )
     _add_diff_thresholds(bench_compare)
     bench_compare.set_defaults(func=_cmd_bench_compare)
 
@@ -837,8 +943,60 @@ def build_parser() -> argparse.ArgumentParser:
         default="reject",
         help="what to do with refused transactions (default reject)",
     )
+    serve.add_argument(
+        "--eventlog",
+        metavar="FILE",
+        help=(
+            "append structured JSON-lines events (requests, admissions,"
+            " SLO alerts, lifecycle) to FILE"
+        ),
+    )
+    serve.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "alert when the streaming request p99 exceeds MS: flips the"
+            " slo_p99_breached gauge and logs alert events"
+        ),
+    )
     _add_trace_flag(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    service = sub.add_parser(
+        "service", help="tools for a running daemon (top)"
+    )
+    service_sub = service.add_subparsers(dest="service_command", required=True)
+
+    service_top = service_sub.add_parser(
+        "top",
+        help=(
+            "live console: rolling rates, latency quantiles and gauges of"
+            " a running daemon, refreshed in place"
+        ),
+    )
+    _add_daemon_endpoint(service_top)
+    service_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between refreshes (default 2)",
+    )
+    service_top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames and exit (default: run until Ctrl-C)",
+    )
+    service_top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (CI/pipes)",
+    )
+    service_top.set_defaults(func=_cmd_service_top)
 
     simulate = sub.add_parser(
         "simulate",

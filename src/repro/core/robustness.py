@@ -680,7 +680,7 @@ def enumerate_counterexamples(
     ctx.record_check()
     tracer = current_tracer()
     for t1 in workload:
-        if tracer.enabled:
+        if tracer.recording:
             # Drain the scan inside its span so the recorded duration is
             # scan time, not consumer time between yields.  The yielded
             # sequence is identical either way.

@@ -808,7 +808,7 @@ def enumerate_specs_sharded(
     for t1 in workload:
         ctx = sctx.context_of(t1.tid)
         shard_index = sctx.plan.shard_of[t1.tid]
-        if tracer.enabled:
+        if tracer.recording:
             with tracer.span(
                 "robustness.scan_t1", t1=t1.tid, shard=shard_index, survey=True
             ):

@@ -45,7 +45,7 @@ from ..core.isolation import Allocation, IsolationLevel
 from ..core.operations import Operation, read as read_op, write as write_op
 from ..core.transactions import Transaction
 from ..core.workload import Workload
-from ..observability import current_tracer
+from ..observability import StreamingHistogram, WindowedSeries, current_tracer
 from .engine import MVCCEngine, TransactionAborted, TransactionBlocked
 from .storage import Version
 from .trace import Trace, TraceEvent
@@ -95,6 +95,12 @@ class SimConfig:
             nothing but the trace (the byte-identity the tests pin).
         compact_every: commits between ``engine.compact()`` calls
             (``0`` disables compaction; long runs then grow unboundedly).
+        series_window: width, in simulated time, of one telemetry window
+            of the commit/abort time-series (see
+            :meth:`SimStats.series_dict`).
+        series_windows: telemetry ring size — windows retained beyond
+            which the oldest per-window counts are recycled (cumulative
+            totals and the latency histogram are unaffected).
     """
 
     sessions: int = 8
@@ -106,6 +112,8 @@ class SimConfig:
     abort_backoff: float = 2.0
     record_trace: bool = True
     compact_every: int = 256
+    series_window: float = 50.0
+    series_windows: int = 256
 
 
 @dataclass
@@ -123,6 +131,13 @@ class SimStats:
         wall_s: real seconds the run took.
         wait_time: total simulated time spent parked in wait-queues.
         latencies: per committed instance, arrival-to-commit simulated time.
+        commit_series: per-window commit counts and latency sums over
+            simulated time (``None`` until :meth:`enable_series`).
+        abort_series: per-window abort counts (``None`` until
+            :meth:`enable_series`).
+        latency_hist: streaming log-bucketed latency histogram (``None``
+            until :meth:`enable_series`); unlike :attr:`latencies` it is
+            bounded-memory and mergeable across runs.
     """
 
     commits: int = 0
@@ -134,6 +149,9 @@ class SimStats:
     wall_s: float = 0.0
     wait_time: float = 0.0
     latencies: List[float] = field(default_factory=list)
+    commit_series: Optional[WindowedSeries] = None
+    abort_series: Optional[WindowedSeries] = None
+    latency_hist: Optional[StreamingHistogram] = None
 
     @property
     def total_aborts(self) -> int:
@@ -151,8 +169,59 @@ class SimStats:
         attempts = self.commits + self.total_aborts
         return self.total_aborts / attempts if attempts else 0.0
 
-    def record_abort(self, reason: str) -> None:
+    def enable_series(self, width: float, windows: int) -> None:
+        """Attach the windowed telemetry aggregates (idempotent-safe)."""
+        self.commit_series = WindowedSeries(width=width, windows=windows)
+        self.abort_series = WindowedSeries(width=width, windows=windows)
+        self.latency_hist = StreamingHistogram()
+
+    def record_abort(self, reason: str, when: Optional[float] = None) -> None:
         self.aborts[reason] = self.aborts.get(reason, 0) + 1
+        if when is not None and self.abort_series is not None:
+            self.abort_series.record(when)
+
+    def record_commit(self, when: float, latency: float) -> None:
+        """Fold one commit into the counters and telemetry aggregates."""
+        self.commits += 1
+        self.latencies.append(latency)
+        if self.commit_series is not None:
+            self.commit_series.record(when, latency)
+        if self.latency_hist is not None:
+            self.latency_hist.record(latency)
+
+    def series_dict(self) -> Dict[str, object]:
+        """The windowed time-series, JSON-ready (empty when disabled).
+
+        One entry per retained window, oldest first: commit count
+        (throughput is ``commits / window``), abort count, and the mean
+        commit latency of the window — the over-time curves the sweep
+        JSON exports per cell.  ``latency`` summarizes the streaming
+        histogram (count/sum/extrema/quantiles).
+        """
+        if self.commit_series is None or self.abort_series is None:
+            return {}
+        commits = {w["start"]: w for w in self.commit_series.series()}
+        aborts = {w["start"]: w["count"] for w in self.abort_series.series()}
+        windows = []
+        for start in sorted(set(commits) | set(aborts)):
+            window = commits.get(start)
+            count = int(window["count"]) if window else 0
+            total = float(window["sum"]) if window else 0.0
+            windows.append(
+                {
+                    "start": start,
+                    "commits": count,
+                    "aborts": int(aborts.get(start, 0)),
+                    "mean_latency": total / count if count else 0.0,
+                }
+            )
+        payload: Dict[str, object] = {
+            "window": self.commit_series.width,
+            "windows": windows,
+        }
+        if self.latency_hist is not None:
+            payload["latency"] = self.latency_hist.as_dict()
+        return payload
 
     def latency_percentiles(self) -> Dict[str, float]:
         """``p50``/``p95``/``p99`` of commit latency (0.0 when empty)."""
@@ -276,6 +345,9 @@ class DiscreteEventSimulator:
         self.engine = MVCCEngine()
         self.trace = Trace()
         self.stats = SimStats()
+        self.stats.enable_series(
+            self.config.series_window, self.config.series_windows
+        )
         self._now = 0.0
         self._seq = 0
         self._heap: List[Tuple[float, int, int]] = []
@@ -386,8 +458,7 @@ class DiscreteEventSimulator:
             else:
                 self.engine.commit(engine_tid)
                 self._emit("commit", txn.tid, session.attempt, None, None)
-                self.stats.commits += 1
-                self.stats.latencies.append(self._now - session.arrival)
+                self.stats.record_commit(self._now, self._now - session.arrival)
                 self._release(session)
                 session.current = None
                 session.body = None
@@ -400,7 +471,7 @@ class DiscreteEventSimulator:
             return
         except TransactionAborted as aborted:
             self._emit("abort", txn.tid, session.attempt, None, None)
-            self.stats.record_abort(aborted.reason)
+            self.stats.record_abort(aborted.reason, when=self._now)
             self._release(session)
             # A first-committer-wins abort on a freshly woken writer leaves
             # the freed intent unclaimed: pass the wake-up on, or the rest
@@ -495,7 +566,7 @@ class DiscreteEventSimulator:
         if engine_tid in self.engine.active_tids:
             self.engine.abort(engine_tid)
         self._emit("abort", victim.current.tid, victim.attempt, None, None)
-        self.stats.record_abort("deadlock")
+        self.stats.record_abort("deadlock", when=self._now)
         self._unpark(victim)
         self._release(victim)
         self._retry(victim)

@@ -44,7 +44,13 @@ STRATEGIES = ("optimal", "ssi", "si")
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (contention level, allocation strategy) measurement."""
+    """One (contention level, allocation strategy) measurement.
+
+    ``series`` carries the windowed telemetry of the cell (see
+    :meth:`~repro.mvcc.simulator.SimStats.series_dict`): per-window
+    commit/abort counts and mean latency over simulated time, plus the
+    streaming latency histogram summary.
+    """
 
     benchmark: str
     knob: str
@@ -58,6 +64,7 @@ class SweepPoint:
     throughput: float
     abort_rate: float
     latency: Dict[str, float]
+    series: Dict[str, object] = field(default_factory=dict)
 
     @property
     def case(self) -> str:
@@ -79,6 +86,7 @@ class SweepPoint:
             "throughput": self.throughput,
             "abort_rate": self.abort_rate,
             "latency": dict(self.latency),
+            "series": dict(self.series),
         }
 
 
@@ -234,6 +242,8 @@ def contention_sweep(
                     abort_backoff=base_config.abort_backoff,
                     record_trace=base_config.record_trace,
                     compact_every=base_config.compact_every,
+                    series_window=base_config.series_window,
+                    series_windows=base_config.series_windows,
                 )
                 started = _time.perf_counter()
                 _, stats = simulate_workload(
@@ -254,6 +264,7 @@ def contention_sweep(
                         throughput=stats.throughput,
                         abort_rate=stats.abort_rate,
                         latency=stats.latency_percentiles(),
+                        series=stats.series_dict(),
                     )
                 )
         sweep_span.set(

@@ -39,7 +39,16 @@ from .diff import (
     diff_traces,
     load_bench_file,
 )
+from .eventlog import (
+    EventLog,
+    RetainedTrace,
+    TraceRetainer,
+    new_request_id,
+    validate_event,
+    validate_eventlog_file,
+)
 from .metrics import MetricsRegistry, TimerStat, prometheus_text
+from .telemetry import StreamingHistogram, WindowedSeries
 from .profile import (
     ProfileNode,
     ROOT_KEY,
@@ -74,17 +83,22 @@ __all__ = [
     "DEFAULT_MAX_REGRESS",
     "DiffEntry",
     "DiffReport",
+    "EventLog",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "ProfileNode",
     "ROOT_KEY",
+    "RetainedTrace",
     "SpanBatch",
     "SpanRecord",
     "SpanTuple",
+    "StreamingHistogram",
     "TRACE_VERSION",
     "TimerStat",
+    "TraceRetainer",
     "Tracer",
+    "WindowedSeries",
     "build_profile",
     "compare_bench",
     "compare_bench_files",
@@ -96,6 +110,7 @@ __all__ = [
     "folded_stacks",
     "inclusive_totals",
     "load_bench_file",
+    "new_request_id",
     "profile_trace_file",
     "prometheus_text",
     "render_critical_path",
@@ -103,6 +118,8 @@ __all__ = [
     "render_trace_report",
     "set_tracer",
     "use_tracer",
+    "validate_event",
+    "validate_eventlog_file",
     "validate_trace",
     "validate_trace_file",
     "worker_tracer",

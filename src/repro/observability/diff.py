@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .tracer import validate_trace_file
 
@@ -309,6 +309,7 @@ def compare_bench(
     current: Dict[str, object],
     max_regress: float = DEFAULT_MAX_REGRESS,
     abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+    series: Optional[Sequence[str]] = None,
 ) -> DiffReport:
     """Compare two ``--bench-json`` distillates series by series.
 
@@ -316,19 +317,48 @@ def compare_bench(
     walked; rows are matched on the series' key column.  Unmatched rows
     and rows without timings (``--benchmark-disable`` smokes) are
     skipped — only rows timed on both sides can regress.
+
+    ``series`` restricts the comparison to the named series (the CLI's
+    ``--series``).  An *explicitly requested* series must exist: a name
+    outside :data:`BENCH_SERIES`, or one absent/empty in either
+    distillate, raises :class:`ValueError` naming the series that are
+    available — the silent-skip leniency is only for the walk-everything
+    default, where "nothing comparable" must stay green.
     """
+    selected: Tuple[Tuple[str, str], ...] = BENCH_SERIES
+    if series is not None:
+        known = {name for name, _ in BENCH_SERIES}
+        unknown = sorted(set(series) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown series {', '.join(map(repr, unknown))};"
+                f" known series: {', '.join(name for name, _ in BENCH_SERIES)}"
+            )
+        for side, doc in (("baseline", base), ("current", current)):
+            available = sorted(name for name in known if doc.get(name))
+            missing = sorted(name for name in series if not doc.get(name))
+            if missing:
+                raise ValueError(
+                    f"series {', '.join(map(repr, missing))} missing from the"
+                    f" {side} distillate; available there:"
+                    f" {', '.join(available) if available else '(none)'}"
+                )
+        wanted = set(series)
+        selected = tuple(
+            (name, key) for name, key in BENCH_SERIES if name in wanted
+        )
     entries: List[DiffEntry] = []
-    for series, key_column in BENCH_SERIES:
+    for series_name, key_column in selected:
         base_rows = {
-            row.get(key_column): row for row in base.get(series, []) or []
+            row.get(key_column): row for row in base.get(series_name, []) or []
         }
         current_rows = {
-            row.get(key_column): row for row in current.get(series, []) or []
+            row.get(key_column): row for row in current.get(series_name, []) or []
         }
         for key in sorted(
             set(base_rows) | set(current_rows), key=lambda k: (str(type(k)), str(k))
         ):
-            label = f"{series}[{key_column}={key}]"
+            label = f"{series_name}[{key_column}={key}]"
             base_row = base_rows.get(key)
             current_row = current_rows.get(key)
             if base_row is None or current_row is None:
@@ -358,6 +388,7 @@ def compare_bench_files(
     current_path: Union[str, Path],
     max_regress: float = DEFAULT_MAX_REGRESS,
     abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+    series: Optional[Sequence[str]] = None,
 ) -> DiffReport:
     """Load two ``--bench-json`` files and compare them."""
     return compare_bench(
@@ -365,4 +396,5 @@ def compare_bench_files(
         load_bench_file(current_path),
         max_regress=max_regress,
         abs_floor_s=abs_floor_s,
+        series=series,
     )

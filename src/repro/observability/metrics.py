@@ -1,14 +1,22 @@
-"""Counters and timers aggregated per phase name.
+"""Counters, timers and streaming histograms aggregated per phase name.
 
 The registry is the *aggregate* view of the span stream: every finished
 span records its duration under its name, so ``--stats`` can print a
 per-phase breakdown (count / total / mean / max) without replaying the
 trace.  Counters are plain named integers — the tracer counts events
 (cache hits, MVCC commits, worker dispatches) that have no duration.
+Every :meth:`MetricsRegistry.record` additionally feeds a
+:class:`~repro.observability.telemetry.StreamingHistogram` sibling of
+the timer, so quantiles (p50/p90/p99) are available for every timed
+phase without retaining raw samples.
 
 Workers aggregate into their own registries; the parent folds them in
 via :meth:`MetricsRegistry.merge` when span batches come back with the
 results, so totals always report work actually done, wherever it ran.
+Histograms merge bucket-wise (see :meth:`StreamingHistogram.merge`),
+and because :meth:`~repro.observability.Tracer.absorb` re-records each
+absorbed span's duration, worker-merged histograms equal the histogram
+a single process would have built over the same durations.
 """
 
 from __future__ import annotations
@@ -16,6 +24,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
+
+from .telemetry import StreamingHistogram
 
 
 @dataclass
@@ -92,6 +102,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._timers: Dict[str, TimerStat] = {}
         self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, StreamingHistogram] = {}
 
     @property
     def timers(self) -> Dict[str, TimerStat]:
@@ -103,16 +114,33 @@ class MetricsRegistry:
         """Named event counters."""
         return self._counters
 
+    @property
+    def histograms(self) -> Dict[str, StreamingHistogram]:
+        """Per-phase streaming histograms (one per timer, plus observed)."""
+        return self._histograms
+
     def incr(self, name: str, n: int = 1) -> None:
         """Add ``n`` to the named counter (created at 0)."""
         self._counters[name] = self._counters.get(name, 0) + n
 
     def record(self, name: str, seconds: float) -> None:
-        """Fold one duration into the named timer (created empty)."""
+        """Fold one duration into the named timer (and its histogram)."""
         timer = self._timers.get(name)
         if timer is None:
             timer = self._timers[name] = TimerStat()
         timer.record(seconds)
+        self.observe(name, seconds)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one value into the named histogram only (no timer).
+
+        For distributions that are not durations (batch sizes, queue
+        depths at admission); :meth:`record` calls this for every timer.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = StreamingHistogram()
+        histogram.record(value)
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry (typically a worker's) into this one."""
@@ -121,6 +149,13 @@ class MetricsRegistry:
             if mine is None:
                 mine = self._timers[name] = TimerStat()
             mine.merge(timer)
+        for name, histogram in other._histograms.items():
+            current = self._histograms.get(name)
+            if current is None:
+                current = self._histograms[name] = StreamingHistogram(
+                    growth=histogram.growth
+                )
+            current.merge(histogram)
         self.merge_counters(other._counters)
 
     def merge_counters(self, counters: Mapping[str, int]) -> None:
@@ -129,32 +164,72 @@ class MetricsRegistry:
             self.incr(name, value)
 
     def as_dict(self) -> Dict[str, object]:
-        """Both tables as plain JSON-ready dicts (sorted by name)."""
+        """All tables as plain JSON-ready dicts (sorted by name).
+
+        ``histograms`` carries quantile summaries, not raw buckets —
+        the export surface (traces, ``/metrics.json``, the ``metrics``
+        envelope) wants dashboard numbers, and
+        :func:`~repro.observability.validate_trace` tolerates the extra
+        key on older consumers.
+        """
         return {
             "counters": {name: self._counters[name] for name in sorted(self._counters)},
             "timers": {
                 name: self._timers[name].as_dict() for name in sorted(self._timers)
             },
+            "histograms": {
+                name: self._histograms[name].as_dict()
+                for name in sorted(self._histograms)
+            },
         }
 
 
 def _prom_name(name: str, prefix: str) -> str:
-    """A dotted metric name as a legal prometheus identifier."""
-    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", name)
-    return f"{prefix}{cleaned}"
+    """A dotted metric name as a legal prometheus identifier.
+
+    The exposition format allows ``[a-zA-Z_:][a-zA-Z0-9_:]*``; anything
+    else becomes ``_``, and a name that would start with a digit (after
+    an empty prefix) gains a leading underscore.
+    """
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    metric = f"{prefix}{cleaned}"
+    if not re.match(r"[a-zA-Z_:]", metric):
+        metric = f"_{metric}"
+    return metric
+
+
+def _escape_label_value(value: str) -> str:
+    """A label value escaped per the exposition format (\\\\, \\", \\n)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaped per the exposition format (\\\\ and \\n only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+#: The quantiles exported per summary family (the dashboard trio).
+_SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
 
 
 def prometheus_text(
     registry: MetricsRegistry,
     gauges: Optional[Mapping[str, float]] = None,
     prefix: str = "repro_",
+    helps: Optional[Mapping[str, str]] = None,
 ) -> str:
     """The registry in the prometheus text exposition format.
 
-    Counters export as ``<prefix><name>_total``; timers as a pair of
-    ``_seconds_count`` / ``_seconds_sum`` (the classic summary shape);
-    ``gauges`` (point-in-time values such as queue depth) as plain
-    gauges.  Dots and other punctuation in names become underscores.
+    Counters export as ``<prefix><name>_total``; timers as summaries —
+    ``{quantile="0.5|0.9|0.99"}`` sample lines (from the registry's
+    streaming histograms) plus the classic ``_seconds_count`` /
+    ``_seconds_sum`` pair; histogram-only names (:meth:`observe`)
+    export as unit-less summaries; ``gauges`` (point-in-time values
+    such as queue depth) as plain gauges.  Names are sanitized to the
+    legal charset, label values and HELP text (``helps`` maps *raw*
+    metric names to help strings) are escaped per the format.
 
     Examples:
         >>> registry = MetricsRegistry()
@@ -166,19 +241,40 @@ def prometheus_text(
         # TYPE repro_service_requests_total counter
         repro_service_requests_total 2
     """
-    lines = []
+    helps = helps or {}
+    lines: list = []
+
+    def emit_header(raw_name: str, metric: str, kind: str) -> None:
+        if raw_name in helps:
+            lines.append(f"# HELP {metric} {_escape_help(helps[raw_name])}")
+        lines.append(f"# TYPE {metric} {kind}")
+
+    def emit_summary(raw_name: str, metric: str, count: int, total: float) -> None:
+        emit_header(raw_name, metric, "summary")
+        histogram = registry.histograms.get(raw_name)
+        if histogram is not None and histogram.count:
+            for q in _SUMMARY_QUANTILES:
+                value = histogram.quantile(q)
+                quantile = _escape_label_value(f"{q}")
+                lines.append(f'{metric}{{quantile="{quantile}"}} {value}')
+        lines.append(f"{metric}_count {count}")
+        lines.append(f"{metric}_sum {total}")
+
     for name in sorted(gauges or {}):
         metric = _prom_name(name, prefix)
-        lines.append(f"# TYPE {metric} gauge")
+        emit_header(name, metric, "gauge")
         lines.append(f"{metric} {float(gauges[name])}")
     for name in sorted(registry.counters):
         metric = _prom_name(name, prefix) + "_total"
-        lines.append(f"# TYPE {metric} counter")
+        emit_header(name, metric, "counter")
         lines.append(f"{metric} {registry.counters[name]}")
     for name in sorted(registry.timers):
         metric = _prom_name(name, prefix) + "_seconds"
         stat = registry.timers[name]
-        lines.append(f"# TYPE {metric} summary")
-        lines.append(f"{metric}_count {stat.count}")
-        lines.append(f"{metric}_sum {stat.total_s}")
+        emit_summary(name, metric, stat.count, stat.total_s)
+    for name in sorted(registry.histograms):
+        if name in registry.timers:
+            continue  # already exported with the timer's summary
+        histogram = registry.histograms[name]
+        emit_summary(name, _prom_name(name, prefix), histogram.count, histogram.total)
     return "\n".join(lines) + "\n"

@@ -133,6 +133,36 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _SkipSpan:
+    """The per-tracer span handle for depth-capped spans.
+
+    Entering bumps the owning tracer's skip counter so *nested* spans
+    short-circuit on one integer check — nesting stays balanced while
+    everything below the depth cap costs barely more than the
+    :class:`NullTracer` path (the always-on per-request tracer of the
+    service depends on this staying cheap).
+    """
+
+    __slots__ = ("_tracer",)
+
+    span_id: Optional[int] = None
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def __enter__(self) -> "_SkipSpan":
+        self._tracer._skip += 1
+        self._tracer.skipped += 1
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._tracer._skip -= 1
+        return False
+
+    def set(self, **attrs: object) -> None:
+        """Discard annotations (the span is below the depth cap)."""
+
+
 class NullTracer:
     """The disabled tracer: every operation is a no-op.
 
@@ -143,6 +173,7 @@ class NullTracer:
     """
 
     enabled = False
+    recording = False
     trace_memory = False
 
     def span(self, name: str, **attrs: object) -> _NullSpan:
@@ -222,7 +253,8 @@ class _ActiveSpan:
                 self._attrs,
             )
         )
-        tracer.registry.record(self._name, duration)
+        if tracer.record_metrics:
+            tracer.registry.record(self._name, duration)
         return False
 
 
@@ -244,22 +276,81 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, origin: Optional[str] = None, trace_memory: bool = False):
+    def __init__(
+        self,
+        origin: Optional[str] = None,
+        trace_memory: bool = False,
+        max_depth: int = 0,
+        record_metrics: bool = True,
+    ):
         self.origin = origin if origin is not None else "main"
+        #: With ``record_metrics=False`` finished spans skip the
+        #: per-span timer/histogram update.  The service's per-request
+        #: tracer uses this: its registry is never read (the core keeps
+        #: its own, and ``absorb`` re-records durations when an outer
+        #: ``--trace`` tracer takes the batch), so updating it per span
+        #: would be pure overhead on every request.
+        self.record_metrics = bool(record_metrics)
         #: With ``trace_memory`` (and :mod:`tracemalloc` started by the
         #: caller — the CLI's ``--trace-memory`` flag does both), every
         #: *top-level* span additionally records the tracemalloc peak and
         #: current deltas over its lifetime as ``mem_peak_kib`` /
         #: ``mem_current_kib`` attributes.
         self.trace_memory = bool(trace_memory)
+        #: Spans nested deeper than ``max_depth`` are skipped (recorded
+        #: neither as spans nor as timers); ``0`` disables the cap.  The
+        #: service's always-on per-request flight recorder uses a small
+        #: cap so the deep analysis spans cost (almost) nothing.
+        self.max_depth = max_depth
+        #: Spans dropped by the depth cap (a plain count, not a counter
+        #: — incrementing the registry per skipped span would put a dict
+        #: operation back into the hot path the cap exists to protect).
+        self.skipped = 0
         self.spans: List[SpanRecord] = []
         self.registry = MetricsRegistry()
         self._stack: List[int] = []
         self._next_id = 1
+        self._skip = 0
+        self._skip_span = _SkipSpan(self)
+
+    @property
+    def recording(self) -> bool:
+        """Whether a span opened *now* would actually be recorded.
+
+        ``False`` while inside a depth-capped subtree.  Call sites with
+        non-trivial span setup (building attribute dicts, draining a
+        generator inside the span) check this instead of ``enabled`` so
+        the always-on depth-capped request tracer keeps their lazy
+        fast path — materializing a scan for a span that will be
+        skipped would cost real work, not just bookkeeping.
+        """
+        if self._skip:
+            return False
+        return not (self.max_depth and len(self._stack) >= self.max_depth)
+
+    def reset(self) -> None:
+        """Clear recorded state so the tracer can take the next request.
+
+        Keeps configuration (origin, depth cap, flags) and the registry
+        object; drops spans, the skip count and the id/stack state.  The
+        service reuses one request tracer per core through this instead
+        of allocating a tracer per envelope.
+        """
+        self.spans.clear()
+        self.skipped = 0
+        self._stack.clear()
+        self._next_id = 1
+        self._skip = 0
 
     # -- recording -----------------------------------------------------
-    def span(self, name: str, **attrs: object) -> _ActiveSpan:
-        """A context manager timing one phase; nests under the active span."""
+    def span(self, name: str, **attrs: object) -> Union[_ActiveSpan, _SkipSpan]:
+        """A context manager timing one phase; nests under the active span.
+
+        Below ``max_depth`` (when set) the shared skip handle is
+        returned instead and nothing is recorded.
+        """
+        if self._skip or (self.max_depth and len(self._stack) >= self.max_depth):
+            return self._skip_span
         return _ActiveSpan(self, name, attrs)
 
     def count(self, name: str, n: int = 1) -> None:
@@ -306,7 +397,8 @@ class Tracer:
             else:
                 record.parent_id = parent_id
             self.spans.append(record)
-            self.registry.record(record.name, record.duration_s)
+            if self.record_metrics:
+                self.registry.record(record.name, record.duration_s)
         self.registry.merge_counters(dict(counters))
 
     # -- export --------------------------------------------------------

@@ -36,7 +36,8 @@ never expected with our encodings), the engine falls back to the
 sequential path with a :class:`RuntimeWarning` instead of failing the
 analysis.
 
-When the parent traces (``current_tracer().enabled``), every task is
+When the parent traces (``current_tracer().recording`` — enabled and
+not inside a depth-capped subtree), every task is
 submitted with ``trace=True``: workers record their chunk spans into
 per-task tracers and ship the batches back with their results; the
 parent :meth:`~repro.observability.Tracer.absorb`\\ s each batch under
@@ -226,7 +227,7 @@ def check_robustness_parallel(
                 futures: Dict[Future, int] = {
                     executor.submit(
                         scan_chunk, wl_enc, alloc_enc, chunk, False,
-                        tracer.enabled, method,
+                        tracer.recording, method,
                     ): i
                     for i, chunk in enumerate(chunks)
                 }
@@ -300,7 +301,7 @@ def enumerate_specs_parallel(
             futures = [
                 executor.submit(
                     scan_chunk, wl_enc, alloc_enc, chunk, True,
-                    tracer.enabled, method,
+                    tracer.recording, method,
                 )
                 for chunk in chunks
             ]
@@ -382,7 +383,7 @@ def refine_allocation_parallel(
                 futures = [
                     executor.submit(
                         probe_chunk, wl_enc, start_enc, chunk,
-                        tracer.enabled, method,
+                        tracer.recording, method,
                     )
                     for chunk in chunks
                 ]
@@ -458,7 +459,7 @@ def first_spec_shards_parallel(
                 futures[
                     executor.submit(
                         scan_chunk, wl_enc, alloc_enc, shard, False,
-                        tracer.enabled, method,
+                        tracer.recording, method,
                     )
                 ] = index
         best: Optional[Tuple[int, tuple]] = None  # (t1_tid, spec_enc)
@@ -527,7 +528,7 @@ def enumerate_specs_shards_parallel(
                 futures.append(
                     executor.submit(
                         scan_chunk, wl_enc, alloc_enc, shard, True,
-                        tracer.enabled, method,
+                        tracer.recording, method,
                     )
                 )
         collected: List[Tuple[int, tuple]] = []
@@ -614,7 +615,7 @@ def refine_allocation_shards_parallel(
                     futures.append(
                         executor.submit(
                             probe_chunk, wl_enc, start_enc, probes,
-                            tracer.enabled, method,
+                            tracer.recording, method,
                         )
                     )
             with tracer.span("parallel.merge", chunks=len(shard_probes)):

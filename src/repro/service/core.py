@@ -54,7 +54,17 @@ from ..core.isolation import Allocation, IsolationLevel, POSTGRES_LEVELS
 from ..core.robustness import check_robustness
 from ..core.transactions import Transaction, TransactionError, parse_transaction
 from ..core.workload import WorkloadError
-from ..observability import MetricsRegistry, current_tracer
+from ..observability import (
+    EventLog,
+    MetricsRegistry,
+    RetainedTrace,
+    TraceRetainer,
+    Tracer,
+    WindowedSeries,
+    current_tracer,
+    new_request_id,
+    set_tracer,
+)
 from .handlers import CommandError
 from .protocol import (
     PROTOCOL_VERSION,
@@ -117,6 +127,19 @@ class ServiceConfig:
         levels/method/n_jobs: forwarded to the
             :class:`~repro.core.incremental.AllocationManager`.
         admission: the :class:`AdmissionPolicy`.
+        eventlog_path: append structured JSON-lines events here (the
+            in-memory event ring is always on).
+        slo_p99_ms: when set, the ``slo_p99_breached`` gauge flips to 1
+            and an ``alert`` event is logged whenever the streaming p99
+            of ``service.request`` latency exceeds this many ms.
+        window_s/window_count: width and ring size of the windowed
+            rate series (requests, errors, mutations, checks,
+            rejections per second).
+        retain_last/retain_slowest: how many finished request span
+            trees the always-on flight recorder keeps (``dump-traces``).
+        retain_depth: span-nesting depth recorded per request; spans
+            below the cap are skipped so the deep analysis
+            instrumentation stays (almost) free.
     """
 
     host: str = "127.0.0.1"
@@ -131,6 +154,13 @@ class ServiceConfig:
     method: str = "bitset"
     n_jobs: Optional[int] = 1
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    eventlog_path: Optional[str] = None
+    slo_p99_ms: Optional[float] = None
+    window_s: float = 1.0
+    window_count: int = 120
+    retain_last: int = 32
+    retain_slowest: int = 16
+    retain_depth: int = 2
 
 
 class ServiceCore:
@@ -153,6 +183,24 @@ class ServiceCore:
         self._mutations = 0
         self._since_snapshot = 0
         self._stopping = False
+        self.events = EventLog(config.eventlog_path)
+        self.retainer = TraceRetainer(
+            last=config.retain_last, slowest=config.retain_slowest
+        )
+        # One reusable flight-recorder tracer for all requests (handle()
+        # is serialized under the core lock): allocating a tracer per
+        # envelope, and updating its never-read registry per span, is
+        # measurable overhead at churn rates.
+        self._request_tracer = Tracer(
+            origin="main",
+            max_depth=config.retain_depth,
+            record_metrics=False,
+        )
+        self.series: Dict[str, WindowedSeries] = {
+            name: WindowedSeries(config.window_s, config.window_count)
+            for name in ("requests", "errors", "mutations", "checks", "rejections")
+        }
+        self._slo_breached = False
         self._manager = self._initial_manager(config)
         self._handlers: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
             "hello": self._cmd_hello,
@@ -166,6 +214,7 @@ class ServiceCore:
             "restore": self._cmd_restore,
             "metrics": self._cmd_metrics,
             "stats": self._cmd_stats,
+            "dump-traces": self._cmd_dump_traces,
             "shutdown": self._cmd_shutdown,
         }
 
@@ -215,37 +264,148 @@ class ServiceCore:
     def handle(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
         """Execute one (already parsed) envelope; never raises.
 
-        Every request runs under the core lock and a
-        ``service.request`` span; durations land in the registry as
-        ``service.<op>`` timers.
+        Every request gets a fresh ``request_id`` (stamped on the
+        response, on its spans, and on its events), runs under the core
+        lock and a per-request flight-recorder tracer (depth-capped, so
+        the deep analysis instrumentation stays cheap), and lands its
+        latency in the ``service.<op>`` / ``service.request`` timers
+        and their streaming histograms plus the windowed rate series.
+        The finished span tree goes to the :class:`TraceRetainer`
+        (``dump-traces``); when the daemon itself traces, the batch is
+        also absorbed into the installed tracer.
         """
         op = str(envelope.get("op"))
+        request_id = new_request_id()
         start = time.perf_counter()
         with self._lock:
             handler = self._handlers.get(op)
             if handler is None:
-                self.registry.incr("service.errors")
-                return error_response(envelope, "unknown-op", f"unknown command {op!r}")
-            with current_tracer().span("service.request", op=op):
-                try:
-                    response = handler(envelope)
-                except ProtocolError as exc:
-                    response = error_response(envelope, exc.code, str(exc))
-                except (CommandError, TransactionError) as exc:
-                    response = error_response(envelope, "bad-request", str(exc))
-                except SnapshotError as exc:
-                    response = error_response(envelope, "snapshot-error", str(exc))
-                except WorkloadError as exc:
-                    response = error_response(envelope, "conflict", str(exc))
-                except Exception as exc:  # the daemon must never die mid-line
-                    response = error_response(
-                        envelope, "internal", f"{type(exc).__name__}: {exc}"
+                response = error_response(
+                    envelope, "unknown-op", f"unknown command {op!r}"
+                )
+                request_tracer = None
+            else:
+                request_tracer = self._request_tracer
+                if current_tracer() is request_tracer:
+                    # Nested request (a batch entry dispatched back
+                    # through handle()): the shared tracer is holding
+                    # the outer request's open span, so this one pays
+                    # for its own.
+                    request_tracer = Tracer(
+                        origin="main",
+                        max_depth=self.config.retain_depth,
+                        record_metrics=False,
                     )
-        self.registry.record(f"service.{op}", time.perf_counter() - start)
-        self.registry.incr("service.requests")
-        if not response.get("ok"):
-            self.registry.incr("service.errors")
+                else:
+                    request_tracer.reset()
+                previous = set_tracer(request_tracer)
+                try:
+                    with request_tracer.span(
+                        "service.request", op=op, request_id=request_id
+                    ) as root:
+                        try:
+                            response = handler(envelope)
+                        except ProtocolError as exc:
+                            response = error_response(envelope, exc.code, str(exc))
+                        except (CommandError, TransactionError) as exc:
+                            response = error_response(envelope, "bad-request", str(exc))
+                        except SnapshotError as exc:
+                            response = error_response(
+                                envelope, "snapshot-error", str(exc)
+                            )
+                        except WorkloadError as exc:
+                            response = error_response(envelope, "conflict", str(exc))
+                        except Exception as exc:  # the daemon must never die mid-line
+                            response = error_response(
+                                envelope, "internal", f"{type(exc).__name__}: {exc}"
+                            )
+                        root.set(ok=bool(response.get("ok")))
+                finally:
+                    set_tracer(previous)
+                if previous.enabled:
+                    previous.absorb(request_tracer.batch())
+            elapsed = time.perf_counter() - start
+            response["request_id"] = request_id
+            self._observe_request(op, request_id, envelope, response, elapsed)
+            if request_tracer is not None:
+                self.retainer.add(
+                    RetainedTrace(
+                        request_id=request_id,
+                        op=op,
+                        ts=time.time(),
+                        duration_s=elapsed,
+                        ok=bool(response.get("ok")),
+                        spans=[
+                            record.as_event() for record in request_tracer.spans
+                        ],
+                    )
+                )
         return response
+
+    def _observe_request(
+        self,
+        op: str,
+        request_id: str,
+        envelope: Mapping[str, Any],
+        response: Dict[str, Any],
+        elapsed: float,
+    ) -> None:
+        """Fold one finished request into timers, series and the event log."""
+        ok = bool(response.get("ok"))
+        now = time.monotonic() - self._started
+        self.registry.record(f"service.{op}", elapsed)
+        self.registry.record("service.request", elapsed)
+        self.registry.incr("service.requests")
+        self.series["requests"].record(now)
+        if not ok:
+            self.registry.incr("service.errors")
+            self.series["errors"].record(now)
+        checks = response.get("checks")
+        if isinstance(checks, int) and not isinstance(checks, bool):
+            self.series["checks"].record(now, float(checks))
+        event: Dict[str, Any] = {
+            "op": op,
+            "ok": ok,
+            "latency_ms": round(elapsed * 1e3, 3),
+        }
+        if isinstance(checks, int) and not isinstance(checks, bool):
+            event["checks"] = checks
+        error = response.get("error")
+        if isinstance(error, dict) and "code" in error:
+            event["error"] = str(error["code"])
+        if envelope.get("id") is not None:
+            event["envelope_id"] = str(envelope.get("id"))
+        self.events.emit("request", request_id=request_id, **event)
+        self._check_slo(request_id)
+
+    def _check_slo(self, request_id: str) -> None:
+        """Flip the SLO gauge (and log alerts) on p99 threshold crossings."""
+        threshold_ms = self.config.slo_p99_ms
+        if threshold_ms is None:
+            return
+        histogram = self.registry.histograms.get("service.request")
+        if histogram is None or not histogram.count:
+            return
+        p99_ms = histogram.quantile(0.99) * 1e3
+        breached = p99_ms > threshold_ms
+        if breached and not self._slo_breached:
+            self.registry.incr("service.slo_breaches")
+            self.events.emit(
+                "alert",
+                request_id=request_id,
+                breached=True,
+                p99_ms=round(p99_ms, 3),
+                slo_p99_ms=threshold_ms,
+            )
+        elif not breached and self._slo_breached:
+            self.events.emit(
+                "alert",
+                request_id=request_id,
+                breached=False,
+                p99_ms=round(p99_ms, 3),
+                slo_p99_ms=threshold_ms,
+            )
+        self._slo_breached = breached
 
     # -- helpers -------------------------------------------------------
     @property
@@ -360,6 +520,14 @@ class ServiceCore:
         self._manager.remove(txn.tid)
         self._merge_mutation_stats()  # the rollback's work
         self.registry.incr("service.rejected")
+        self.series["rejections"].record(time.monotonic() - self._started)
+        self.events.emit(
+            "admission",
+            admitted=False,
+            tid=txn.tid,
+            reason="; ".join(reasons),
+            queued=policy.mode == "queue",
+        )
         queued = policy.mode == "queue"
         if queued:
             self._queue.append(txn)
@@ -375,9 +543,12 @@ class ServiceCore:
             "allocation": self._allocation_payload(self._manager.allocation),
         }
 
-    def _record_mutation(self) -> None:
-        self._mutations += 1
-        self._since_snapshot += 1
+    def _record_mutation(self, n: int = 1) -> None:
+        self._mutations += n
+        self._since_snapshot += n
+        self.series["mutations"].record(
+            time.monotonic() - self._started, count=n
+        )
         if (
             self.config.snapshot_every
             and self.config.snapshot_path
@@ -631,8 +802,8 @@ class ServiceCore:
                 results[slot] = ok_response(
                     sub, tid=value, coalesced=True, retried=[], dropped=[]
                 )
-        for _ in ops:
-            self._record_mutation()
+        if ops:
+            self._record_mutation(len(ops))
         return {"checks": checks, "coalesced": len(ops)}
 
     def _cmd_batch(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
@@ -740,16 +911,30 @@ class ServiceCore:
         )
 
     def gauges(self) -> Dict[str, float]:
-        """Point-in-time service gauges (exported next to the registry)."""
+        """Point-in-time service gauges (exported next to the registry).
+
+        Besides the structural gauges (transaction/shard counts, queue
+        depth), the windowed series surface here as ``rate_<name>_per_s``
+        — rolling per-second rates over the trailing complete windows —
+        so ``/metrics`` exports live rates, not just cumulative totals.
+        """
         sctx = self._manager.context
+        now = time.monotonic() - self._started
         gauges = {
             "transactions": float(len(self._manager.workload)),
             "shards": float(len(sctx.plan)) if sctx is not None else 0.0,
             "queue_depth": float(len(self._queue)),
             "mutations": float(self._mutations),
             "mutations_since_snapshot": float(self._since_snapshot),
-            "uptime_s": time.monotonic() - self._started,
+            "uptime_s": now,
+            "retained_traces": float(self.retainer.added),
+            "eventlog_events": float(self.events.count),
         }
+        for name, series in self.series.items():
+            per_value = name == "checks"  # checks arrive batched per request
+            gauges[f"rate_{name}_per_s"] = series.rate(now, per_value=per_value)
+        if self.config.slo_p99_ms is not None:
+            gauges["slo_p99_breached"] = 1.0 if self._slo_breached else 0.0
         for name, value in self._manager.plan_stats.items():
             gauges[name] = float(value)
         return gauges
@@ -760,6 +945,21 @@ class ServiceCore:
             gauges=self.gauges(),
             **self.registry.as_dict(),
         )
+
+    def _cmd_dump_traces(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
+        """The flight recorder's retained request span trees.
+
+        Optional ``last`` / ``slowest`` limit how many traces of each
+        retention set are returned (both default to everything kept).
+        """
+        limits = {}
+        for key in ("last", "slowest"):
+            value = envelope.get(key)
+            if value is not None:
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    raise ProtocolError(f'"{key}" must be a non-negative integer')
+                limits[key] = value
+        return ok_response(envelope, **self.retainer.dump(**limits))
 
     def _cmd_stats(self, envelope: Mapping[str, Any]) -> Dict[str, Any]:
         return ok_response(

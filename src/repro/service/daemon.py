@@ -36,7 +36,24 @@ from ..observability import prometheus_text
 from .core import ServiceConfig, ServiceCore
 from .protocol import encode_response
 
-__all__ = ["ServiceServer", "serve"]
+__all__ = ["METRIC_HELP", "ServiceServer", "serve"]
+
+#: HELP strings for the exported metric families (keyed by raw name;
+#: :func:`~repro.observability.prometheus_text` escapes them).
+METRIC_HELP = {
+    "service.request": "Per-request latency across all commands",
+    "service.requests": "Requests executed since startup",
+    "service.errors": "Requests that returned an error envelope",
+    "queue_depth": "Transactions parked by queue-mode admission control",
+    "transactions": "Transactions currently admitted",
+    "shards": "Conflict-component shards in the active plan",
+    "rate_requests_per_s": "Requests per second over the trailing windows",
+    "rate_mutations_per_s": "Mutations per second over the trailing windows",
+    "rate_checks_per_s": "Robustness checks per second over the trailing windows",
+    "rate_errors_per_s": "Error responses per second over the trailing windows",
+    "rate_rejections_per_s": "Admission rejections per second over the trailing windows",
+    "slo_p99_breached": "1 while the streaming p99 exceeds --slo-p99-ms",
+}
 
 
 class _LineHandler(socketserver.StreamRequestHandler):
@@ -83,7 +100,9 @@ class _MetricsHandler(http.server.BaseHTTPRequestHandler):
         owner: "ServiceServer" = self.server.owner  # type: ignore[attr-defined]
         core = owner.core
         if self.path.split("?")[0] == "/metrics":
-            body = prometheus_text(core.registry, core.gauges()).encode("utf-8")
+            body = prometheus_text(
+                core.registry, core.gauges(), helps=METRIC_HELP
+            ).encode("utf-8")
             ctype = "text/plain; version=0.0.4; charset=utf-8"
         elif self.path.split("?")[0] == "/metrics.json":
             payload = {"gauges": core.gauges(), **core.registry.as_dict()}
@@ -222,6 +241,14 @@ def serve(config: ServiceConfig) -> ServiceCore:
     if server.metrics_port is not None:
         endpoints.append(f"http://{config.host}:{server.metrics_port}/metrics")
     print(f"repro serve: listening on {', '.join(endpoints)}")
+    if config.eventlog_path:
+        print(f"repro serve: event log at {config.eventlog_path}")
+    server.core.events.emit(
+        "start",
+        port=server.port,
+        transactions=len(server.core.manager.workload),
+        pid=os.getpid(),
+    )
     if config.snapshot_path:
         manager = server.core.manager
         plan = "warm shard plan" if (
@@ -239,4 +266,6 @@ def serve(config: ServiceConfig) -> ServiceCore:
     except KeyboardInterrupt:
         print("repro serve: interrupted; stopping")
         server.close()
+    server.core.events.emit("stop", transactions=len(server.core.manager.workload))
+    server.core.events.close()
     return server.core

@@ -71,6 +71,7 @@ COMMANDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     "restore": ((), ("path", "verify")),
     "metrics": ((), ()),
     "stats": ((), ()),
+    "dump-traces": ((), ("last", "slowest")),
     "shutdown": ((), ()),
 }
 

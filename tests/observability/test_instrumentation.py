@@ -260,3 +260,47 @@ class TestTracingChangesNothing:
                 sample_interleaving(write_skew, random.Random(4)) for _ in range(10)
             ]
         assert plain == traced
+
+
+class TestCliByteIdentity:
+    """Telemetry-era tracing changes no byte of CLI output.
+
+    The depth-capped flight-recorder tracer (what the service installs
+    around every request) must be exactly as invisible as the classic
+    full tracer: ``repro check``/``allocate``/``simulate`` print the
+    same bytes with and without one installed.
+    """
+
+    def _capture(self, capsys, argv, tracer=None):
+        from repro.cli import main
+
+        if tracer is None:
+            code = main(argv)
+        else:
+            with use_tracer(tracer):
+                code = main(argv)
+        out = capsys.readouterr()
+        return code, out.out, out.err
+
+    @staticmethod
+    def _workload_file(tmp_path):
+        path = tmp_path / "wl.txt"
+        path.write_text("T1: R[x] W[y]\nT2: R[y] W[x]\nT3: R[x] W[z]\n")
+        return str(path)
+
+    def test_cli_output_identical_under_depth_capped_tracer(
+        self, tmp_path, capsys
+    ):
+        wl = self._workload_file(tmp_path)
+        for argv in (
+            ["check", wl, "--uniform", "SI"],
+            ["check", wl, "--uniform", "SSI"],
+            ["allocate", wl],
+            ["simulate", wl, "--uniform", "SSI", "--seed", "5"],
+            ["stats", wl],
+        ):
+            plain = self._capture(capsys, argv)
+            recorder = self._capture(capsys, argv, Tracer(max_depth=2))
+            full = self._capture(capsys, argv, Tracer())
+            assert plain == recorder, f"{argv}: depth-capped tracer leaked"
+            assert plain == full, f"{argv}: full tracer leaked"

@@ -56,6 +56,7 @@ def test_required_docs_exist_and_are_linked_from_readme():
     for doc in (
         "docs/architecture.md",
         "docs/benchmarks.md",
+        "docs/observability.md",
         "docs/service.md",
         "docs/simulation.md",
         "docs/usage.md",
